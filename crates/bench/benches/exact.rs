@@ -1,0 +1,31 @@
+//! Exact-solver scaling: branch-and-bound wall time versus order count —
+//! the blow-up that makes the MIP/exact approach intractable in the paper
+//! beyond ~8 orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpdp_baselines::{ExactConfig, ExactSolver};
+use dpdp_core::prelude::*;
+
+fn bench_exact_scaling(c: &mut Criterion) {
+    let presets = Presets::quick();
+    let mut group = c.benchmark_group("exact_branch_and_bound");
+    group.sample_size(10);
+    for &n in &[3usize, 4, 5, 6] {
+        let instance = presets.tiny_instance(n, 11);
+        group.bench_with_input(BenchmarkId::new("orders", n), &instance, |b, inst| {
+            b.iter(|| {
+                let solver = ExactSolver {
+                    config: ExactConfig {
+                        time_limit: Some(std::time::Duration::from_secs(10)),
+                        node_limit: None,
+                    },
+                };
+                std::hint::black_box(solver.solve(inst))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_scaling);
+criterion_main!(benches);

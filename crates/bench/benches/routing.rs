@@ -1,0 +1,54 @@
+//! Route-planner microbenchmarks: insertion enumeration (Algorithm 2)
+//! throughput as a function of route length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpdp_core::prelude::*;
+use dpdp_routing::{RoutePlanner, VehicleView};
+use dpdp_sim::Simulator;
+
+/// Builds a view whose route already carries `orders_on_route` orders by
+/// replaying a greedy single-vehicle run.
+fn loaded_view(instance: &Instance, orders_on_route: usize) -> VehicleView {
+    let conf = &instance.fleet.vehicles[0];
+    let mut view = VehicleView::idle_at_depot(conf.id, conf.depot);
+    let planner = RoutePlanner::new(&instance.network, &instance.fleet, instance.orders());
+    for order in instance.orders().iter().take(orders_on_route) {
+        if let Some(best) = planner.plan(&view, order).best {
+            view.route = best.candidate.route;
+            view.used = true;
+        }
+    }
+    view
+}
+
+fn bench_insertion(c: &mut Criterion) {
+    let presets = Presets::quick();
+    let instance = presets.tiny_instance(10, 3);
+    let planner = RoutePlanner::new(&instance.network, &instance.fleet, instance.orders());
+    let probe = &instance.orders()[9];
+
+    let mut group = c.benchmark_group("route_planner");
+    for &n in &[0usize, 2, 4, 8] {
+        let view = loaded_view(&instance, n);
+        group.bench_with_input(
+            BenchmarkId::new("best_insertion_orders", n),
+            &view,
+            |b, view| b.iter(|| std::hint::black_box(planner.plan(view, probe))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_episode_planning(c: &mut Criterion) {
+    let presets = Presets::quick();
+    let instance = presets.tiny_instance(10, 3);
+    c.bench_function("simulate_10_orders_baseline1", |b| {
+        b.iter(|| {
+            let mut b1 = Baseline1;
+            std::hint::black_box(Simulator::new(&instance).run(&mut b1))
+        })
+    });
+}
+
+criterion_group!(benches, bench_insertion, bench_episode_planning);
+criterion_main!(benches);

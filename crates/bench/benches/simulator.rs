@@ -1,0 +1,42 @@
+//! Simulator throughput: full large-scale episodes under each greedy
+//! baseline (the fixed cost every dispatcher comparison pays).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpdp_core::prelude::*;
+
+fn bench_large_episode(c: &mut Criterion) {
+    let presets = Presets::quick();
+    let instance = presets.large_instance(5);
+    let mut group = c.benchmark_group("simulator_large_150_orders_50_vehicles");
+    group.sample_size(10);
+    group.bench_function("baseline1", |b| {
+        b.iter(|| {
+            let mut d = Baseline1;
+            std::hint::black_box(Simulator::new(&instance).run(&mut d))
+        })
+    });
+    group.bench_function("baseline3", |b| {
+        b.iter(|| {
+            let mut d = Baseline3::default();
+            std::hint::black_box(Simulator::new(&instance).run(&mut d))
+        })
+    });
+    group.finish();
+}
+
+fn bench_industry_episode(c: &mut Criterion) {
+    let presets = Presets::quick();
+    let instance = presets.industry_instance(0);
+    let mut group = c.benchmark_group("simulator_industry_day");
+    group.sample_size(10);
+    group.bench_function("baseline1", |b| {
+        b.iter(|| {
+            let mut d = Baseline1;
+            std::hint::black_box(Simulator::new(&instance).run(&mut d))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_large_episode, bench_industry_episode);
+criterion_main!(benches);

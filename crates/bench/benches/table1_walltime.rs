@@ -1,0 +1,44 @@
+//! Table I's wall-time columns: DRL inference for a whole tiny episode vs
+//! one exact solve. The paper's shape — sub-second DRL inference against
+//! minutes-scale exact optimisation — should reproduce as a gap of several
+//! orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpdp_baselines::{ExactConfig, ExactSolver};
+use dpdp_core::models;
+use dpdp_core::prelude::*;
+
+fn bench_table1_walltime(c: &mut Criterion) {
+    let presets = Presets::quick();
+    let instance = presets.tiny_instance(6, 7);
+
+    let mut group = c.benchmark_group("table1_walltime_6_orders");
+    group.sample_size(10);
+
+    // DRL inference: a full greedy ST-DDGN episode (untrained weights; the
+    // cost is architecture-, not weight-dependent).
+    let mut agent = models::dqn_agent(dpdp_rl::ModelKind::StDdgn, presets.dataset(), 0);
+    agent.set_prediction(Some(presets.train_prediction(4)));
+    agent.set_training(false);
+    group.bench_function("st_ddgn_episode_inference", |b| {
+        b.iter(|| std::hint::black_box(Simulator::new(&instance).run(&mut agent)))
+    });
+
+    // Exact solve of the same instance (node-capped to keep criterion
+    // iterations bounded; the full solve is measured by the table1 binary).
+    group.bench_function("exact_solve_capped", |b| {
+        b.iter(|| {
+            let solver = ExactSolver {
+                config: ExactConfig {
+                    time_limit: Some(std::time::Duration::from_secs(5)),
+                    node_limit: Some(200_000),
+                },
+            };
+            std::hint::black_box(solver.solve(&instance))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_walltime);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **Fig. 2** regenerator: the spatial-temporal distribution of delivery
+//! demand over four days of the same month (27 factories × 144 intervals).
+//!
+//! Prints per-day summaries and day-to-day similarity, and writes the four
+//! matrices as CSV heat-map data.
+//!
+//! ```text
+//! cargo run -p dpdp-bench --release --bin fig2 [--quick]
+//! ```
+
+use dpdp_bench::{write_artifact, Cli};
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+fn main() {
+    let cli = Cli::parse(0, 0);
+    let presets = cli.presets();
+    let ds = presets.dataset();
+    // Four consecutive days "from the same month".
+    let days = [10u64, 11, 12, 13];
+    let mats = ds.std_history(days[0]..days[3] + 1);
+
+    println!("Fig. 2: spatial-temporal distribution of delivery demand, 4 days");
+    for (i, m) in mats.iter().enumerate() {
+        let rows = m.row_sums();
+        let mut hot: Vec<(usize, f64)> = rows.iter().cloned().enumerate().collect();
+        hot.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let top: Vec<String> = hot
+            .iter()
+            .take(5)
+            .map(|(f, q)| format!("F{f}({q:.0})"))
+            .collect();
+        // Peak-hour share: intervals 60..72 (10-12h) and 84..102 (14-17h).
+        let cols = m.col_sums();
+        let peak: f64 = cols[60..72].iter().chain(&cols[84..102]).sum();
+        println!(
+            "day {:>2}: total demand {:>8.1}, peak-hour share {:>5.1}%, hottest factories: {}",
+            days[i],
+            m.total(),
+            100.0 * peak / m.total().max(1e-9),
+            top.join(" ")
+        );
+        write_artifact(&format!("fig2_day{}.csv", days[i]), &m.to_csv());
+    }
+
+    println!("\nDay-to-day similarity of factory demand profiles (cosine of row sums):");
+    for i in 0..mats.len() {
+        for j in i + 1..mats.len() {
+            let sim = cosine(&mats[i].row_sums(), &mats[j].row_sums());
+            println!("  day {} vs day {}: {:.4}", days[i], days[j], sim);
+        }
+    }
+    println!(
+        "\nExpected shape (paper): high similarity between all four days \
+         (recurring pattern), strongest for adjacent days; a few hot factories \
+         dominate; demand concentrates in the 10-12 a.m. and 2-5 p.m. peaks."
+    );
+    println!("wrote fig2_day*.csv under target/experiments/");
+}

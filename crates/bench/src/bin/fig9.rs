@@ -1,0 +1,86 @@
+//! **Fig. 9 + Fig. 10** regenerator: the spatial-temporal *capacity*
+//! distribution across training episodes for DQN / AC / DGN / ST-DDGN, its
+//! Frobenius `Diff` to the demand distribution, and the demand STD matrix of
+//! the large-scale instance itself (Fig. 10).
+//!
+//! ```text
+//! cargo run -p dpdp-bench --release --bin fig9 [--quick] [--episodes N]
+//! ```
+
+use dpdp_bench::{write_artifact, Cli, Model};
+use dpdp_core::models::ModelSpec;
+use dpdp_core::prelude::*;
+use dpdp_rl::TrainerConfig;
+
+fn main() {
+    let cli = Cli::parse(150, 1);
+    let presets = cli.presets();
+    let instance = presets.large_instance(cli.seed);
+    let index = presets.dataset().factory_index();
+
+    // Fig. 10: the demand STD of this instance.
+    let demand = StdMatrix::from_orders(instance.orders(), &instance.grid, &index);
+    write_artifact("fig10_demand.csv", &demand.to_csv());
+    println!(
+        "Fig. 10: demand STD of the large-scale instance written (total {:.1}, {} factories x {} intervals)",
+        demand.total(),
+        demand.num_factories(),
+        demand.num_intervals()
+    );
+
+    let snapshots = vec![0, cli.episodes / 3, 2 * cli.episodes / 3];
+    let specs = [
+        ModelSpec::Dqn(dpdp_rl::ModelKind::Dqn),
+        ModelSpec::ActorCritic,
+        ModelSpec::Dqn(dpdp_rl::ModelKind::Dgn),
+        ModelSpec::Dqn(dpdp_rl::ModelKind::StDdgn),
+    ];
+    println!(
+        "\nFig. 9: capacity-vs-demand Diff across {} training episodes",
+        cli.episodes
+    );
+    let mut summary = String::from("algo,episode,diff\n");
+    for spec in specs {
+        let mut model = Model::build(spec, &presets, cli.seed);
+        model.set_prediction(Some(presets.train_prediction(4)));
+        let mut cfg = TrainerConfig::new(cli.episodes);
+        cfg.capacity_index = Some(index.clone());
+        cfg.snapshot_episodes = snapshots.clone();
+        let report = model.train_on(&instance, cli.episodes, Some(cfg));
+        println!("\n{} Diff trajectory:", spec.name());
+        let stride = (cli.episodes / 8).max(1);
+        for p in report::thin_curve(&report.points, stride) {
+            if let Some(d) = p.capacity_diff {
+                println!("  ep {:>4}: Diff {:>9.2}", p.episode, d);
+                summary.push_str(&format!("{},{},{:.3}\n", spec.name(), p.episode, d));
+            }
+        }
+        for (ep, m) in &report.capacity_matrices {
+            write_artifact(
+                &format!(
+                    "fig9_{}_ep{}.csv",
+                    spec.name().to_lowercase().replace('-', "_"),
+                    ep
+                ),
+                &m.to_csv(),
+            );
+        }
+        let first = report.points.first().and_then(|p| p.capacity_diff);
+        let last = report.points.last().and_then(|p| p.capacity_diff);
+        if let (Some(f), Some(l)) = (first, last) {
+            println!(
+                "  Diff: {:.2} -> {:.2} ({})",
+                f,
+                l,
+                if l < f { "decreased" } else { "increased" }
+            );
+        }
+    }
+    write_artifact("fig9_diff.csv", &summary);
+    println!(
+        "\nExpected shape (paper): Diff decreases as each policy converges; \
+         ST-DDGN reaches the smallest final Diff and drops fastest — its capacity \
+         distribution tracks the demand hot spots most closely."
+    );
+    println!("wrote fig9_*.csv and fig10_demand.csv under target/experiments/");
+}

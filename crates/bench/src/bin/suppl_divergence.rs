@@ -1,0 +1,62 @@
+//! **Supplementary** regenerator: JS vs symmetric-KL divergence inside the
+//! ST Score (the paper reports JS performing slightly better).
+//!
+//! ```text
+//! cargo run -p dpdp-bench --release --bin suppl_divergence [--quick] [--episodes N] [--instances N]
+//! ```
+
+use dpdp_bench::{write_artifact, Cli};
+use dpdp_core::experiment::mean_row;
+use dpdp_core::prelude::*;
+use dpdp_data::DivergenceKind;
+use dpdp_rl::{AgentConfig, DqnAgent, ModelKind, TrainerConfig};
+
+fn main() {
+    let cli = Cli::parse(120, 3);
+    let presets = cli.presets();
+    let ds = presets.dataset();
+    let train_instance = presets.large_instance(cli.seed);
+    let eval_instances: Vec<Instance> = (0..cli.instances)
+        .map(|i| presets.large_test_instance(cli.seed + 500 + i as u64))
+        .collect();
+
+    println!(
+        "Supplementary: ST-DDGN with JS vs symmetric-KL ST Score ({} episodes, {} eval instances)",
+        cli.episodes,
+        eval_instances.len()
+    );
+
+    let mut rows = Vec::new();
+    for (label, kind) in [
+        ("ST-DDGN(JS)", DivergenceKind::JensenShannon),
+        ("ST-DDGN(sKL)", DivergenceKind::SymmetricKl),
+    ] {
+        let mut cfg = AgentConfig::new(ModelKind::StDdgn);
+        cfg.seed = cli.seed;
+        let scorer =
+            StScorer::with_divergence(ds.grid(), ds.factory_index(), kind);
+        let mut agent = DqnAgent::new(cfg, ds.grid().num_intervals(), Some(scorer));
+        agent.set_prediction(Some(presets.train_prediction(4)));
+        train(
+            &mut agent,
+            &train_instance,
+            &TrainerConfig::new(cli.episodes),
+        );
+        agent.set_training(false);
+        let eval_rows = evaluate_many(&mut agent, &eval_instances);
+        if let Some(mut mean) = mean_row(&eval_rows) {
+            mean.algo = label.to_string();
+            println!(
+                "  {:<14} NUV {:>5}  TC {:>10.1}  TTL {:>8.1} km",
+                mean.algo, mean.nuv, mean.total_cost, mean.ttl
+            );
+            rows.push(mean);
+        }
+    }
+    if let Some(path) = write_artifact("suppl_divergence.csv", &report::rows_to_csv(&rows)) {
+        println!("wrote {}", path.display());
+    }
+    println!(
+        "Expected shape (paper's supplementary): the two are close, with JS slightly better."
+    );
+}

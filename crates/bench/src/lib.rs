@@ -1,0 +1,219 @@
+//! Shared harness for the table/figure regenerator binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4). This library provides the common plumbing: CLI
+//! parsing, model training with the right ST-prediction wiring, and result
+//! output to `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dpdp_core::prelude::*;
+use dpdp_core::models::{self, ModelSpec};
+use dpdp_rl::{EpisodePoint, TrainerConfig};
+use std::path::PathBuf;
+
+/// Minimal CLI: `--episodes N`, `--instances N`, `--quick` (smaller
+/// dataset), `--seed N`.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Training episodes for learned models.
+    pub episodes: usize,
+    /// Number of evaluation instances.
+    pub instances: usize,
+    /// Use the reduced-volume dataset.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Cli {
+    /// Parses `std::env::args`, with the given defaults.
+    pub fn parse(default_episodes: usize, default_instances: usize) -> Cli {
+        let mut cli = Cli {
+            episodes: default_episodes,
+            instances: default_instances,
+            quick: false,
+            seed: 7,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--episodes" => {
+                    cli.episodes = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(cli.episodes);
+                    i += 1;
+                }
+                "--instances" => {
+                    cli.instances = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(cli.instances);
+                    i += 1;
+                }
+                "--seed" => {
+                    cli.seed = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(cli.seed);
+                    i += 1;
+                }
+                "--quick" => cli.quick = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        cli
+    }
+
+    /// Builds presets respecting `--quick`.
+    pub fn presets(&self) -> Presets {
+        if self.quick {
+            Presets::quick()
+        } else {
+            Presets::paper()
+        }
+    }
+}
+
+/// A trained (or stateless) dispatcher, preserving concrete type access for
+/// prediction wiring and mode switching.
+pub enum Model {
+    /// A DQN-family agent.
+    Dqn(DqnAgent),
+    /// The actor-critic baseline.
+    Ac(ActorCriticAgent),
+    /// A stateless heuristic.
+    Heuristic(Box<dyn Dispatcher>),
+}
+
+impl Model {
+    /// Builds an untrained model for a spec.
+    pub fn build(spec: ModelSpec, presets: &Presets, seed: u64) -> Model {
+        match spec {
+            ModelSpec::Baseline1 => Model::Heuristic(models::baseline1()),
+            ModelSpec::Baseline2 => Model::Heuristic(models::baseline2()),
+            ModelSpec::Baseline3 => Model::Heuristic(models::baseline3()),
+            ModelSpec::ActorCritic => Model::Ac(models::actor_critic(presets.dataset(), seed)),
+            ModelSpec::Dqn(kind) => Model::Dqn(models::dqn_agent(kind, presets.dataset(), seed)),
+        }
+    }
+
+    /// The dispatcher view.
+    pub fn dispatcher(&mut self) -> &mut dyn Dispatcher {
+        match self {
+            Model::Dqn(a) => a,
+            Model::Ac(a) => a,
+            Model::Heuristic(h) => h.as_mut(),
+        }
+    }
+
+    /// Supplies the predicted STD matrix (no-op for models without ST).
+    pub fn set_prediction(&mut self, prediction: Option<StdMatrix>) {
+        if let Model::Dqn(a) = self {
+            a.set_prediction(prediction);
+        }
+    }
+
+    /// Switches between training and greedy evaluation mode.
+    pub fn set_training(&mut self, training: bool) {
+        match self {
+            Model::Dqn(a) => a.set_training(training),
+            Model::Ac(a) => a.set_training(training),
+            Model::Heuristic(_) => {}
+        }
+    }
+
+    /// Trains on one instance for `episodes`, returning the convergence
+    /// curve; heuristics return a single evaluation point.
+    pub fn train_on(
+        &mut self,
+        instance: &Instance,
+        episodes: usize,
+        trainer_cfg: Option<TrainerConfig>,
+    ) -> dpdp_rl::TrainReport {
+        let episodes = if matches!(self, Model::Heuristic(_)) {
+            1
+        } else {
+            episodes
+        };
+        let cfg = trainer_cfg.unwrap_or_else(|| TrainerConfig::new(episodes));
+        self.set_training(true);
+        train(self.dispatcher(), instance, &cfg)
+    }
+}
+
+/// Trains a model for a spec on `instance` with ST prediction wired from
+/// the presets, then switches it to evaluation mode.
+pub fn build_and_train(
+    spec: ModelSpec,
+    presets: &Presets,
+    instance: &Instance,
+    episodes: usize,
+    seed: u64,
+) -> Model {
+    let mut model = Model::build(spec, presets, seed);
+    model.set_prediction(Some(presets.train_prediction(4)));
+    if spec.is_learned() {
+        model.train_on(instance, episodes, None);
+    }
+    model.set_training(false);
+    model
+}
+
+/// Writes experiment output under `target/experiments/` (best effort —
+/// printing remains the primary channel).
+pub fn write_artifact(name: &str, contents: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents).ok()?;
+    Some(path)
+}
+
+/// Mean of the last `n` points' NUV (converged value for curve summaries).
+pub fn tail_mean_nuv(points: &[EpisodePoint], n: usize) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let take = n.min(points.len());
+    let tail = &points[points.len() - take..];
+    tail.iter().map(|p| p.nuv as f64).sum::<f64>() / take as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_build_covers_all_specs() {
+        let presets = Presets::quick();
+        for spec in ModelSpec::comparison_lineup() {
+            let mut m = Model::build(spec, &presets, 3);
+            assert_eq!(m.dispatcher().name(), spec.name());
+            m.set_prediction(Some(presets.train_prediction(2)));
+            m.set_training(false);
+        }
+    }
+
+    #[test]
+    fn tail_mean_nuv_handles_edges() {
+        assert_eq!(tail_mean_nuv(&[], 5), 0.0);
+        let pts: Vec<EpisodePoint> = (0..4)
+            .map(|e| EpisodePoint {
+                episode: e,
+                nuv: e + 1,
+                total_cost: 0.0,
+                ttl: 0.0,
+                served: 0,
+                rejected: 0,
+                capacity_diff: None,
+            })
+            .collect();
+        assert!((tail_mean_nuv(&pts, 2) - 3.5).abs() < 1e-12);
+        assert!((tail_mean_nuv(&pts, 100) - 2.5).abs() < 1e-12);
+    }
+}

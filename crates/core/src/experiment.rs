@@ -1,0 +1,198 @@
+//! Timed evaluation of dispatchers on instances.
+
+use dpdp_net::Instance;
+use dpdp_sim::{Dispatcher, Simulator};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One row of a comparison table: a dispatcher's metrics on one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRow {
+    /// Dispatcher name.
+    pub algo: String,
+    /// Number of used vehicles.
+    pub nuv: usize,
+    /// Total cost.
+    pub total_cost: f64,
+    /// Total travel length, km.
+    pub ttl: f64,
+    /// Orders served.
+    pub served: usize,
+    /// Orders rejected.
+    pub rejected: usize,
+    /// Wall-clock seconds for the whole episode (all dispatch decisions
+    /// plus simulation bookkeeping) — the analogue of Table I's wall time.
+    pub wall_secs: f64,
+}
+
+/// Runs one episode and times it.
+pub fn evaluate(dispatcher: &mut dyn Dispatcher, instance: &Instance) -> EvalRow {
+    let start = Instant::now();
+    let result = Simulator::new(instance).run(dispatcher);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let m = result.metrics;
+    EvalRow {
+        algo: dispatcher.name().to_string(),
+        nuv: m.nuv,
+        total_cost: m.total_cost,
+        ttl: m.ttl,
+        served: m.served,
+        rejected: m.rejected,
+        wall_secs,
+    }
+}
+
+/// Evaluates a dispatcher across several instances, returning one row per
+/// instance (in order).
+pub fn evaluate_many(dispatcher: &mut dyn Dispatcher, instances: &[Instance]) -> Vec<EvalRow> {
+    instances
+        .iter()
+        .map(|inst| evaluate(dispatcher, inst))
+        .collect()
+}
+
+/// Averages rows (same algorithm, many instances) into a summary row; wall
+/// time is summed.
+pub fn mean_row(rows: &[EvalRow]) -> Option<EvalRow> {
+    if rows.is_empty() {
+        return None;
+    }
+    let n = rows.len() as f64;
+    Some(EvalRow {
+        algo: rows[0].algo.clone(),
+        nuv: (rows.iter().map(|r| r.nuv).sum::<usize>() as f64 / n).round() as usize,
+        total_cost: rows.iter().map(|r| r.total_cost).sum::<f64>() / n,
+        ttl: rows.iter().map(|r| r.ttl).sum::<f64>() / n,
+        served: rows.iter().map(|r| r.served).sum::<usize>() / rows.len(),
+        rejected: rows.iter().map(|r| r.rejected).sum::<usize>() / rows.len(),
+        wall_secs: rows.iter().map(|r| r.wall_secs).sum::<f64>(),
+    })
+}
+
+/// Mean and standard deviation of a metric across repeated runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+fn mean_std(values: &[f64]) -> MeanStd {
+    let n = values.len().max(1) as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    MeanStd {
+        mean,
+        std: var.sqrt(),
+    }
+}
+
+/// Aggregate of the paper's repeated-training protocol ("the policy
+/// learning of DRL methods are conducted five times on each testing
+/// instance"): per-metric mean ± std across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeededEval {
+    /// Dispatcher name.
+    pub algo: String,
+    /// NUV across seeds.
+    pub nuv: MeanStd,
+    /// Total cost across seeds.
+    pub total_cost: MeanStd,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+/// Trains a freshly-seeded model per seed via `make`, evaluates each on
+/// `instance`, and aggregates — the paper's five-repetition protocol.
+pub fn evaluate_seeds(
+    make: impl Fn(u64) -> Box<dyn Dispatcher>,
+    instance: &Instance,
+    seeds: &[u64],
+) -> SeededEval {
+    let mut nuvs = Vec::with_capacity(seeds.len());
+    let mut costs = Vec::with_capacity(seeds.len());
+    let mut name = String::new();
+    for &seed in seeds {
+        let mut d = make(seed);
+        let row = evaluate(d.as_mut(), instance);
+        name = row.algo;
+        nuvs.push(row.nuv as f64);
+        costs.push(row.total_cost);
+    }
+    SeededEval {
+        algo: name,
+        nuv: mean_std(&nuvs),
+        total_cost: mean_std(&costs),
+        runs: seeds.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use crate::presets::Presets;
+
+    #[test]
+    fn evaluate_times_and_reports() {
+        let p = Presets::quick();
+        let inst = p.tiny_instance(6, 7);
+        let mut b1 = models::baseline1();
+        let row = evaluate(&mut *b1, &inst);
+        assert_eq!(row.algo, "Baseline1");
+        assert_eq!(row.served + row.rejected, 6);
+        assert!(row.wall_secs >= 0.0);
+        assert!(row.total_cost > 0.0);
+    }
+
+    #[test]
+    fn evaluate_seeds_aggregates_runs() {
+        let p = Presets::quick();
+        let inst = p.tiny_instance(5, 3);
+        // A deterministic heuristic: zero variance across "seeds".
+        let agg = evaluate_seeds(|_| models::baseline1(), &inst, &[1, 2, 3]);
+        assert_eq!(agg.runs, 3);
+        assert_eq!(agg.algo, "Baseline1");
+        assert_eq!(agg.nuv.std, 0.0);
+        assert_eq!(agg.total_cost.std, 0.0);
+        assert!(agg.total_cost.mean > 0.0);
+    }
+
+    #[test]
+    fn mean_std_math() {
+        let ms = mean_std(&[1.0, 3.0]);
+        assert!((ms.mean - 2.0).abs() < 1e-12);
+        assert!((ms.std - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_row_averages() {
+        let rows = vec![
+            EvalRow {
+                algo: "X".into(),
+                nuv: 2,
+                total_cost: 100.0,
+                ttl: 10.0,
+                served: 5,
+                rejected: 0,
+                wall_secs: 0.5,
+            },
+            EvalRow {
+                algo: "X".into(),
+                nuv: 4,
+                total_cost: 200.0,
+                ttl: 30.0,
+                served: 5,
+                rejected: 0,
+                wall_secs: 0.5,
+            },
+        ];
+        let m = mean_row(&rows).unwrap();
+        assert_eq!(m.nuv, 3);
+        assert!((m.total_cost - 150.0).abs() < 1e-12);
+        assert!((m.ttl - 20.0).abs() < 1e-12);
+        assert!((m.wall_secs - 1.0).abs() < 1e-12);
+        assert!(mean_row(&[]).is_none());
+    }
+}

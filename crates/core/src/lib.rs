@@ -1,0 +1,55 @@
+//! High-level API for the ST-DDGN DPDP reproduction.
+//!
+//! This crate ties the substrates together into the paper's experimental
+//! pipeline:
+//!
+//! * [`presets`] — the three instance scales of Section V (tiny instances
+//!   for the optimality study, large-scale 50-vehicle/150-order instances,
+//!   industry-scale full days);
+//! * [`models`] — one-call construction of every dispatcher the paper
+//!   evaluates (Baselines 1–3, DQN, AC, DGN, DDQN, DDGN, ST-DDQN, ST-DDGN);
+//! * [`experiment`] — timed evaluation of dispatchers on instances and
+//!   comparison tables;
+//! * [`report`] — plain-text / CSV rendering used by the table and figure
+//!   regenerators in `dpdp-bench`.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use dpdp_core::presets::Presets;
+//! use dpdp_core::models;
+//! use dpdp_core::experiment::evaluate;
+//!
+//! let presets = Presets::quick();
+//! let instance = presets.large_instance(0);
+//! let mut b1 = models::baseline1();
+//! let row = evaluate(&mut *b1, &instance);
+//! println!("NUV = {}, TC = {:.1}", row.nuv, row.total_cost);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod models;
+pub mod presets;
+pub mod report;
+
+pub use experiment::{evaluate, evaluate_many, EvalRow};
+pub use models::ModelSpec;
+pub use presets::Presets;
+
+/// Commonly used re-exports for downstream binaries and examples.
+pub mod prelude {
+    pub use crate::experiment::{evaluate, evaluate_many, EvalRow};
+    pub use crate::models::{self, ModelSpec};
+    pub use crate::presets::Presets;
+    pub use crate::report;
+    pub use dpdp_baselines::{Baseline1, Baseline2, Baseline3, ExactSolver};
+    pub use dpdp_data::{Dataset, DatasetConfig, StScorer, StdMatrix};
+    pub use dpdp_net::Instance;
+    pub use dpdp_rl::{
+        train, ActorCriticAgent, AgentConfig, DqnAgent, ModelKind, TrainerConfig,
+    };
+    pub use dpdp_sim::{Dispatcher, EpisodeMetrics, Simulator};
+}

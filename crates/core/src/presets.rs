@@ -1,0 +1,142 @@
+//! Instance presets matching the three scales of the paper's evaluation.
+
+use dpdp_data::{Dataset, DatasetConfig, StdMatrix};
+use dpdp_net::Instance;
+
+/// Builds the paper's instance families from one shared synthetic dataset.
+///
+/// * **tiny** — 5 vehicles serving 6–10 orders (Table I);
+/// * **large** — 50 vehicles serving 150 orders, sampled from the train-day
+///   pool (Fig. 6, 8, 9, 10);
+/// * **industry** — a full generated test day with 150 vehicles and 600+
+///   orders (Fig. 7).
+#[derive(Debug, Clone)]
+pub struct Presets {
+    dataset: Dataset,
+}
+
+impl Presets {
+    /// Paper-scale presets (~600 orders/day).
+    pub fn paper() -> Self {
+        Presets {
+            dataset: Dataset::new(DatasetConfig::default()),
+        }
+    }
+
+    /// A reduced-volume variant for tests and fast smoke runs
+    /// (~120 orders/day, same structure).
+    pub fn quick() -> Self {
+        let mut cfg = DatasetConfig::default();
+        cfg.generator.orders_per_day = 120;
+        Presets {
+            dataset: Dataset::new(cfg),
+        }
+    }
+
+    /// Presets over a custom dataset configuration.
+    pub fn with_config(cfg: DatasetConfig) -> Self {
+        Presets {
+            dataset: Dataset::new(cfg),
+        }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// A tiny instance: 5 vehicles, `num_orders` orders sampled from the
+    /// train pool (Table I uses 6, 7, 8 and 10).
+    pub fn tiny_instance(&self, num_orders: usize, seed: u64) -> Instance {
+        let days = self.dataset.config().train_days.clone();
+        self.dataset
+            .sampled_instance(days.start..days.start + 5, num_orders, 5, seed)
+    }
+
+    /// A large-scale instance: 50 vehicles, 150 orders.
+    pub fn large_instance(&self, seed: u64) -> Instance {
+        let days = self.dataset.config().train_days.clone();
+        self.dataset
+            .sampled_instance(days.start..days.start + 10, 150, 50, seed)
+    }
+
+    /// A large-scale *test* instance sampled from held-out days.
+    pub fn large_test_instance(&self, seed: u64) -> Instance {
+        let days = self.dataset.config().test_days.clone();
+        self.dataset.sampled_instance(days, 150, 50, seed)
+    }
+
+    /// An industry-scale instance: one full held-out day, 150 vehicles.
+    pub fn industry_instance(&self, test_day_offset: u64) -> Instance {
+        let days = self.dataset.config().test_days.clone();
+        let day = days.start + test_day_offset;
+        assert!(day < days.end, "test day offset out of range");
+        self.dataset.day_instance(day, 150)
+    }
+
+    /// The predicted STD matrix ST-models should use for train-pool
+    /// instances: the mean over the first `k` train days (Eq. (3)).
+    pub fn train_prediction(&self, k: usize) -> StdMatrix {
+        let days = self.dataset.config().train_days.clone();
+        self.dataset.predicted_std(days.start + k as u64, k)
+    }
+
+    /// The predicted STD matrix for a given test day (mean of the `k`
+    /// preceding days).
+    pub fn test_prediction(&self, test_day_offset: u64, k: usize) -> StdMatrix {
+        let days = self.dataset.config().test_days.clone();
+        self.dataset.predicted_std(days.start + test_day_offset, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_instances_have_requested_scale() {
+        let p = Presets::quick();
+        for n in [6, 7, 8, 10] {
+            let inst = p.tiny_instance(n, 42);
+            assert_eq!(inst.num_orders(), n);
+            assert_eq!(inst.num_vehicles(), 5);
+        }
+    }
+
+    #[test]
+    fn large_instance_matches_paper_scale() {
+        let p = Presets::quick();
+        let inst = p.large_instance(1);
+        assert_eq!(inst.num_orders(), 150);
+        assert_eq!(inst.num_vehicles(), 50);
+        // Train and test samples differ.
+        let test = p.large_test_instance(1);
+        assert_ne!(inst.orders(), test.orders());
+    }
+
+    #[test]
+    fn industry_instance_is_a_full_day() {
+        let p = Presets::quick();
+        let inst = p.industry_instance(0);
+        assert_eq!(inst.num_vehicles(), 150);
+        assert!(inst.num_orders() > 60, "got {}", inst.num_orders());
+    }
+
+    #[test]
+    fn predictions_have_campus_shape() {
+        let p = Presets::quick();
+        let m = p.train_prediction(4);
+        assert_eq!(m.num_factories(), 27);
+        assert_eq!(m.num_intervals(), 144);
+        assert!(m.total() > 0.0);
+        let t = p.test_prediction(0, 4);
+        assert!(t.total() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn industry_offset_out_of_range_panics() {
+        let p = Presets::quick();
+        let _ = p.industry_instance(999);
+    }
+}

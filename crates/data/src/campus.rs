@@ -1,0 +1,138 @@
+//! Synthetic manufacturing campus: depots + factories on a plane.
+
+use dpdp_net::{Node, NodeId, Point, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a synthetic campus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampusConfig {
+    /// Number of depots (the paper's `{w_i}`; vehicles start here).
+    pub num_depots: usize,
+    /// Number of factories (27 in the paper's campus).
+    pub num_factories: usize,
+    /// Side length of the square campus area, km.
+    pub area_km: f64,
+    /// Road distance = Euclidean distance × this factor (>= 1).
+    pub detour_factor: f64,
+    /// RNG seed for node placement.
+    pub seed: u64,
+}
+
+impl Default for CampusConfig {
+    /// The paper's campus: 27 factories (Pearl River Delta manufacturing
+    /// campus), 2 depots, a ~10 km site, mild road detour.
+    fn default() -> Self {
+        CampusConfig {
+            num_depots: 2,
+            num_factories: 27,
+            area_km: 10.0,
+            detour_factor: 1.3,
+            seed: 20210527, // arXiv submission date of the paper
+        }
+    }
+}
+
+/// A generated campus: the road network plus the depot/factory id ranges.
+///
+/// Node layout: depots occupy ids `0..num_depots`, factories occupy
+/// `num_depots..num_depots+num_factories`.
+#[derive(Debug, Clone)]
+pub struct Campus {
+    /// The road network over all campus nodes.
+    pub network: RoadNetwork,
+    /// Ids of the depot nodes.
+    pub depots: Vec<NodeId>,
+    /// Ids of the factory nodes, in STD-matrix row order.
+    pub factories: Vec<NodeId>,
+}
+
+impl Campus {
+    /// Generates a campus from the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration has zero depots or factories (a campus
+    /// without both cannot host any order).
+    pub fn generate(config: &CampusConfig) -> Self {
+        assert!(config.num_depots > 0, "campus needs at least one depot");
+        assert!(config.num_factories > 0, "campus needs at least one factory");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut nodes = Vec::with_capacity(config.num_depots + config.num_factories);
+        let place = |rng: &mut StdRng| {
+            Point::new(
+                rng.random_range(0.0..config.area_km),
+                rng.random_range(0.0..config.area_km),
+            )
+        };
+        for i in 0..config.num_depots {
+            nodes.push(Node::depot(NodeId::from_index(i), place(&mut rng)));
+        }
+        for i in 0..config.num_factories {
+            nodes.push(Node::factory(
+                NodeId::from_index(config.num_depots + i),
+                place(&mut rng),
+            ));
+        }
+        let network = RoadNetwork::euclidean(nodes, config.detour_factor)
+            .expect("generated nodes are dense and detour factor validated");
+        let depots = network.depots();
+        let factories = network.factories();
+        Campus {
+            network,
+            depots,
+            factories,
+        }
+    }
+
+    /// Number of factories `n`.
+    pub fn num_factories(&self) -> usize {
+        self.factories.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_campus_matches_paper_shape() {
+        let campus = Campus::generate(&CampusConfig::default());
+        assert_eq!(campus.num_factories(), 27);
+        assert_eq!(campus.depots.len(), 2);
+        assert_eq!(campus.network.num_nodes(), 29);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = CampusConfig::default();
+        let a = Campus::generate(&cfg);
+        let b = Campus::generate(&cfg);
+        for (na, nb) in a.network.nodes().iter().zip(b.network.nodes()) {
+            assert_eq!(na.pos, nb.pos);
+        }
+        let mut cfg2 = cfg.clone();
+        cfg2.seed += 1;
+        let c = Campus::generate(&cfg2);
+        assert_ne!(a.network.nodes()[0].pos, c.network.nodes()[0].pos);
+    }
+
+    #[test]
+    fn distances_respect_detour_factor() {
+        let campus = Campus::generate(&CampusConfig::default());
+        let nodes = campus.network.nodes();
+        let i = campus.factories[0];
+        let j = campus.factories[1];
+        let euclid = nodes[i.index()].pos.distance(&nodes[j.index()].pos);
+        let road = campus.network.distance(i, j);
+        assert!((road - euclid * 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one depot")]
+    fn zero_depots_panics() {
+        let mut cfg = CampusConfig::default();
+        cfg.num_depots = 0;
+        let _ = Campus::generate(&cfg);
+    }
+}

@@ -1,0 +1,350 @@
+//! Synthetic delivery-order generation with a recurring spatial-temporal
+//! pattern.
+//!
+//! The generator is the repo's substitute for the paper's proprietary data
+//! (DESIGN.md §2). It reproduces the structure visible in the paper's
+//! Fig. 2: (a) a few "hot" factories generate most demand on every day,
+//! (b) demand concentrates in two intra-day peaks (10–12 a.m., 2–5 p.m.),
+//! and (c) consecutive days are more alike than distant ones — modelled by
+//! an AR(1) multiplicative drift on per-factory weights.
+
+use crate::campus::Campus;
+use dpdp_net::{NodeId, Order, OrderId, TimeDelta, TimePoint};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Standard normal sample via Box–Muller (rand_distr is not a dependency).
+fn sample_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples an index from unnormalised non-negative weights.
+fn sample_weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must not be all zero");
+    let mut target = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if target < *w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+/// The stationary part of the demand pattern: per-factory base weights and
+/// the intra-day intensity profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DemandProfile {
+    /// Unnormalised pickup intensity per factory (row order of the campus'
+    /// factory list). A heavy-tailed mix: a few hot factories dominate.
+    pub factory_weights: Vec<f64>,
+    /// Unnormalised intensity per hour of day (24 entries). Two-peak shape.
+    pub hourly_weights: [f64; 24],
+}
+
+impl DemandProfile {
+    /// Builds the paper-like profile for `num_factories` factories: factory
+    /// weights decay geometrically (hot spots), hours follow a two-peak
+    /// working-day curve.
+    pub fn paper_like(num_factories: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Geometric decay with multiplicative jitter; shuffle so hot
+        // factories are not always the low ids.
+        let mut factory_weights: Vec<f64> = (0..num_factories)
+            .map(|i| 0.85f64.powi(i as i32) * rng.random_range(0.6..1.4))
+            .collect();
+        for i in (1..factory_weights.len()).rev() {
+            let j = rng.random_range(0..=i);
+            factory_weights.swap(i, j);
+        }
+        // Two peaks: 10-12 a.m. and 2-5 p.m.; low but non-zero otherwise
+        // during working hours, nearly zero at night.
+        let mut hourly_weights = [0.0f64; 24];
+        for (h, w) in hourly_weights.iter_mut().enumerate() {
+            *w = match h {
+                10 | 11 => 10.0,
+                14..=16 => 8.0,
+                8 | 9 | 12 | 13 | 17 => 3.0,
+                7 | 18 | 19 => 1.0,
+                _ => 0.1,
+            };
+        }
+        DemandProfile {
+            factory_weights,
+            hourly_weights,
+        }
+    }
+
+    /// Per-factory weights for day `day`, with AR(1) multiplicative drift so
+    /// that nearby days look more alike than distant ones.
+    pub fn weights_for_day(&self, day: u64, drift: f64, seed: u64) -> Vec<f64> {
+        let mut weights = self.factory_weights.clone();
+        // Walk the AR(1) chain deterministically from day 0 so that any day
+        // can be generated independently yet consistently.
+        let mut factors = vec![1.0f64; weights.len()];
+        for d in 0..=day {
+            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(d + 1)));
+            for f in factors.iter_mut() {
+                let shock = 1.0 + drift * sample_normal(&mut rng);
+                *f = (*f * 0.8 + 0.2) * shock.clamp(0.5, 1.5);
+            }
+        }
+        for (w, f) in weights.iter_mut().zip(&factors) {
+            *w *= f.max(0.05);
+        }
+        weights
+    }
+}
+
+/// Order-generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrderGeneratorConfig {
+    /// Mean number of orders per day.
+    pub orders_per_day: usize,
+    /// Mean cargo quantity (same unit as vehicle capacity).
+    pub quantity_mean: f64,
+    /// Log-normal shape parameter for quantities.
+    pub quantity_sigma: f64,
+    /// Cap on a single order's quantity (e.g. vehicle capacity).
+    pub quantity_max: f64,
+    /// Minimum service slack: deadline >= created + min_slack.
+    pub min_slack: TimeDelta,
+    /// Maximum service slack.
+    pub max_slack: TimeDelta,
+    /// AR(1) day-to-day drift magnitude (0 disables drift).
+    pub day_drift: f64,
+    /// Master seed; combined with the day number for per-day streams.
+    pub seed: u64,
+}
+
+impl Default for OrderGeneratorConfig {
+    fn default() -> Self {
+        OrderGeneratorConfig {
+            orders_per_day: 600,
+            quantity_mean: 2.0,
+            quantity_sigma: 0.6,
+            quantity_max: 10.0,
+            min_slack: TimeDelta::from_hours(2.0),
+            max_slack: TimeDelta::from_hours(6.0),
+            day_drift: 0.08,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates days of delivery orders over a campus.
+#[derive(Debug, Clone)]
+pub struct OrderGenerator {
+    profile: DemandProfile,
+    config: OrderGeneratorConfig,
+    factories: Vec<NodeId>,
+}
+
+impl OrderGenerator {
+    /// Creates a generator for the campus with a paper-like profile.
+    pub fn new(campus: &Campus, config: OrderGeneratorConfig) -> Self {
+        let profile = DemandProfile::paper_like(campus.num_factories(), config.seed);
+        OrderGenerator {
+            profile,
+            config,
+            factories: campus.factories.clone(),
+        }
+    }
+
+    /// Creates a generator with an explicit profile.
+    pub fn with_profile(
+        campus: &Campus,
+        profile: DemandProfile,
+        config: OrderGeneratorConfig,
+    ) -> Self {
+        assert_eq!(
+            profile.factory_weights.len(),
+            campus.num_factories(),
+            "profile must cover every campus factory"
+        );
+        OrderGenerator {
+            profile,
+            config,
+            factories: campus.factories.clone(),
+        }
+    }
+
+    /// The generator's demand profile.
+    pub fn profile(&self) -> &DemandProfile {
+        &self.profile
+    }
+
+    /// Generates one day of orders (sorted by creation time, dense ids).
+    pub fn generate_day(&self, day: u64) -> Vec<Order> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(day.wrapping_mul(0xA24B_AED4)));
+        let weights = self
+            .profile
+            .weights_for_day(day, cfg.day_drift, cfg.seed ^ 0xD1F7);
+        // Day-level volume noise: +-15%.
+        let count_f = cfg.orders_per_day as f64 * rng.random_range(0.85..1.15);
+        let count = count_f.round().max(1.0) as usize;
+        let mut orders = Vec::with_capacity(count);
+        for i in 0..count {
+            let pickup_row = sample_weighted(&mut rng, &weights);
+            // Delivery factory: uniform over the others (cross-factory flow).
+            let mut delivery_row = rng.random_range(0..self.factories.len() - 1);
+            if delivery_row >= pickup_row {
+                delivery_row += 1;
+            }
+            // Creation time: sample an hour by weight, then uniform within.
+            let hour = sample_weighted(&mut rng, &self.profile.hourly_weights);
+            let created =
+                TimePoint::from_hours(hour as f64 + rng.random_range(0.0..1.0));
+            // Quantity: log-normal with mean quantity_mean, capped.
+            let mu = cfg.quantity_mean.ln() - cfg.quantity_sigma * cfg.quantity_sigma / 2.0;
+            let q = (mu + cfg.quantity_sigma * sample_normal(&mut rng)).exp();
+            let quantity = q.clamp(0.1, cfg.quantity_max);
+            let slack_secs =
+                rng.random_range(cfg.min_slack.seconds()..=cfg.max_slack.seconds());
+            let deadline = created + TimeDelta::from_seconds(slack_secs);
+            orders.push(
+                Order::new(
+                    OrderId::from_index(i),
+                    self.factories[pickup_row],
+                    self.factories[delivery_row],
+                    quantity,
+                    created,
+                    deadline,
+                )
+                .expect("generated order parameters are valid by construction"),
+            );
+        }
+        orders.sort_by(|a, b| {
+            a.created
+                .seconds()
+                .partial_cmp(&b.created.seconds())
+                .expect("finite")
+        });
+        for (i, o) in orders.iter_mut().enumerate() {
+            o.id = OrderId::from_index(i);
+        }
+        orders
+    }
+
+    /// Generates a range of days.
+    pub fn generate_days(&self, days: std::ops::Range<u64>) -> Vec<Vec<Order>> {
+        days.map(|d| self.generate_day(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campus::CampusConfig;
+
+    fn campus() -> Campus {
+        Campus::generate(&CampusConfig::default())
+    }
+
+    #[test]
+    fn day_generation_is_deterministic() {
+        let c = campus();
+        let g = OrderGenerator::new(&c, OrderGeneratorConfig::default());
+        let a = g.generate_day(3);
+        let b = g.generate_day(3);
+        assert_eq!(a, b);
+        let c2 = g.generate_day(4);
+        assert_ne!(a, c2);
+    }
+
+    #[test]
+    fn orders_are_sorted_valid_and_within_bounds() {
+        let c = campus();
+        let cfg = OrderGeneratorConfig::default();
+        let g = OrderGenerator::new(&c, cfg.clone());
+        let orders = g.generate_day(0);
+        assert!(!orders.is_empty());
+        let mut prev = TimePoint::ZERO;
+        for (i, o) in orders.iter().enumerate() {
+            assert_eq!(o.id.index(), i);
+            assert!(o.created >= prev);
+            prev = o.created;
+            assert!(o.quantity > 0.0 && o.quantity <= cfg.quantity_max);
+            assert!(o.deadline >= o.created + cfg.min_slack);
+            assert!(o.deadline <= o.created + cfg.max_slack);
+            assert_ne!(o.pickup, o.delivery);
+            assert!(c.factories.contains(&o.pickup));
+            assert!(c.factories.contains(&o.delivery));
+        }
+    }
+
+    #[test]
+    fn demand_concentrates_in_peak_hours() {
+        let c = campus();
+        let g = OrderGenerator::new(&c, OrderGeneratorConfig::default());
+        let orders = g.generate_day(0);
+        let peak = orders
+            .iter()
+            .filter(|o| {
+                let h = o.created.hours();
+                (10.0..12.0).contains(&h) || (14.0..17.0).contains(&h)
+            })
+            .count();
+        // Peak hours carry 5/24ths of the day but far more of the demand.
+        assert!(
+            peak as f64 > 0.5 * orders.len() as f64,
+            "peak share too low: {peak}/{}",
+            orders.len()
+        );
+    }
+
+    #[test]
+    fn hot_factories_dominate() {
+        let c = campus();
+        let g = OrderGenerator::new(&c, OrderGeneratorConfig::default());
+        let orders = g.generate_day(0);
+        let mut counts = vec![0usize; c.num_factories()];
+        for o in &orders {
+            let row = c.factories.iter().position(|f| *f == o.pickup).unwrap();
+            counts[row] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top5: usize = sorted.iter().take(5).sum();
+        assert!(
+            top5 as f64 > 0.4 * orders.len() as f64,
+            "top-5 factories should dominate pickups, got {top5}/{}",
+            orders.len()
+        );
+    }
+
+    #[test]
+    fn nearby_days_are_more_similar_than_distant_ones() {
+        let profile = DemandProfile::paper_like(27, 1);
+        let d0 = profile.weights_for_day(10, 0.08, 1);
+        let d1 = profile.weights_for_day(11, 0.08, 1);
+        let d9 = profile.weights_for_day(60, 0.08, 1);
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(dist(&d0, &d1) < dist(&d0, &d9) * 2.0);
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let weights = [0.0, 5.0, 0.0, 1.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..6000 {
+            counts[sample_weighted(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        let ratio = counts[1] as f64 / counts[3] as f64;
+        assert!((3.5..6.5).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Demand prediction: forecasting the next day's STD matrix from history
+//! (Eq. (3) of the paper).
+
+use crate::std_matrix::StdMatrix;
+
+/// A spatial-temporal demand predictor: aggregates the STD matrices of the
+/// past `k` days into a forecast for the next day (the aggregate function
+/// `G` of Eq. (3)).
+pub trait DemandPredictor {
+    /// Predicts the next day's STD matrix from `history`, ordered oldest to
+    /// newest.
+    ///
+    /// # Panics
+    /// Implementations may panic on an empty history or mismatched shapes.
+    fn predict(&self, history: &[StdMatrix]) -> StdMatrix;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The paper's choice of `G`: the element-wise mean over the most recent `k`
+/// days ("for efficiency of inference, we just take the average function").
+#[derive(Debug, Clone, Copy)]
+pub struct MeanPredictor {
+    /// Number of most recent days to average over.
+    pub k: usize,
+}
+
+impl MeanPredictor {
+    /// Mean over the last `k` days.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "MeanPredictor needs k >= 1");
+        MeanPredictor { k }
+    }
+}
+
+impl DemandPredictor for MeanPredictor {
+    fn predict(&self, history: &[StdMatrix]) -> StdMatrix {
+        assert!(!history.is_empty(), "cannot predict from empty history");
+        let take = self.k.min(history.len());
+        let recent = &history[history.len() - take..];
+        let mut out = StdMatrix::zeros(recent[0].num_factories(), recent[0].num_intervals());
+        for m in recent {
+            out.add_assign(m);
+        }
+        out.scale(1.0 / take as f64);
+        out
+    }
+
+    fn name(&self) -> &str {
+        "mean"
+    }
+}
+
+/// Exponentially-weighted moving average, an "advanced" aggregate the paper
+/// notes could be slotted in; newer days weigh more.
+#[derive(Debug, Clone, Copy)]
+pub struct EwmaPredictor {
+    /// Smoothing factor in `(0, 1]`; larger = more weight on recent days.
+    pub alpha: f64,
+}
+
+impl EwmaPredictor {
+    /// Creates an EWMA predictor.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        EwmaPredictor { alpha }
+    }
+}
+
+impl DemandPredictor for EwmaPredictor {
+    fn predict(&self, history: &[StdMatrix]) -> StdMatrix {
+        assert!(!history.is_empty(), "cannot predict from empty history");
+        let mut acc = history[0].clone();
+        for m in &history[1..] {
+            // acc = (1 - alpha) * acc + alpha * m
+            acc.scale(1.0 - self.alpha);
+            let mut scaled = m.clone();
+            scaled.scale(self.alpha);
+            acc.add_assign(&scaled);
+        }
+        acc
+    }
+
+    fn name(&self) -> &str {
+        "ewma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant(v: f64) -> StdMatrix {
+        let mut m = StdMatrix::zeros(2, 2);
+        for r in 0..2 {
+            for c in 0..2 {
+                *m.get_mut(r, c) = v;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn mean_predictor_averages_last_k() {
+        let history = vec![constant(100.0), constant(2.0), constant(4.0)];
+        let p = MeanPredictor::new(2);
+        let out = p.predict(&history);
+        assert!((out.get(0, 0) - 3.0).abs() < 1e-12);
+        // k larger than history uses everything.
+        let p = MeanPredictor::new(10);
+        let out = p.predict(&history);
+        assert!((out.get(1, 1) - (106.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_predictor_identity_on_single_day() {
+        let history = vec![constant(5.0)];
+        let out = MeanPredictor::new(4).predict(&history);
+        assert_eq!(out, constant(5.0));
+    }
+
+    #[test]
+    fn ewma_weighs_recent_days_more() {
+        let history = vec![constant(0.0), constant(10.0)];
+        let out = EwmaPredictor::new(0.7).predict(&history);
+        assert!((out.get(0, 0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty history")]
+    fn empty_history_panics() {
+        let _ = MeanPredictor::new(1).predict(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = EwmaPredictor::new(0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the data substrate: divergences, STD matrices,
+//! predictors and the synthetic generator.
+
+use dpdp_data::*;
+use dpdp_net::{IntervalGrid, NodeId};
+use proptest::prelude::*;
+
+fn arb_dist(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..10.0, n..=n)
+}
+
+proptest! {
+    /// JS divergence is symmetric, non-negative, bounded by ln 2, and zero
+    /// iff the normalised inputs coincide.
+    #[test]
+    fn js_properties(a in arb_dist(6), b in arb_dist(6)) {
+        let p = normalize(&a);
+        let q = normalize(&b);
+        let pq = js_divergence(&p, &q);
+        let qp = js_divergence(&q, &p);
+        prop_assert!((pq - qp).abs() < 1e-12);
+        prop_assert!(pq >= -1e-12);
+        prop_assert!(pq <= std::f64::consts::LN_2 + 1e-9);
+        prop_assert!(js_divergence(&p, &p).abs() < 1e-12);
+    }
+
+    /// Symmetric KL dominates JS (a standard inequality: JS <= sym-KL).
+    #[test]
+    fn symmetric_kl_dominates_js(a in arb_dist(5), b in arb_dist(5)) {
+        let p = normalize(&a);
+        let q = normalize(&b);
+        prop_assert!(js_divergence(&p, &q) <= symmetric_kl(&p, &q) + 1e-9);
+    }
+
+    /// Normalisation produces a distribution whose order statistics match
+    /// the input's (monotone transformation).
+    #[test]
+    fn normalize_is_monotone(a in arb_dist(8)) {
+        let p = normalize(&a);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for i in 0..a.len() {
+            for j in 0..a.len() {
+                if a[i] > a[j] {
+                    prop_assert!(p[i] >= p[j]);
+                }
+            }
+        }
+    }
+
+    /// STD matrices are additive over order concatenation.
+    #[test]
+    fn std_matrix_additivity(seed in 0u64..500) {
+        let campus = Campus::generate(&CampusConfig { seed, ..CampusConfig::default() });
+        let mut cfg = OrderGeneratorConfig::default();
+        cfg.orders_per_day = 40;
+        cfg.seed = seed;
+        let generator = OrderGenerator::new(&campus, cfg);
+        let day = generator.generate_day(0);
+        let grid = IntervalGrid::paper_default();
+        let index = FactoryIndex::new(&campus.factories);
+        let (first, second) = day.split_at(day.len() / 2);
+        let mut partial = StdMatrix::from_orders(first, &grid, &index);
+        partial.add_assign(&StdMatrix::from_orders(second, &grid, &index));
+        let full = StdMatrix::from_orders(&day, &grid, &index);
+        prop_assert!(partial.frobenius_diff(&full) < 1e-9);
+    }
+
+    /// The mean predictor is bounded by the element-wise min/max of its
+    /// history window.
+    #[test]
+    fn mean_predictor_is_bounded(seed in 0u64..200, k in 1usize..5) {
+        let campus = Campus::generate(&CampusConfig::default());
+        let mut cfg = OrderGeneratorConfig::default();
+        cfg.orders_per_day = 30;
+        cfg.seed = seed;
+        let generator = OrderGenerator::new(&campus, cfg);
+        let grid = IntervalGrid::paper_default();
+        let index = FactoryIndex::new(&campus.factories);
+        let history: Vec<StdMatrix> = (0..4u64)
+            .map(|d| StdMatrix::from_orders(&generator.generate_day(d), &grid, &index))
+            .collect();
+        let pred = MeanPredictor::new(k).predict(&history);
+        let window = &history[history.len() - k.min(history.len())..];
+        for r in 0..pred.num_factories() {
+            for c in 0..pred.num_intervals() {
+                let lo = window.iter().map(|m| m.get(r, c)).fold(f64::INFINITY, f64::min);
+                let hi = window.iter().map(|m| m.get(r, c)).fold(0.0f64, f64::max);
+                prop_assert!(pred.get(r, c) >= lo - 1e-9);
+                prop_assert!(pred.get(r, c) <= hi + 1e-9);
+            }
+        }
+    }
+
+    /// Generated orders always reference campus factories, never depots.
+    #[test]
+    fn generator_never_uses_depots(seed in 0u64..200) {
+        let campus = Campus::generate(&CampusConfig { seed, ..CampusConfig::default() });
+        let mut cfg = OrderGeneratorConfig::default();
+        cfg.orders_per_day = 25;
+        cfg.seed = seed;
+        let generator = OrderGenerator::new(&campus, cfg);
+        for order in generator.generate_day(seed % 10) {
+            prop_assert!(campus.network.node(order.pickup).is_factory());
+            prop_assert!(campus.network.node(order.delivery).is_factory());
+        }
+    }
+
+    /// `FactoryIndex` is a bijection between rows and factory nodes.
+    #[test]
+    fn factory_index_bijection(ids in proptest::collection::btree_set(0u32..100, 1..20)) {
+        let nodes: Vec<NodeId> = ids.iter().map(|&i| NodeId(i)).collect();
+        let index = FactoryIndex::new(&nodes);
+        for (row, node) in nodes.iter().enumerate() {
+            prop_assert_eq!(index.row(*node), Some(row));
+            prop_assert_eq!(index.node(row), *node);
+        }
+        prop_assert_eq!(index.num_factories(), nodes.len());
+    }
+
+    /// Dataset day sampling is stable: two datasets with the same config
+    /// produce identical orders for any day.
+    #[test]
+    fn dataset_determinism(day in 0u64..50) {
+        let mut cfg = DatasetConfig::default();
+        cfg.generator.orders_per_day = 20;
+        let a = Dataset::new(cfg.clone());
+        let b = Dataset::new(cfg);
+        prop_assert_eq!(a.day_orders(day), b.day_orders(day));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for instance construction and validation.
+
+use crate::ids::{NodeId, OrderId, VehicleId};
+use std::fmt;
+
+/// Errors raised while building or validating problem data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A time window had `earliest > latest`.
+    InvalidTimeWindow {
+        /// Earliest time in seconds.
+        earliest: f64,
+        /// Latest time in seconds.
+        latest: f64,
+    },
+    /// A node id referenced a node outside the network.
+    UnknownNode(NodeId),
+    /// An order referenced an unknown node or carried invalid data.
+    InvalidOrder {
+        /// The offending order.
+        order: OrderId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A vehicle configuration was invalid (e.g. non-depot start node).
+    InvalidVehicle {
+        /// The offending vehicle.
+        vehicle: VehicleId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The distance matrix was malformed.
+    InvalidDistanceMatrix(String),
+    /// A fleet-level parameter was invalid.
+    InvalidFleet(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidTimeWindow { earliest, latest } => write!(
+                f,
+                "invalid time window: earliest {earliest}s is after latest {latest}s"
+            ),
+            NetError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            NetError::InvalidOrder { order, reason } => {
+                write!(f, "invalid order {order}: {reason}")
+            }
+            NetError::InvalidVehicle { vehicle, reason } => {
+                write!(f, "invalid vehicle {vehicle}: {reason}")
+            }
+            NetError::InvalidDistanceMatrix(reason) => {
+                write!(f, "invalid distance matrix: {reason}")
+            }
+            NetError::InvalidFleet(reason) => write!(f, "invalid fleet: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_readably() {
+        let e = NetError::UnknownNode(NodeId(9));
+        assert_eq!(e.to_string(), "unknown node N9");
+        let e = NetError::InvalidOrder {
+            order: OrderId(1),
+            reason: "quantity must be positive".into(),
+        };
+        assert!(e.to_string().contains("O1"));
+        assert!(e.to_string().contains("quantity"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Core problem types for the Dynamic Pickup and Delivery Problem (DPDP).
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: the road network ([`RoadNetwork`]), delivery orders
+//! ([`Order`]), the vehicle fleet ([`FleetConfig`]), simulation time
+//! ([`TimePoint`], [`TimeDelta`], [`IntervalGrid`]) and complete problem
+//! instances ([`Instance`]).
+//!
+//! The model follows Section III of *Learning to Optimize Industry-Scale
+//! Dynamic Pickup and Delivery Problems* (ICDE 2021):
+//!
+//! * a complete directed road network over depots and factories with
+//!   non-negative arc distances;
+//! * delivery orders `o_i = (F_p, F_d, q, t_c, t_l)` that appear dynamically;
+//! * a homogeneous fleet, each vehicle configured with a starting depot,
+//!   a capacity `Q`, a fixed usage cost `mu` and a per-kilometre operating
+//!   cost `delta`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod instance;
+pub mod network;
+pub mod node;
+pub mod order;
+pub mod time;
+pub mod vehicle;
+
+pub use error::NetError;
+pub use ids::{NodeId, OrderId, VehicleId};
+pub use instance::Instance;
+pub use network::{Point, RoadNetwork};
+pub use node::{Node, NodeKind};
+pub use order::Order;
+pub use time::{IntervalGrid, TimeDelta, TimePoint, TimeWindow};
+pub use vehicle::{FleetConfig, VehicleConfig};

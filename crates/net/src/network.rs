@@ -1,0 +1,266 @@
+//! The road network: a complete directed graph over depots and factories
+//! with a dense distance matrix.
+
+use crate::error::NetError;
+use crate::ids::NodeId;
+use crate::node::{Node, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// A planar point; coordinates are in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting, km.
+    pub x: f64,
+    /// Northing, km.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point, km.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// A complete directed road network `G = (N, A)` with non-negative arc
+/// distances `d_{i,j}` stored as a dense row-major matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    nodes: Vec<Node>,
+    /// Row-major `n x n` distance matrix in kilometres.
+    dist: Vec<f64>,
+}
+
+impl RoadNetwork {
+    /// Builds a network from nodes using Euclidean distances scaled by
+    /// `detour_factor` (>= 1.0 models the fact that road distance exceeds
+    /// straight-line distance).
+    ///
+    /// # Errors
+    /// Returns an error if node ids are not dense `0..n` or the detour factor
+    /// is invalid.
+    pub fn euclidean(nodes: Vec<Node>, detour_factor: f64) -> Result<Self, NetError> {
+        if !(detour_factor.is_finite() && detour_factor >= 1.0) {
+            return Err(NetError::InvalidDistanceMatrix(format!(
+                "detour factor must be finite and >= 1.0, got {detour_factor}"
+            )));
+        }
+        Self::validate_node_ids(&nodes)?;
+        let n = nodes.len();
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    dist[i * n + j] = nodes[i].pos.distance(&nodes[j].pos) * detour_factor;
+                }
+            }
+        }
+        Ok(RoadNetwork { nodes, dist })
+    }
+
+    /// Builds a network from an explicit row-major distance matrix.
+    ///
+    /// # Errors
+    /// Returns an error if the matrix is not `n x n`, contains negative or
+    /// non-finite entries, or has a non-zero diagonal.
+    pub fn with_matrix(nodes: Vec<Node>, dist: Vec<f64>) -> Result<Self, NetError> {
+        Self::validate_node_ids(&nodes)?;
+        let n = nodes.len();
+        if dist.len() != n * n {
+            return Err(NetError::InvalidDistanceMatrix(format!(
+                "expected {} entries for {n} nodes, got {}",
+                n * n,
+                dist.len()
+            )));
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let d = dist[i * n + j];
+                if !d.is_finite() || d < 0.0 {
+                    return Err(NetError::InvalidDistanceMatrix(format!(
+                        "distance ({i},{j}) = {d} is negative or non-finite"
+                    )));
+                }
+                if i == j && d != 0.0 {
+                    return Err(NetError::InvalidDistanceMatrix(format!(
+                        "diagonal entry ({i},{i}) must be zero, got {d}"
+                    )));
+                }
+            }
+        }
+        Ok(RoadNetwork { nodes, dist })
+    }
+
+    fn validate_node_ids(nodes: &[Node]) -> Result<(), NetError> {
+        for (i, node) in nodes.iter().enumerate() {
+            if node.id.index() != i {
+                return Err(NetError::InvalidDistanceMatrix(format!(
+                    "node at position {i} has id {}, ids must be dense 0..n",
+                    node.id
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All nodes in id order.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Checked node lookup.
+    pub fn try_node(&self, id: NodeId) -> Result<&Node, NetError> {
+        self.nodes.get(id.index()).ok_or(NetError::UnknownNode(id))
+    }
+
+    /// Distance from `from` to `to` in kilometres.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range.
+    #[inline]
+    pub fn distance(&self, from: NodeId, to: NodeId) -> f64 {
+        self.dist[from.index() * self.nodes.len() + to.index()]
+    }
+
+    /// Ids of all depot nodes.
+    pub fn depots(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Depot)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of all factory nodes.
+    pub fn factories(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Factory)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Number of factory nodes (`n` in the paper's STD matrix).
+    pub fn num_factories(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Factory)
+            .count()
+    }
+
+    /// Total length of a node sequence (sum of consecutive arc distances).
+    pub fn path_length(&self, path: &[NodeId]) -> f64 {
+        path.windows(2).map(|w| self.distance(w[0], w[1])).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_net() -> RoadNetwork {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(1.0, 0.0)),
+            Node::factory(NodeId(2), Point::new(1.0, 1.0)),
+            Node::factory(NodeId(3), Point::new(0.0, 1.0)),
+        ];
+        RoadNetwork::euclidean(nodes, 1.0).unwrap()
+    }
+
+    #[test]
+    fn euclidean_distances_are_symmetric_here() {
+        let net = square_net();
+        assert_eq!(net.num_nodes(), 4);
+        assert!((net.distance(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+        assert!((net.distance(NodeId(0), NodeId(2)) - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(
+            net.distance(NodeId(1), NodeId(3)),
+            net.distance(NodeId(3), NodeId(1))
+        );
+        assert_eq!(net.distance(NodeId(2), NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn detour_factor_scales_distances() {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(3.0, 4.0)),
+        ];
+        let net = RoadNetwork::euclidean(nodes, 1.3).unwrap();
+        assert!((net.distance(NodeId(0), NodeId(1)) - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_detour_factor_rejected() {
+        let nodes = vec![Node::depot(NodeId(0), Point::new(0.0, 0.0))];
+        assert!(RoadNetwork::euclidean(nodes.clone(), 0.5).is_err());
+        assert!(RoadNetwork::euclidean(nodes, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn matrix_validation_rejects_bad_input() {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(1.0, 0.0)),
+        ];
+        // Wrong size.
+        assert!(RoadNetwork::with_matrix(nodes.clone(), vec![0.0; 3]).is_err());
+        // Negative entry.
+        assert!(RoadNetwork::with_matrix(nodes.clone(), vec![0.0, -1.0, 1.0, 0.0]).is_err());
+        // Non-zero diagonal.
+        assert!(RoadNetwork::with_matrix(nodes.clone(), vec![1.0, 1.0, 1.0, 0.0]).is_err());
+        // Asymmetric but valid (complete *directed* graph).
+        let net = RoadNetwork::with_matrix(nodes, vec![0.0, 2.0, 5.0, 0.0]).unwrap();
+        assert_eq!(net.distance(NodeId(0), NodeId(1)), 2.0);
+        assert_eq!(net.distance(NodeId(1), NodeId(0)), 5.0);
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let nodes = vec![Node::depot(NodeId(5), Point::new(0.0, 0.0))];
+        assert!(RoadNetwork::euclidean(nodes, 1.0).is_err());
+    }
+
+    #[test]
+    fn depot_factory_partition() {
+        let net = square_net();
+        assert_eq!(net.depots(), vec![NodeId(0)]);
+        assert_eq!(net.factories(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(net.num_factories(), 3);
+    }
+
+    #[test]
+    fn path_length_sums_arcs() {
+        let net = square_net();
+        let path = [NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(0)];
+        assert!((net.path_length(&path) - 4.0).abs() < 1e-12);
+        assert_eq!(net.path_length(&[NodeId(0)]), 0.0);
+        assert_eq!(net.path_length(&[]), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the core problem types.
+
+use dpdp_net::*;
+use proptest::prelude::*;
+
+fn arb_points(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), n..=n)
+}
+
+fn network_from(points: &[(f64, f64)], detour: f64) -> RoadNetwork {
+    let nodes: Vec<Node> = points
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| {
+            if i == 0 {
+                Node::depot(NodeId::from_index(i), Point::new(x, y))
+            } else {
+                Node::factory(NodeId::from_index(i), Point::new(x, y))
+            }
+        })
+        .collect();
+    RoadNetwork::euclidean(nodes, detour).unwrap()
+}
+
+proptest! {
+    /// Euclidean networks satisfy metric axioms: zero diagonal, symmetry,
+    /// triangle inequality (all scaled by the same detour factor).
+    #[test]
+    fn euclidean_network_is_metric(pts in arb_points(6), detour in 1.0f64..2.0) {
+        let net = network_from(&pts, detour);
+        let n = net.num_nodes();
+        for i in 0..n {
+            let ni = NodeId::from_index(i);
+            prop_assert_eq!(net.distance(ni, ni), 0.0);
+            for j in 0..n {
+                let nj = NodeId::from_index(j);
+                prop_assert!((net.distance(ni, nj) - net.distance(nj, ni)).abs() < 1e-9);
+                for k in 0..n {
+                    let nk = NodeId::from_index(k);
+                    prop_assert!(
+                        net.distance(ni, nk) <= net.distance(ni, nj) + net.distance(nj, nk) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    /// Path length is additive over concatenation.
+    #[test]
+    fn path_length_is_additive(pts in arb_points(5)) {
+        let net = network_from(&pts, 1.0);
+        let a = [NodeId(0), NodeId(1), NodeId(2)];
+        let b = [NodeId(2), NodeId(3), NodeId(4)];
+        let joined = [NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        let sum = net.path_length(&a) + net.path_length(&b);
+        prop_assert!((net.path_length(&joined) - sum).abs() < 1e-9);
+    }
+
+    /// Interval mapping is total, in-range, and monotone in time.
+    #[test]
+    fn interval_grid_is_monotone(
+        horizon_h in 1.0f64..48.0,
+        n in 1usize..500,
+        times in proptest::collection::vec(0.0f64..200_000.0, 2..20),
+    ) {
+        let grid = IntervalGrid::new(TimeDelta::from_hours(horizon_h), n);
+        let mut sorted = times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0usize;
+        for (i, &t) in sorted.iter().enumerate() {
+            let idx = grid.interval_of(TimePoint::from_seconds(t));
+            prop_assert!(idx < n);
+            if i > 0 {
+                prop_assert!(idx >= prev, "interval_of must be monotone");
+            }
+            prev = idx;
+        }
+    }
+
+    /// `interval_start` is a left inverse of `interval_of`.
+    #[test]
+    fn interval_start_left_inverse(n in 1usize..300, idx_frac in 0.0f64..1.0) {
+        let grid = IntervalGrid::new(TimeDelta::from_hours(24.0), n);
+        let idx = ((n as f64 - 1.0) * idx_frac) as usize;
+        prop_assert_eq!(grid.interval_of(grid.interval_start(idx)), idx);
+    }
+
+    /// Orders constructed with valid parameters always produce valid
+    /// windows containing their creation time.
+    #[test]
+    fn order_window_contains_creation(
+        q in 0.1f64..100.0,
+        created_h in 0.0f64..24.0,
+        slack_h in 0.0f64..24.0,
+    ) {
+        let o = Order::new(
+            OrderId(0),
+            NodeId(1),
+            NodeId(2),
+            q,
+            TimePoint::from_hours(created_h),
+            TimePoint::from_hours(created_h + slack_h),
+        ).unwrap();
+        prop_assert!(o.window().contains(o.created));
+        prop_assert!(o.window().contains(o.deadline));
+        prop_assert!((o.window().length().seconds() - slack_h * 3600.0).abs() < 1e-6);
+    }
+
+    /// Fleet cost is linear in both NUV and TTL.
+    #[test]
+    fn fleet_cost_linearity(
+        mu in 1.0f64..1000.0,
+        delta in 0.1f64..10.0,
+        nuv in 0usize..100,
+        ttl in 0.0f64..10_000.0,
+    ) {
+        let fleet = FleetConfig::homogeneous(
+            1, &[NodeId(0)], 10.0, mu, delta, 40.0, TimeDelta::ZERO,
+        ).unwrap();
+        let base = fleet.total_cost(nuv, ttl);
+        prop_assert!((fleet.total_cost(nuv + 1, ttl) - base - mu).abs() < 1e-9);
+        prop_assert!((fleet.total_cost(nuv, ttl + 1.0) - base - delta).abs() < 1e-9);
+    }
+
+    /// Instances sort orders by creation time with dense ids, for any
+    /// shuffled input.
+    #[test]
+    fn instance_sorts_and_reindexes(times in proptest::collection::vec(0.0f64..86_000.0, 1..20)) {
+        let net = network_from(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)], 1.0);
+        let fleet = FleetConfig::homogeneous(
+            2, &[NodeId(0)], 10.0, 100.0, 1.0, 40.0, TimeDelta::ZERO,
+        ).unwrap();
+        let orders: Vec<Order> = times.iter().enumerate().map(|(i, &t)| {
+            Order::new(
+                OrderId(i as u32),
+                NodeId(1),
+                NodeId(2),
+                1.0,
+                TimePoint::from_seconds(t),
+                TimePoint::from_seconds(t + 3600.0),
+            ).unwrap()
+        }).collect();
+        let inst = Instance::new(net, fleet, IntervalGrid::paper_default(), orders).unwrap();
+        for (i, o) in inst.orders().iter().enumerate() {
+            prop_assert_eq!(o.id.index(), i);
+            if i > 0 {
+                prop_assert!(o.created >= inst.orders()[i - 1].created);
+            }
+        }
+    }
+}

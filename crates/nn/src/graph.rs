@@ -1,0 +1,822 @@
+//! The autodiff tape: eager forward evaluation, reverse-mode backward.
+//!
+//! A [`Graph`] is rebuilt for every forward pass (define-by-run). Operations
+//! append nodes to the tape and compute values eagerly; [`Graph::backward`]
+//! walks the tape in reverse, accumulating gradients, and flushes the
+//! gradients of parameter-bound leaves into the [`ParamStore`].
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    AddRow(Var, Var),
+    Scale(Var, f64),
+    Relu(Var),
+    SoftmaxRows(Var),
+    MaskedSoftmaxRows(Var, Tensor),
+    Transpose(Var),
+    SliceCols(Var, usize, usize),
+    ConcatCols(Vec<Var>),
+    ConcatRows(Vec<Var>),
+    GatherRows(Var, Vec<usize>),
+    MeanAll(Var),
+    SumAll(Var),
+    Ln(Var),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Tensor,
+    grad: Tensor,
+    op: Op,
+}
+
+/// A tape-based autodiff graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    bindings: Vec<(ParamId, usize)>,
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        let (r, c) = value.shape();
+        self.nodes.push(Node {
+            value,
+            grad: Tensor::zeros(r, c),
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The current value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of a node (valid after [`Graph::backward`]).
+    pub fn grad(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].grad
+    }
+
+    /// Number of tape nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- leaves -----------------------------------------------------------
+
+    /// A constant leaf (inputs, targets). Gradients are computed but not
+    /// propagated anywhere.
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// A parameter leaf: copies the current value in and records the binding
+    /// so `backward` accumulates the gradient into the store.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let v = self.push(store.value(id).clone(), Op::Leaf);
+        self.bindings.push((id, v.0));
+        v
+    }
+
+    // ---- ops --------------------------------------------------------------
+
+    /// Matrix product `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Element-wise sum of same-shape tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let mut value = self.value(a).clone();
+        value.add_assign(self.value(b));
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Element-wise difference `a - b` of same-shape tensors.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "sub shape");
+        let bt = self.value(b).clone();
+        let value = Tensor::from_vec(
+            bt.rows(),
+            bt.cols(),
+            self.value(a)
+                .data()
+                .iter()
+                .zip(bt.data())
+                .map(|(x, y)| x - y)
+                .collect(),
+        );
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Hadamard (element-wise) product of same-shape tensors.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "mul shape");
+        let bt = self.value(b).clone();
+        let value = Tensor::from_vec(
+            bt.rows(),
+            bt.cols(),
+            self.value(a)
+                .data()
+                .iter()
+                .zip(bt.data())
+                .map(|(x, y)| x * y)
+                .collect(),
+        );
+        self.push(value, Op::Mul(a, b))
+    }
+
+    /// Adds a `1 x n` row vector to every row of an `m x n` matrix
+    /// (bias broadcast).
+    pub fn add_row(&mut self, a: Var, b: Var) -> Var {
+        let (m, n) = self.value(a).shape();
+        assert_eq!(self.value(b).shape(), (1, n), "add_row wants a 1x{n} bias");
+        let mut value = self.value(a).clone();
+        let bias = self.value(b).clone();
+        for r in 0..m {
+            for c in 0..n {
+                *value.get_mut(r, c) += bias.get(0, c);
+            }
+        }
+        self.push(value, Op::AddRow(a, b))
+    }
+
+    /// Scalar multiple `a * s`.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let value = self.value(a).map(|x| x * s);
+        self.push(value, Op::Scale(a, s))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Row-wise softmax (numerically stabilised).
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let (m, n) = t.shape();
+        let mut value = Tensor::zeros(m, n);
+        for r in 0..m {
+            let row = t.row(r);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = row.iter().map(|&x| (x - max).exp()).collect();
+            let sum: f64 = exps.iter().sum();
+            for c in 0..n {
+                *value.get_mut(r, c) = exps[c] / sum;
+            }
+        }
+        self.push(value, Op::SoftmaxRows(a))
+    }
+
+    /// Row-wise softmax restricted to entries where `mask` is non-zero;
+    /// masked entries get probability 0. A fully-masked row becomes all
+    /// zeros. `mask` must have the same shape as the input and is treated
+    /// as a constant (no gradient flows into it).
+    pub fn masked_softmax_rows(&mut self, a: Var, mask: &Tensor) -> Var {
+        let t = self.value(a);
+        let (m, n) = t.shape();
+        assert_eq!(mask.shape(), (m, n), "mask shape must match input");
+        let mut value = Tensor::zeros(m, n);
+        for r in 0..m {
+            let row = t.row(r);
+            let mrow = mask.row(r);
+            let max = row
+                .iter()
+                .zip(mrow)
+                .filter(|(_, &keep)| keep != 0.0)
+                .map(|(&x, _)| x)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if max == f64::NEG_INFINITY {
+                continue; // fully masked row
+            }
+            let mut sum = 0.0;
+            let mut exps = vec![0.0; n];
+            for c in 0..n {
+                if mrow[c] != 0.0 {
+                    exps[c] = (row[c] - max).exp();
+                    sum += exps[c];
+                }
+            }
+            for c in 0..n {
+                *value.get_mut(r, c) = exps[c] / sum;
+            }
+        }
+        self.push(value, Op::MaskedSoftmaxRows(a, mask.clone()))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose();
+        self.push(value, Op::Transpose(a))
+    }
+
+    /// Columns `[start, start + len)` of a matrix.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let t = self.value(a);
+        let (m, n) = t.shape();
+        assert!(start + len <= n, "slice_cols out of range");
+        let mut value = Tensor::zeros(m, len);
+        for r in 0..m {
+            for c in 0..len {
+                *value.get_mut(r, c) = t.get(r, start + c);
+            }
+        }
+        self.push(value, Op::SliceCols(a, start, len))
+    }
+
+    /// Horizontal concatenation of matrices with equal row counts.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let m = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut value = Tensor::zeros(m, total);
+        let mut off = 0;
+        for &p in parts {
+            let t = self.value(p).clone();
+            assert_eq!(t.rows(), m, "concat_cols row mismatch");
+            for r in 0..m {
+                for c in 0..t.cols() {
+                    *value.get_mut(r, off + c) = t.get(r, c);
+                }
+            }
+            off += t.cols();
+        }
+        self.push(value, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Vertical concatenation of matrices with equal column counts.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        let n = self.value(parts[0]).cols();
+        let total: usize = parts.iter().map(|&p| self.value(p).rows()).sum();
+        let mut value = Tensor::zeros(total, n);
+        let mut off = 0;
+        for &p in parts {
+            let t = self.value(p).clone();
+            assert_eq!(t.cols(), n, "concat_rows column mismatch");
+            for r in 0..t.rows() {
+                for c in 0..n {
+                    *value.get_mut(off + r, c) = t.get(r, c);
+                }
+            }
+            off += t.rows();
+        }
+        self.push(value, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Natural logarithm, element-wise. Inputs must be strictly positive.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(1e-300).ln());
+        self.push(value, Op::Ln(a))
+    }
+
+    /// Row gather: `out[i, :] = a[indices[i], :]`. Rows may repeat.
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let t = self.value(a);
+        let n = t.cols();
+        let mut value = Tensor::zeros(indices.len(), n);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < t.rows(), "gather_rows index out of range");
+            for c in 0..n {
+                *value.get_mut(i, c) = t.get(idx, c);
+            }
+        }
+        self.push(value, Op::GatherRows(a, indices.to_vec()))
+    }
+
+    /// Mean over all elements (a `1 x 1` result).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let n = (t.rows() * t.cols()) as f64;
+        let value = Tensor::scalar(t.data().iter().sum::<f64>() / n);
+        self.push(value, Op::MeanAll(a))
+    }
+
+    /// Sum over all elements (a `1 x 1` result).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let t = self.value(a);
+        let value = Tensor::scalar(t.data().iter().sum::<f64>());
+        self.push(value, Op::SumAll(a))
+    }
+
+    /// Mean-squared-error between same-shape tensors (a `1 x 1` result).
+    pub fn mse(&mut self, pred: Var, target: Var) -> Var {
+        let d = self.sub(pred, target);
+        let sq = self.mul(d, d);
+        self.mean_all(sq)
+    }
+
+    // ---- backward ----------------------------------------------------------
+
+    /// Runs reverse-mode accumulation from `loss` (which must be `1 x 1`)
+    /// without touching any parameter store. Node gradients are then
+    /// available through [`Graph::grad`].
+    pub fn backward_graph_only(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar loss"
+        );
+        for node in &mut self.nodes {
+            let (r, c) = node.value.shape();
+            node.grad = Tensor::zeros(r, c);
+        }
+        *self.nodes[loss.0].grad.get_mut(0, 0) = 1.0;
+
+        for i in (0..self.nodes.len()).rev() {
+            let grad = self.nodes[i].grad.clone();
+            if grad.data().iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let da = grad.matmul(&self.nodes[b.0].value.transpose());
+                    let db = self.nodes[a.0].value.transpose().matmul(&grad);
+                    self.nodes[a.0].grad.add_assign(&da);
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::Add(a, b) => {
+                    self.nodes[a.0].grad.add_assign(&grad);
+                    self.nodes[b.0].grad.add_assign(&grad);
+                }
+                Op::Sub(a, b) => {
+                    self.nodes[a.0].grad.add_assign(&grad);
+                    let neg = grad.map(|x| -x);
+                    self.nodes[b.0].grad.add_assign(&neg);
+                }
+                Op::Mul(a, b) => {
+                    let bv = self.nodes[b.0].value.clone();
+                    let av = self.nodes[a.0].value.clone();
+                    let da = Tensor::from_vec(
+                        grad.rows(),
+                        grad.cols(),
+                        grad.data()
+                            .iter()
+                            .zip(bv.data())
+                            .map(|(g, x)| g * x)
+                            .collect(),
+                    );
+                    let db = Tensor::from_vec(
+                        grad.rows(),
+                        grad.cols(),
+                        grad.data()
+                            .iter()
+                            .zip(av.data())
+                            .map(|(g, x)| g * x)
+                            .collect(),
+                    );
+                    self.nodes[a.0].grad.add_assign(&da);
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::AddRow(a, b) => {
+                    self.nodes[a.0].grad.add_assign(&grad);
+                    let (m, n) = grad.shape();
+                    let mut db = Tensor::zeros(1, n);
+                    for r in 0..m {
+                        for c in 0..n {
+                            *db.get_mut(0, c) += grad.get(r, c);
+                        }
+                    }
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::Scale(a, s) => {
+                    let da = grad.map(|x| x * s);
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::Relu(a) => {
+                    let av = &self.nodes[a.0].value;
+                    let da = Tensor::from_vec(
+                        grad.rows(),
+                        grad.cols(),
+                        grad.data()
+                            .iter()
+                            .zip(av.data())
+                            .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
+                            .collect(),
+                    );
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = self.nodes[i].value.clone();
+                    let (m, n) = y.shape();
+                    let mut da = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        let dot: f64 = (0..n).map(|c| grad.get(r, c) * y.get(r, c)).sum();
+                        for c in 0..n {
+                            *da.get_mut(r, c) = y.get(r, c) * (grad.get(r, c) - dot);
+                        }
+                    }
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::MaskedSoftmaxRows(a, _mask) => {
+                    // Identical Jacobian to softmax: masked entries have
+                    // y = 0, which zeroes their rows/columns automatically.
+                    let y = self.nodes[i].value.clone();
+                    let (m, n) = y.shape();
+                    let mut da = Tensor::zeros(m, n);
+                    for r in 0..m {
+                        let dot: f64 = (0..n).map(|c| grad.get(r, c) * y.get(r, c)).sum();
+                        for c in 0..n {
+                            *da.get_mut(r, c) = y.get(r, c) * (grad.get(r, c) - dot);
+                        }
+                    }
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::Transpose(a) => {
+                    let da = grad.transpose();
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::SliceCols(a, start, len) => {
+                    let (m, _) = grad.shape();
+                    let an = self.nodes[a.0].value.cols();
+                    let mut da = Tensor::zeros(m, an);
+                    for r in 0..m {
+                        for c in 0..len {
+                            *da.get_mut(r, start + c) = grad.get(r, c);
+                        }
+                    }
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for p in parts {
+                        let (m, n) = self.nodes[p.0].value.shape();
+                        let mut dp = Tensor::zeros(m, n);
+                        for r in 0..m {
+                            for c in 0..n {
+                                *dp.get_mut(r, c) = grad.get(r, off + c);
+                            }
+                        }
+                        self.nodes[p.0].grad.add_assign(&dp);
+                        off += n;
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let mut off = 0;
+                    for p in parts {
+                        let (m, n) = self.nodes[p.0].value.shape();
+                        let mut dp = Tensor::zeros(m, n);
+                        for r in 0..m {
+                            for c in 0..n {
+                                *dp.get_mut(r, c) = grad.get(off + r, c);
+                            }
+                        }
+                        self.nodes[p.0].grad.add_assign(&dp);
+                        off += m;
+                    }
+                }
+                Op::Ln(a) => {
+                    let av = self.nodes[a.0].value.clone();
+                    let da = Tensor::from_vec(
+                        grad.rows(),
+                        grad.cols(),
+                        grad.data()
+                            .iter()
+                            .zip(av.data())
+                            .map(|(g, x)| g / x.max(1e-300))
+                            .collect(),
+                    );
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::GatherRows(a, indices) => {
+                    let n = grad.cols();
+                    let (ar, ac) = self.nodes[a.0].value.shape();
+                    let mut da = Tensor::zeros(ar, ac);
+                    for (i_out, &idx) in indices.iter().enumerate() {
+                        for c in 0..n {
+                            *da.get_mut(idx, c) += grad.get(i_out, c);
+                        }
+                    }
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::MeanAll(a) => {
+                    let (m, n) = self.nodes[a.0].value.shape();
+                    let g = grad.item() / (m * n) as f64;
+                    let da = Tensor::full(m, n, g);
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::SumAll(a) => {
+                    let (m, n) = self.nodes[a.0].value.shape();
+                    let da = Tensor::full(m, n, grad.item());
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+            }
+        }
+    }
+
+    /// Full backward pass: accumulates node gradients and flushes the
+    /// gradients of parameter leaves into `store`.
+    pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
+        self.backward_graph_only(loss);
+        for (id, node) in &self.bindings {
+            store.accumulate_grad(*id, &self.nodes[*node].grad);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central finite-difference gradient check: builds the graph twice per
+    /// perturbed element and compares against the analytic gradient.
+    fn grad_check(
+        build: impl Fn(&mut Graph, &Tensor) -> Var,
+        input: &Tensor,
+        tol: f64,
+    ) {
+        let mut g = Graph::new();
+        let _ = build(&mut g, input);
+        // The build closure must create the input as node 0.
+        let loss = Var(g.nodes.len() - 1);
+        g.backward_graph_only(loss);
+        let analytic = g.grad(Var(0)).clone();
+
+        let eps = 1e-6;
+        for r in 0..input.rows() {
+            for c in 0..input.cols() {
+                let mut plus = input.clone();
+                *plus.get_mut(r, c) += eps;
+                let mut minus = input.clone();
+                *minus.get_mut(r, c) -= eps;
+                let mut gp = Graph::new();
+                let lp = build(&mut gp, &plus);
+                let mut gm = Graph::new();
+                let lm = build(&mut gm, &minus);
+                let fd = (gp.value(lp).item() - gm.value(lm).item()) / (2.0 * eps);
+                let a = analytic.get(r, c);
+                assert!(
+                    (fd - a).abs() <= tol * (1.0 + fd.abs().max(a.abs())),
+                    "grad mismatch at ({r},{c}): fd={fd} analytic={a}"
+                );
+            }
+        }
+    }
+
+    fn test_input() -> Tensor {
+        Tensor::from_rows(&[&[0.5, -1.2, 2.0], &[1.5, 0.3, -0.7]])
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let w = Tensor::from_rows(&[&[0.2, -0.4], &[1.0, 0.6], &[-0.3, 0.9]]);
+        grad_check(
+            |g, x| {
+                let xv = g.constant(x.clone());
+                let wv = g.constant(w.clone());
+                let y = g.matmul(xv, wv);
+                g.sum_all(y)
+            },
+            &test_input(),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_add_sub_mul() {
+        let other = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.5, 0.25]]);
+        grad_check(
+            |g, x| {
+                let xv = g.constant(x.clone());
+                let o = g.constant(other.clone());
+                let s = g.add(xv, o);
+                let d = g.sub(s, xv);
+                let m = g.mul(d, xv);
+                g.sum_all(m)
+            },
+            &test_input(),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_add_row_broadcast() {
+        grad_check(
+            |g, x| {
+                let xv = g.constant(x.clone());
+                let b = g.constant(Tensor::from_rows(&[&[0.1, -0.2, 0.3]]));
+                let y = g.add_row(xv, b);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            &test_input(),
+            1e-6,
+        );
+        // Also check the bias gradient itself.
+        let mut g = Graph::new();
+        let x = g.constant(test_input());
+        let b = g.constant(Tensor::from_rows(&[&[0.1, -0.2, 0.3]]));
+        let y = g.add_row(x, b);
+        let loss = g.sum_all(y);
+        g.backward_graph_only(loss);
+        // d(sum)/db_c = number of rows = 2.
+        assert_eq!(g.grad(b).data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_relu_and_scale() {
+        grad_check(
+            |g, x| {
+                let xv = g.constant(x.clone());
+                let r = g.relu(xv);
+                let s = g.scale(r, 3.0);
+                g.sum_all(s)
+            },
+            &test_input(),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_rows() {
+        // Weighted sum of softmax outputs exercises the full Jacobian.
+        let w = Tensor::from_rows(&[&[0.3, -0.7, 1.1], &[0.9, 0.2, -0.5]]);
+        grad_check(
+            |g, x| {
+                let xv = g.constant(x.clone());
+                let sm = g.softmax_rows(xv);
+                let wv = g.constant(w.clone());
+                let prod = g.mul(sm, wv);
+                g.sum_all(prod)
+            },
+            &test_input(),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_rows(&[&[1000.0, 1001.0], &[-5.0, -5.0]]));
+        let y = g.softmax_rows(x);
+        let v = g.value(y);
+        for r in 0..2 {
+            let s: f64 = v.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {r} sums to {s}");
+        }
+        // Large inputs do not overflow thanks to max subtraction.
+        assert!(v.get(0, 1) > v.get(0, 0));
+        assert!((v.get(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_softmax_respects_mask_and_grads() {
+        let mask = Tensor::from_rows(&[&[1.0, 1.0, 0.0], &[0.0, 0.0, 0.0]]);
+        let mut g = Graph::new();
+        let x = g.constant(test_input());
+        let y = g.masked_softmax_rows(x, &mask);
+        let v = g.value(y);
+        // Masked entries are exactly zero; unmasked rows sum to one.
+        assert_eq!(v.get(0, 2), 0.0);
+        assert!((v.row(0).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Fully masked row is all zeros.
+        assert_eq!(v.row(1), &[0.0, 0.0, 0.0]);
+
+        // Gradient check against finite differences.
+        let w = Tensor::from_rows(&[&[0.3, -0.7, 1.1], &[0.9, 0.2, -0.5]]);
+        let mask2 = mask.clone();
+        grad_check(
+            |g, x| {
+                let xv = g.constant(x.clone());
+                let sm = g.masked_softmax_rows(xv, &mask2);
+                let wv = g.constant(w.clone());
+                let prod = g.mul(sm, wv);
+                g.sum_all(prod)
+            },
+            &test_input(),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_transpose_slice_concat() {
+        grad_check(
+            |g, x| {
+                let xv = g.constant(x.clone());
+                let t = g.transpose(xv); // 3x2
+                let left = g.slice_cols(t, 0, 1); // 3x1
+                let right = g.slice_cols(t, 1, 1); // 3x1
+                let cat = g.concat_cols(&[right, left]); // swapped 3x2
+                let sq = g.mul(cat, cat);
+                g.sum_all(sq)
+            },
+            &test_input(),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_concat_rows_and_ln() {
+        grad_check(
+            |g, x| {
+                let xv = g.constant(x.clone());
+                let sq = g.mul(xv, xv); // strictly positive for ln
+                let one = g.constant(Tensor::full(2, 3, 1.0));
+                let pos = g.add(sq, one);
+                let l = g.ln(pos);
+                let stack = g.concat_rows(&[l, l]);
+                g.sum_all(stack)
+            },
+            &test_input(),
+            1e-6,
+        );
+        // Value check: concat_rows stacks vertically.
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_rows(&[&[1.0, 2.0]]));
+        let b = g.constant(Tensor::from_rows(&[&[3.0, 4.0]]));
+        let s = g.concat_rows(&[a, b]);
+        assert_eq!(g.value(s).shape(), (2, 2));
+        assert_eq!(g.value(s).row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn grad_gather_rows_accumulates_repeats() {
+        grad_check(
+            |g, x| {
+                let xv = g.constant(x.clone());
+                let gathered = g.gather_rows(xv, &[0, 0, 1]);
+                let sq = g.mul(gathered, gathered);
+                g.sum_all(sq)
+            },
+            &test_input(),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn grad_mean_and_mse() {
+        let target = Tensor::from_rows(&[&[0.0, 1.0, -1.0], &[2.0, 0.5, 0.0]]);
+        grad_check(
+            |g, x| {
+                let xv = g.constant(x.clone());
+                let t = g.constant(target.clone());
+                g.mse(xv, t)
+            },
+            &test_input(),
+            1e-6,
+        );
+        // MSE value is correct.
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_rows(&[&[1.0, 3.0]]));
+        let b = g.constant(Tensor::from_rows(&[&[0.0, 1.0]]));
+        let l = g.mse(a, b);
+        assert!((g.value(l).item() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_flushes_param_grads() {
+        let mut store = ParamStore::new(0);
+        let w = store.add(Tensor::from_rows(&[&[2.0], &[3.0]]));
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::from_rows(&[&[1.0, 4.0]]));
+        let wv = g.param(&store, w);
+        let y = g.matmul(x, wv); // 1x1 = 2 + 12
+        let loss = g.sum_all(y);
+        assert_eq!(g.value(loss).item(), 14.0);
+        g.backward(loss, &mut store);
+        assert_eq!(store.grad(w).data(), &[1.0, 4.0]);
+        // Second backward accumulates.
+        let mut g2 = Graph::new();
+        let x2 = g2.constant(Tensor::from_rows(&[&[1.0, 1.0]]));
+        let wv2 = g2.param(&store, w);
+        let y2 = g2.matmul(x2, wv2);
+        let loss2 = g2.sum_all(y2);
+        g2.backward(loss2, &mut store);
+        assert_eq!(store.grad(w).data(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let mut g = Graph::new();
+        let x = g.constant(test_input());
+        g.backward_graph_only(x);
+    }
+}

@@ -1,0 +1,36 @@
+//! Weight initialisation.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Keeps activations and gradients at
+/// comparable scale across layers.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    let data = (0..rows * cols)
+        .map(|_| rng.random_range(-a..a))
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_and_spread() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = xavier_uniform(50, 50, &mut rng);
+        let a = (6.0 / 100.0f64).sqrt();
+        for &x in t.data() {
+            assert!(x.abs() <= a);
+        }
+        // Not degenerate.
+        let mean: f64 = t.data().iter().sum::<f64>() / t.data().len() as f64;
+        assert!(mean.abs() < a / 5.0);
+        assert!(t.norm() > 0.0);
+    }
+}

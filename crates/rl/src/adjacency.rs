@@ -1,0 +1,96 @@
+//! Vehicle adjacency for neighbourhood attention.
+//!
+//! The paper measures spatial proximity between vehicles by Euclidean
+//! distance and selects the `NE` nearest vehicles as each vehicle's
+//! neighbours (Section IV-C, "Neighborhood attention").
+
+use dpdp_net::RoadNetwork;
+use dpdp_routing::VehicleView;
+
+/// For each vehicle, the indices of its `ne` nearest vehicles (by Euclidean
+/// distance between anchor-node positions), **including itself first**.
+/// Every list has length `min(ne, K)`.
+pub fn nearest_neighbors(views: &[VehicleView], net: &RoadNetwork, ne: usize) -> Vec<Vec<usize>> {
+    let k = views.len();
+    let take = ne.min(k);
+    let positions: Vec<_> = views
+        .iter()
+        .map(|v| net.node(v.anchor_node).pos)
+        .collect();
+    (0..k)
+        .map(|i| {
+            let mut by_dist: Vec<usize> = (0..k).collect();
+            by_dist.sort_by(|&a, &b| {
+                // Self always sorts first (distance 0 and tie-break by index
+                // equality), then by distance, then by index for determinism.
+                let da = positions[i].distance(&positions[a]) + if a == i { -1.0 } else { 0.0 };
+                let db = positions[i].distance(&positions[b]) + if b == i { -1.0 } else { 0.0 };
+                da.partial_cmp(&db)
+                    .expect("distances are finite")
+                    .then(a.cmp(&b))
+            });
+            by_dist.truncate(take);
+            by_dist
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdp_net::{Node, NodeId, Point, VehicleId};
+
+    fn net() -> RoadNetwork {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(1.0, 0.0)),
+            Node::factory(NodeId(2), Point::new(2.0, 0.0)),
+            Node::factory(NodeId(3), Point::new(10.0, 0.0)),
+        ];
+        RoadNetwork::euclidean(nodes, 1.0).unwrap()
+    }
+
+    fn view_at(k: u32, node: u32) -> VehicleView {
+        let mut v = VehicleView::idle_at_depot(VehicleId(k), NodeId(0));
+        v.anchor_node = NodeId(node);
+        v
+    }
+
+    #[test]
+    fn self_is_first_neighbor() {
+        let net = net();
+        let views = vec![view_at(0, 0), view_at(1, 1), view_at(2, 3)];
+        let adj = nearest_neighbors(&views, &net, 2);
+        assert_eq!(adj[0][0], 0);
+        assert_eq!(adj[1][0], 1);
+        assert_eq!(adj[2][0], 2);
+    }
+
+    #[test]
+    fn nearest_by_position() {
+        let net = net();
+        let views = vec![view_at(0, 0), view_at(1, 1), view_at(2, 2), view_at(3, 3)];
+        let adj = nearest_neighbors(&views, &net, 3);
+        // Vehicle 0 at x=0: nearest others are x=1 then x=2.
+        assert_eq!(adj[0], vec![0, 1, 2]);
+        // Vehicle 3 at x=10: nearest others are x=2 then x=1.
+        assert_eq!(adj[3], vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn ne_larger_than_fleet_is_clamped() {
+        let net = net();
+        let views = vec![view_at(0, 0), view_at(1, 1)];
+        let adj = nearest_neighbors(&views, &net, 10);
+        assert_eq!(adj[0].len(), 2);
+        assert_eq!(adj[1].len(), 2);
+    }
+
+    #[test]
+    fn colocated_vehicles_break_ties_by_index() {
+        let net = net();
+        let views = vec![view_at(0, 1), view_at(1, 1), view_at(2, 1)];
+        let adj = nearest_neighbors(&views, &net, 3);
+        assert_eq!(adj[1], vec![1, 0, 2]);
+    }
+}

@@ -1,0 +1,262 @@
+//! The relational Q-network of the paper (Fig. 4 / Fig. 5).
+//!
+//! Per vehicle: an initial MLP embeds the 5-feature state; stacked
+//! *neighbourhood attention* blocks let each vehicle integrate its `NE`
+//! nearest (feasible) vehicles' representations via multi-head scaled
+//! dot-product attention; finally the initial and top-level representations
+//! are concatenated and mapped to a scalar Q-value. All vehicles share
+//! weights ("each vehicle owns its network but shares the same weights").
+
+use crate::state::{StateSnapshot, STATE_DIM};
+use dpdp_nn::{Graph, Mlp, MultiHeadAttention, ParamStore, Var};
+use serde::{Deserialize, Serialize};
+
+/// Q-network architecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QNetworkConfig {
+    /// Embedding width of the per-vehicle representation.
+    pub hidden: usize,
+    /// Attention heads per neighbourhood block.
+    pub heads: usize,
+    /// Number of stacked neighbourhood-attention blocks (the paper uses 2).
+    pub levels: usize,
+    /// Whether the graph (attention) pathway is enabled; `false` gives the
+    /// plain DQN/DDQN ablations.
+    pub graph: bool,
+}
+
+impl Default for QNetworkConfig {
+    fn default() -> Self {
+        QNetworkConfig {
+            hidden: 32,
+            heads: 4,
+            levels: 2,
+            graph: true,
+        }
+    }
+}
+
+/// The Q-network: maps a joint state (`K x 5`) to per-vehicle Q-values
+/// (`K x 1`).
+#[derive(Debug, Clone)]
+pub struct QNetwork {
+    config: QNetworkConfig,
+    initial: Mlp,
+    attention: Vec<MultiHeadAttention>,
+    head: Mlp,
+}
+
+impl QNetwork {
+    /// Registers all parameters in `store`.
+    pub fn new(store: &mut ParamStore, config: QNetworkConfig) -> Self {
+        let initial = Mlp::new(store, &[STATE_DIM, config.hidden, config.hidden]);
+        let attention = if config.graph {
+            (0..config.levels)
+                .map(|_| MultiHeadAttention::new(store, config.hidden, config.heads))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let head_in = if config.graph {
+            2 * config.hidden
+        } else {
+            config.hidden
+        };
+        let head = Mlp::new(store, &[head_in, config.hidden, 1]);
+        QNetwork {
+            config,
+            initial,
+            attention,
+            head,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> QNetworkConfig {
+        self.config
+    }
+
+    /// Forward pass on the tape: returns a `K x 1` Q-value node.
+    ///
+    /// Infeasible vehicles are excluded from every attention context (the
+    /// *constraint embedding*: they take no part in inference), and their
+    /// output rows are meaningless — callers must mask them.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, snap: &StateSnapshot) -> Var {
+        let k = snap.num_vehicles();
+        let x = g.constant(snap.features.clone());
+        let h0 = self.initial.forward(g, store, x);
+        let top = if self.config.graph {
+            // Self-inclusive adjacency mask restricted to feasible
+            // neighbours (the constraint embedding: infeasible vehicles
+            // take no part in anyone else's inference).
+            let mut mask = dpdp_nn::Tensor::zeros(k, k);
+            for v in 0..k {
+                *mask.get_mut(v, v) = 1.0;
+                for &n in &snap.neighbors[v] {
+                    if n != v && snap.feasible[n] {
+                        *mask.get_mut(v, n) = 1.0;
+                    }
+                }
+            }
+            let mut h = h0;
+            for attn in &self.attention {
+                let out = attn.forward_masked(g, store, h, &mask);
+                h = g.relu(out);
+            }
+            h
+        } else {
+            h0
+        };
+        let head_in = if self.config.graph {
+            g.concat_cols(&[h0, top])
+        } else {
+            top
+        };
+        self.head.forward(g, store, head_in)
+    }
+
+    /// Convenience: evaluates Q-values on a throwaway graph and returns them
+    /// as a plain vector (infeasible entries set to `f64::NEG_INFINITY`, the
+    /// paper's "extremely small negative").
+    pub fn q_values(&self, store: &ParamStore, snap: &StateSnapshot) -> Vec<f64> {
+        let mut g = Graph::new();
+        let q = self.forward(&mut g, store, snap);
+        let values = g.value(q);
+        (0..snap.num_vehicles())
+            .map(|i| {
+                if snap.feasible[i] {
+                    values.get(i, 0)
+                } else {
+                    f64::NEG_INFINITY
+                }
+            })
+            .collect()
+    }
+
+    /// Index of the feasible vehicle with the highest Q-value, if any.
+    pub fn greedy_action(&self, store: &ParamStore, snap: &StateSnapshot) -> Option<usize> {
+        let q = self.q_values(store, snap);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &v) in q.iter().enumerate() {
+            if snap.feasible[i] && best.map_or(true, |(_, b)| v > b) {
+                best = Some((i, v));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdp_nn::Tensor;
+
+    fn snapshot(k: usize, feasible: Vec<bool>) -> StateSnapshot {
+        let features = Tensor::from_vec(
+            k,
+            STATE_DIM,
+            (0..k * STATE_DIM).map(|i| (i as f64 * 0.13).sin()).collect(),
+        );
+        let neighbors = (0..k)
+            .map(|i| (0..k).filter(|&j| j != i).take(3).collect())
+            .collect();
+        StateSnapshot {
+            features,
+            feasible,
+            neighbors,
+        }
+    }
+
+    #[test]
+    fn forward_shapes_with_and_without_graph() {
+        for graph in [true, false] {
+            let mut store = ParamStore::new(0);
+            let net = QNetwork::new(
+                &mut store,
+                QNetworkConfig {
+                    hidden: 8,
+                    heads: 2,
+                    levels: 2,
+                    graph,
+                },
+            );
+            let snap = snapshot(4, vec![true; 4]);
+            let mut g = Graph::new();
+            let q = net.forward(&mut g, &store, &snap);
+            assert_eq!(g.value(q).shape(), (4, 1));
+        }
+    }
+
+    #[test]
+    fn infeasible_vehicles_masked_in_q_values() {
+        let mut store = ParamStore::new(1);
+        let net = QNetwork::new(&mut store, QNetworkConfig::default());
+        let snap = snapshot(3, vec![true, false, true]);
+        let q = net.q_values(&store, &snap);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q[1], f64::NEG_INFINITY);
+        assert!(q[0].is_finite() && q[2].is_finite());
+        let a = net.greedy_action(&store, &snap).unwrap();
+        assert_ne!(a, 1);
+    }
+
+    #[test]
+    fn no_feasible_vehicle_yields_no_action() {
+        let mut store = ParamStore::new(2);
+        let net = QNetwork::new(&mut store, QNetworkConfig::default());
+        let snap = snapshot(2, vec![false, false]);
+        assert_eq!(net.greedy_action(&store, &snap), None);
+    }
+
+    #[test]
+    fn gradients_flow_through_both_pathways() {
+        let mut store = ParamStore::new(3);
+        let net = QNetwork::new(
+            &mut store,
+            QNetworkConfig {
+                hidden: 8,
+                heads: 2,
+                levels: 1,
+                graph: true,
+            },
+        );
+        let snap = snapshot(3, vec![true; 3]);
+        let mut g = Graph::new();
+        let q = net.forward(&mut g, &store, &snap);
+        let loss = g.sum_all(q);
+        g.backward(loss, &mut store);
+        let live = (0..store.len())
+            .filter(|&i| store.grad(dpdp_nn::ParamId(i)).norm() > 0.0)
+            .count();
+        assert!(
+            live as f64 >= store.len() as f64 * 0.8,
+            "only {live}/{} params received gradient",
+            store.len()
+        );
+    }
+
+    #[test]
+    fn attention_context_excludes_infeasible_neighbors() {
+        // Changing an infeasible neighbour's features must not change a
+        // feasible vehicle's Q-value.
+        let mut store = ParamStore::new(4);
+        let net = QNetwork::new(
+            &mut store,
+            QNetworkConfig {
+                hidden: 8,
+                heads: 2,
+                levels: 1,
+                graph: true,
+            },
+        );
+        let mut snap = snapshot(3, vec![true, false, true]);
+        let q1 = net.q_values(&store, &snap);
+        // Perturb the infeasible vehicle's features wildly.
+        for c in 0..STATE_DIM {
+            *snap.features.get_mut(1, c) = 1000.0;
+        }
+        let q2 = net.q_values(&store, &snap);
+        assert!((q1[0] - q2[0]).abs() < 1e-9, "{} vs {}", q1[0], q2[0]);
+        assert!((q1[2] - q2[2]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,270 @@
+//! The route-centric MDP state (Section IV-B).
+//!
+//! For order `o^i_t`, the joint state is `S^i_t = (s^i_{t,1}, …, s^i_{t,K})`
+//! with per-vehicle features
+//! `s^i_{t,k} = (d_{t,k}, d^i_{t,k}, ξ^i_{t,k}, f_{t,k}, t)`:
+//! current route length, best-insertion route length, ST Score of the best
+//! temporary route, used flag, and the time-interval index. Infeasible
+//! vehicles get the paper's `-1` sentinel features and are masked out of
+//! inference ("constraint embedding").
+
+use crate::adjacency::nearest_neighbors;
+use dpdp_data::{StScorer, StdMatrix};
+use dpdp_nn::Tensor;
+use dpdp_sim::DispatchContext;
+use serde::{Deserialize, Serialize};
+
+/// Number of per-vehicle features.
+pub const STATE_DIM: usize = 5;
+
+/// A self-contained snapshot of one joint state: everything a Q-network
+/// needs to (re)evaluate it later from the replay buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateSnapshot {
+    /// `K x 5` feature matrix.
+    pub features: Tensor,
+    /// Per-vehicle feasibility mask (the constraint embedding).
+    pub feasible: Vec<bool>,
+    /// Per-vehicle neighbour lists for the graph layers.
+    pub neighbors: Vec<Vec<usize>>,
+}
+
+impl StateSnapshot {
+    /// Number of vehicles `K`.
+    pub fn num_vehicles(&self) -> usize {
+        self.feasible.len()
+    }
+
+    /// Whether any vehicle can take the order.
+    pub fn any_feasible(&self) -> bool {
+        self.feasible.iter().any(|&f| f)
+    }
+}
+
+/// Builds [`StateSnapshot`]s from simulator dispatch contexts.
+#[derive(Debug, Clone)]
+pub struct StateBuilder {
+    /// ST scorer; `None` disables the ST-Score feature (the paper's
+    /// DQN/DDQN/DGN/DDGN ablations).
+    scorer: Option<StScorer>,
+    /// Predicted STD matrix for the current day (used with `scorer`).
+    predicted: Option<StdMatrix>,
+    /// Distances are divided by this scale before entering the network.
+    dist_scale: f64,
+    /// Interval indices are divided by this (usually `T`).
+    interval_scale: f64,
+    /// Neighbourhood size `NE`.
+    ne: usize,
+}
+
+impl StateBuilder {
+    /// A builder without ST scoring.
+    pub fn new(dist_scale: f64, num_intervals: usize, ne: usize) -> Self {
+        assert!(dist_scale > 0.0, "dist_scale must be positive");
+        StateBuilder {
+            scorer: None,
+            predicted: None,
+            dist_scale,
+            interval_scale: num_intervals.max(1) as f64,
+            ne,
+        }
+    }
+
+    /// Enables the ST-Score feature with the given scorer.
+    pub fn with_scorer(mut self, scorer: StScorer) -> Self {
+        self.scorer = Some(scorer);
+        self
+    }
+
+    /// Sets the predicted STD matrix for the upcoming episode.
+    pub fn set_prediction(&mut self, predicted: Option<StdMatrix>) {
+        self.predicted = predicted;
+    }
+
+    /// Whether ST scoring is active (scorer and prediction both present).
+    pub fn st_active(&self) -> bool {
+        self.scorer.is_some() && self.predicted.is_some()
+    }
+
+    /// Builds the joint state for one dispatch decision.
+    pub fn build(&self, ctx: &DispatchContext<'_>) -> StateSnapshot {
+        let k = ctx.views.len();
+        let mut features = Tensor::zeros(k, STATE_DIM);
+        let mut feasible = vec![false; k];
+        let t_feat = ctx.interval as f64 / self.interval_scale;
+        for (i, plan) in ctx.plans.iter().enumerate() {
+            let row = i;
+            match &plan.best {
+                Some(best) => {
+                    feasible[i] = true;
+                    let xi = match (&self.scorer, &self.predicted) {
+                        (Some(scorer), Some(pred)) => scorer.score(
+                            &ctx.views[i],
+                            &best.candidate.schedule,
+                            pred,
+                            ctx.fleet.capacity,
+                        ),
+                        _ => 0.0,
+                    };
+                    *features.get_mut(row, 0) = plan.current_length / self.dist_scale;
+                    *features.get_mut(row, 1) = best.length() / self.dist_scale;
+                    *features.get_mut(row, 2) = xi;
+                    *features.get_mut(row, 3) = if ctx.views[i].used { 1.0 } else { 0.0 };
+                    *features.get_mut(row, 4) = t_feat;
+                }
+                None => {
+                    // The paper's Algorithm 2 sentinel values for infeasible
+                    // vehicles; they are masked out of inference anyway.
+                    for c in 0..4 {
+                        *features.get_mut(row, c) = -1.0;
+                    }
+                    *features.get_mut(row, 4) = t_feat;
+                }
+            }
+        }
+        let neighbors = nearest_neighbors(ctx.views, ctx.net, self.ne);
+        StateSnapshot {
+            features,
+            feasible,
+            neighbors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdp_data::FactoryIndex;
+    use dpdp_net::{
+        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork,
+        TimeDelta, TimePoint, VehicleId,
+    };
+    use dpdp_routing::{RoutePlanner, VehicleView};
+
+    fn fixture() -> (RoadNetwork, FleetConfig, Vec<Order>) {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(10.0, 0.0)),
+            Node::factory(NodeId(2), Point::new(20.0, 0.0)),
+        ];
+        let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
+        let fleet = FleetConfig::homogeneous(
+            2,
+            &[NodeId(0)],
+            10.0,
+            500.0,
+            2.0,
+            60.0,
+            TimeDelta::ZERO,
+        )
+        .unwrap();
+        let orders = vec![Order::new(
+            OrderId(0),
+            NodeId(1),
+            NodeId(2),
+            5.0,
+            TimePoint::from_hours(10.0),
+            TimePoint::from_hours(20.0),
+        )
+        .unwrap()];
+        (net, fleet, orders)
+    }
+
+    #[test]
+    fn build_fills_features_and_mask() {
+        let (net, fleet, orders) = fixture();
+        let views = vec![
+            VehicleView::idle_at_depot(VehicleId(0), NodeId(0)),
+            {
+                let mut v = VehicleView::idle_at_depot(VehicleId(1), NodeId(0));
+                v.used = true;
+                v
+            },
+        ];
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        let plans: Vec<_> = views.iter().map(|v| planner.plan(v, &orders[0])).collect();
+        let grid = IntervalGrid::paper_default();
+        let ctx = DispatchContext {
+            order: &orders[0],
+            now: orders[0].created,
+            interval: grid.interval_of(orders[0].created),
+            views: &views,
+            plans: &plans,
+            net: &net,
+            fleet: &fleet,
+            orders: &orders,
+        };
+        let builder = StateBuilder::new(100.0, 144, 4);
+        let snap = builder.build(&ctx);
+        assert_eq!(snap.features.shape(), (2, 5));
+        assert!(snap.feasible.iter().all(|&f| f));
+        assert!(snap.any_feasible());
+        // d = 0 (idle at depot), d' = 40 km / 100.
+        assert_eq!(snap.features.get(0, 0), 0.0);
+        assert!((snap.features.get(0, 1) - 0.4).abs() < 1e-9);
+        // Used flags.
+        assert_eq!(snap.features.get(0, 3), 0.0);
+        assert_eq!(snap.features.get(1, 3), 1.0);
+        // 10:00 -> interval 60 of 144.
+        assert!((snap.features.get(0, 4) - 60.0 / 144.0).abs() < 1e-9);
+        assert_eq!(snap.neighbors.len(), 2);
+    }
+
+    #[test]
+    fn infeasible_vehicle_gets_sentinels() {
+        let (net, fleet, mut orders) = fixture();
+        orders[0].deadline = TimePoint::from_hours(10.001); // impossible
+        let views = vec![VehicleView::idle_at_depot(VehicleId(0), NodeId(0))];
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        let plans: Vec<_> = views.iter().map(|v| planner.plan(v, &orders[0])).collect();
+        let ctx = DispatchContext {
+            order: &orders[0],
+            now: orders[0].created,
+            interval: 60,
+            views: &views,
+            plans: &plans,
+            net: &net,
+            fleet: &fleet,
+            orders: &orders,
+        };
+        let snap = StateBuilder::new(100.0, 144, 4).build(&ctx);
+        assert!(!snap.any_feasible());
+        for c in 0..4 {
+            assert_eq!(snap.features.get(0, c), -1.0);
+        }
+    }
+
+    #[test]
+    fn st_feature_requires_scorer_and_prediction() {
+        let (net, fleet, orders) = fixture();
+        let views = vec![VehicleView::idle_at_depot(VehicleId(0), NodeId(0))];
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        let plans: Vec<_> = views.iter().map(|v| planner.plan(v, &orders[0])).collect();
+        let grid = IntervalGrid::paper_default();
+        let ctx = DispatchContext {
+            order: &orders[0],
+            now: orders[0].created,
+            interval: 60,
+            views: &views,
+            plans: &plans,
+            net: &net,
+            fleet: &fleet,
+            orders: &orders,
+        };
+        // Without prediction the feature stays 0 even with a scorer.
+        let index = FactoryIndex::new(&[NodeId(1), NodeId(2)]);
+        let builder =
+            StateBuilder::new(100.0, 144, 4).with_scorer(StScorer::new(grid, index.clone()));
+        assert!(!builder.st_active());
+        let snap = builder.build(&ctx);
+        assert_eq!(snap.features.get(0, 2), 0.0);
+        // With a prediction concentrated away from the route, score > 0.
+        let mut b2 = StateBuilder::new(100.0, 144, 4).with_scorer(StScorer::new(grid, index));
+        let mut pred = StdMatrix::zeros(2, 144);
+        *pred.get_mut(1, 143) = 50.0;
+        b2.set_prediction(Some(pred));
+        assert!(b2.st_active());
+        let snap2 = b2.build(&ctx);
+        assert!(snap2.features.get(0, 2) > 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Routes, schedules, constraint checks and insertion enumeration.
+//!
+//! This crate implements the *route planner* of the paper (Algorithm 2):
+//! given a vehicle's remaining route and a new order, it enumerates every
+//! way of inserting the order's pickup and delivery stops, checks the
+//! time-window, capacity, LIFO and back-to-depot constraints by simulating
+//! the resulting schedule, and returns the shortest feasible route together
+//! with the quantities the MDP state needs (`d_{t,k}`, `d^i_{t,k}`).
+//!
+//! The central types are:
+//!
+//! * [`Route`] — the remaining stop sequence of a vehicle (the return to the
+//!   depot is implicit and always included in length computations);
+//! * [`VehicleView`] — a snapshot of everything the planner needs to know
+//!   about a vehicle (anchor position/time, cargo stack, remaining route);
+//! * [`simulate_schedule`] — the feasibility oracle;
+//! * [`RoutePlanner`] — Algorithm 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod insertion;
+pub mod planner;
+pub mod route;
+pub mod schedule;
+pub mod stop;
+pub mod view;
+
+pub use constraints::Violation;
+pub use insertion::{best_insertion, enumerate_insertions, BestInsertion, InsertionCandidate};
+pub use planner::{PlannerOutput, RoutePlanner};
+pub use route::Route;
+pub use schedule::{simulate_schedule, Schedule, StopTiming};
+pub use stop::{Stop, StopAction};
+pub use view::VehicleView;

@@ -1,0 +1,179 @@
+//! The route planner: the paper's Algorithm 2.
+
+use crate::insertion::{best_insertion, BestInsertion};
+use crate::view::VehicleView;
+use dpdp_net::{FleetConfig, Order, RoadNetwork};
+use serde::{Deserialize, Serialize};
+
+/// Output of Algorithm 2 for one `(order, vehicle)` pair.
+///
+/// Mirrors the paper's outputs: the feasibility flag `fe^i_{t,k}`, the
+/// current route length `d_{t,k}`, the best temporary route and its length
+/// `d^i_{t,k}`. (The used flag `f_{t,k}` lives on [`VehicleView`]; the ST
+/// Score `xi^i_{t,k}` is computed by `dpdp-data` on top of the best route.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannerOutput {
+    /// Length of the vehicle's current remaining route, `d_{t,k}` (km).
+    pub current_length: f64,
+    /// The shortest feasible temporary route, if any.
+    pub best: Option<BestInsertion>,
+}
+
+impl PlannerOutput {
+    /// The feasibility flag `fe^i_{t,k}`.
+    #[inline]
+    pub fn feasible(&self) -> bool {
+        self.best.is_some()
+    }
+
+    /// Length of the best temporary route `d^i_{t,k}`, if feasible.
+    #[inline]
+    pub fn best_length(&self) -> Option<f64> {
+        self.best.as_ref().map(|b| b.length())
+    }
+
+    /// Incremental distance `Δd^i_{t,k} = d^i_{t,k} - d_{t,k}` caused by
+    /// taking the order, if feasible.
+    #[inline]
+    pub fn incremental_length(&self) -> Option<f64> {
+        self.best_length().map(|l| l - self.current_length)
+    }
+}
+
+/// The route planner (Algorithm 2). Stateless; bundles the problem data it
+/// plans against.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutePlanner<'a> {
+    net: &'a RoadNetwork,
+    fleet: &'a FleetConfig,
+    orders: &'a [Order],
+}
+
+impl<'a> RoutePlanner<'a> {
+    /// Creates a planner over the given problem data. `orders` must be dense
+    /// by id, as guaranteed by [`dpdp_net::Instance`].
+    pub fn new(net: &'a RoadNetwork, fleet: &'a FleetConfig, orders: &'a [Order]) -> Self {
+        RoutePlanner { net, fleet, orders }
+    }
+
+    /// Runs Algorithm 2: checks whether `view`'s vehicle can take `order`,
+    /// and if so finds the shortest feasible temporary route.
+    pub fn plan(&self, view: &VehicleView, order: &Order) -> PlannerOutput {
+        let current_length = view
+            .route
+            .length(self.net, view.anchor_node, view.depot);
+        let best = best_insertion(view, order, self.net, self.fleet, self.orders);
+        PlannerOutput {
+            current_length,
+            best,
+        }
+    }
+
+    /// The network this planner plans against.
+    #[inline]
+    pub fn network(&self) -> &RoadNetwork {
+        self.net
+    }
+
+    /// The fleet configuration this planner plans against.
+    #[inline]
+    pub fn fleet(&self) -> &FleetConfig {
+        self.fleet
+    }
+
+    /// The dense order table this planner plans against.
+    #[inline]
+    pub fn orders(&self) -> &[Order] {
+        self.orders
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::Route;
+    use crate::stop::Stop;
+    use dpdp_net::{Node, NodeId, OrderId, Point, TimeDelta, TimePoint, VehicleId};
+
+    fn setup() -> (RoadNetwork, FleetConfig, Vec<Order>) {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(10.0, 0.0)),
+            Node::factory(NodeId(2), Point::new(20.0, 0.0)),
+        ];
+        let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
+        let fleet = FleetConfig::homogeneous(
+            1,
+            &[NodeId(0)],
+            10.0,
+            500.0,
+            2.0,
+            60.0,
+            TimeDelta::ZERO,
+        )
+        .unwrap();
+        let orders = vec![Order::new(
+            OrderId(0),
+            NodeId(1),
+            NodeId(2),
+            5.0,
+            TimePoint::ZERO,
+            TimePoint::from_hours(24.0),
+        )
+        .unwrap()];
+        (net, fleet, orders)
+    }
+
+    #[test]
+    fn plan_on_idle_vehicle() {
+        let (net, fleet, orders) = setup();
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        let view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        let out = planner.plan(&view, &orders[0]);
+        assert!(out.feasible());
+        assert_eq!(out.current_length, 0.0);
+        assert!((out.best_length().unwrap() - 40.0).abs() < 1e-9);
+        assert!((out.incremental_length().unwrap() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_reports_infeasible_without_best() {
+        let (net, fleet, mut orders) = setup();
+        // Impossible deadline.
+        orders[0].deadline = TimePoint::from_seconds(60.0);
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        let view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        let out = planner.plan(&view, &orders[0]);
+        assert!(!out.feasible());
+        assert_eq!(out.best_length(), None);
+        assert_eq!(out.incremental_length(), None);
+    }
+
+    #[test]
+    fn current_length_reflects_existing_route() {
+        let (net, fleet, orders) = setup();
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        let mut view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        view.route = Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+        ]);
+        // Planning a second copy of the same movement pattern.
+        let o2 = Order::new(
+            OrderId(1),
+            NodeId(1),
+            NodeId(2),
+            4.0,
+            TimePoint::ZERO,
+            TimePoint::from_hours(24.0),
+        )
+        .unwrap();
+        let mut all = orders.clone();
+        all.push(o2.clone());
+        let planner2 = RoutePlanner::new(planner.network(), planner.fleet(), &all);
+        let out = planner2.plan(&view, &o2);
+        assert!((out.current_length - 40.0).abs() < 1e-9);
+        // Best plan hitchhikes: no extra distance.
+        assert!(out.incremental_length().unwrap().abs() < 1e-9);
+    }
+}

@@ -1,0 +1,217 @@
+//! The remaining route of a vehicle.
+
+use crate::stop::{Stop, StopAction};
+use dpdp_net::{NodeId, OrderId, RoadNetwork};
+use serde::{Deserialize, Serialize};
+
+/// The remaining stop sequence of a vehicle. The route starts wherever the
+/// vehicle currently is (its *anchor*, tracked separately by
+/// [`crate::VehicleView`]) and implicitly ends with a return to the depot —
+/// the back-to-depot constraint is therefore structural and cannot be
+/// violated.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    stops: Vec<Stop>,
+}
+
+impl Route {
+    /// An empty route (vehicle idles and returns to its depot).
+    pub fn empty() -> Self {
+        Route::default()
+    }
+
+    /// Builds a route from stops.
+    pub fn from_stops(stops: Vec<Stop>) -> Self {
+        Route { stops }
+    }
+
+    /// The stops in visit order.
+    #[inline]
+    pub fn stops(&self) -> &[Stop] {
+        &self.stops
+    }
+
+    /// Number of remaining stops.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// True if no stops remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stops.is_empty()
+    }
+
+    /// Removes and returns the first stop, if any.
+    pub fn pop_front(&mut self) -> Option<Stop> {
+        if self.stops.is_empty() {
+            None
+        } else {
+            Some(self.stops.remove(0))
+        }
+    }
+
+    /// The first stop, if any.
+    pub fn front(&self) -> Option<&Stop> {
+        self.stops.first()
+    }
+
+    /// Returns a new route with `pickup` inserted at `pickup_pos` and
+    /// `delivery` inserted so that it ends up at position `delivery_pos + 1`
+    /// relative to the original stop list (i.e. `delivery_pos >= pickup_pos`
+    /// counts positions in the *original* route).
+    ///
+    /// # Panics
+    /// Panics if positions are out of range or `delivery_pos < pickup_pos`.
+    pub fn with_insertion(
+        &self,
+        pickup: Stop,
+        pickup_pos: usize,
+        delivery: Stop,
+        delivery_pos: usize,
+    ) -> Route {
+        assert!(pickup_pos <= self.stops.len(), "pickup_pos out of range");
+        assert!(delivery_pos <= self.stops.len(), "delivery_pos out of range");
+        assert!(delivery_pos >= pickup_pos, "delivery before pickup");
+        let mut stops = Vec::with_capacity(self.stops.len() + 2);
+        stops.extend_from_slice(&self.stops[..pickup_pos]);
+        stops.push(pickup);
+        stops.extend_from_slice(&self.stops[pickup_pos..delivery_pos]);
+        stops.push(delivery);
+        stops.extend_from_slice(&self.stops[delivery_pos..]);
+        Route { stops }
+    }
+
+    /// The full node sequence `anchor -> stops... -> depot`.
+    pub fn node_sequence(&self, anchor: NodeId, depot: NodeId) -> Vec<NodeId> {
+        let mut seq = Vec::with_capacity(self.stops.len() + 2);
+        seq.push(anchor);
+        seq.extend(self.stops.iter().map(|s| s.node));
+        seq.push(depot);
+        seq
+    }
+
+    /// Length of the remaining route in km: from `anchor` through every stop
+    /// and back to `depot`. An empty route anchored at the depot has length 0.
+    pub fn length(&self, net: &RoadNetwork, anchor: NodeId, depot: NodeId) -> f64 {
+        net.path_length(&self.node_sequence(anchor, depot))
+    }
+
+    /// Orders with a pickup stop still in this route.
+    pub fn pending_pickups(&self) -> Vec<OrderId> {
+        self.stops
+            .iter()
+            .filter_map(|s| match s.action {
+                StopAction::Pickup(o) => Some(o),
+                StopAction::Delivery(_) => None,
+            })
+            .collect()
+    }
+
+    /// Orders with a delivery stop still in this route.
+    pub fn pending_deliveries(&self) -> Vec<OrderId> {
+        self.stops
+            .iter()
+            .filter_map(|s| match s.action {
+                StopAction::Delivery(o) => Some(o),
+                StopAction::Pickup(_) => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdp_net::{Node, Point, RoadNetwork};
+
+    fn line_net() -> RoadNetwork {
+        // Nodes 0(depot),1,2,3 on a line at x = 0,1,2,3.
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(1.0, 0.0)),
+            Node::factory(NodeId(2), Point::new(2.0, 0.0)),
+            Node::factory(NodeId(3), Point::new(3.0, 0.0)),
+        ];
+        RoadNetwork::euclidean(nodes, 1.0).unwrap()
+    }
+
+    #[test]
+    fn empty_route_at_depot_has_zero_length() {
+        let net = line_net();
+        let r = Route::empty();
+        assert_eq!(r.length(&net, NodeId(0), NodeId(0)), 0.0);
+        // Empty route away from depot: must still drive home.
+        assert!((r.length(&net, NodeId(2), NodeId(0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_includes_depot_return() {
+        let net = line_net();
+        let r = Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(3), OrderId(0)),
+        ]);
+        // 0 -> 1 -> 3 -> 0 = 1 + 2 + 3 = 6.
+        assert!((r.length(&net, NodeId(0), NodeId(0)) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_positions_are_relative_to_original() {
+        let r = Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+        ]);
+        let p = Stop::pickup(NodeId(3), OrderId(1));
+        let d = Stop::delivery(NodeId(1), OrderId(1));
+        // Insert pickup at 1 and delivery at 1: P0 [P1 D1] D0.
+        let r2 = r.with_insertion(p, 1, d, 1);
+        assert_eq!(
+            r2.stops(),
+            &[
+                Stop::pickup(NodeId(1), OrderId(0)),
+                p,
+                d,
+                Stop::delivery(NodeId(2), OrderId(0)),
+            ]
+        );
+        // Insert around everything: [P1] P0 D0 [D1].
+        let r3 = r.with_insertion(p, 0, d, 2);
+        assert_eq!(r3.stops()[0], p);
+        assert_eq!(r3.stops()[3], d);
+        assert_eq!(r3.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "delivery before pickup")]
+    fn insertion_rejects_delivery_before_pickup() {
+        let r = Route::from_stops(vec![Stop::pickup(NodeId(1), OrderId(0))]);
+        let p = Stop::pickup(NodeId(2), OrderId(1));
+        let d = Stop::delivery(NodeId(3), OrderId(1));
+        let _ = r.with_insertion(p, 1, d, 0);
+    }
+
+    #[test]
+    fn pending_accessors() {
+        let r = Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+            Stop::delivery(NodeId(3), OrderId(9)),
+        ]);
+        assert_eq!(r.pending_pickups(), vec![OrderId(0)]);
+        assert_eq!(r.pending_deliveries(), vec![OrderId(0), OrderId(9)]);
+    }
+
+    #[test]
+    fn pop_front_consumes_in_order() {
+        let mut r = Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+        ]);
+        assert_eq!(r.pop_front(), Some(Stop::pickup(NodeId(1), OrderId(0))));
+        assert_eq!(r.front(), Some(&Stop::delivery(NodeId(2), OrderId(0))));
+        assert_eq!(r.pop_front(), Some(Stop::delivery(NodeId(2), OrderId(0))));
+        assert_eq!(r.pop_front(), None);
+    }
+}

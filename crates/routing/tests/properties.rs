@@ -1,0 +1,204 @@
+//! Property-based tests for routes, schedules and insertion enumeration.
+
+use dpdp_net::*;
+use dpdp_routing::*;
+use proptest::prelude::*;
+
+/// A random campus-like fixture: depot + factories, fleet, and orders.
+#[derive(Debug, Clone)]
+struct Fixture {
+    net: RoadNetwork,
+    fleet: FleetConfig,
+    orders: Vec<Order>,
+}
+
+fn arb_fixture() -> impl Strategy<Value = Fixture> {
+    (
+        proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0), 4..8),
+        proptest::collection::vec(
+            (0.5f64..5.0, 0.0f64..12.0, 4.0f64..24.0),
+            1..6,
+        ),
+        1.0f64..1.5,
+    )
+        .prop_map(|(pts, order_params, detour)| {
+            let nodes: Vec<Node> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| {
+                    if i == 0 {
+                        Node::depot(NodeId::from_index(i), Point::new(x, y))
+                    } else {
+                        Node::factory(NodeId::from_index(i), Point::new(x, y))
+                    }
+                })
+                .collect();
+            let nf = nodes.len() - 1;
+            let net = RoadNetwork::euclidean(nodes, detour).unwrap();
+            let fleet = FleetConfig::homogeneous(
+                2,
+                &[NodeId(0)],
+                10.0,
+                300.0,
+                2.0,
+                40.0,
+                TimeDelta::from_minutes(3.0),
+            )
+            .unwrap();
+            let orders: Vec<Order> = order_params
+                .iter()
+                .enumerate()
+                .map(|(i, &(q, created_h, slack_h))| {
+                    let p = 1 + (i % nf);
+                    let d = 1 + ((i + 1) % nf);
+                    let (p, d) = if p == d { (p, 1 + ((p) % nf).max(1)) } else { (p, d) };
+                    let d = if p == d { 1 + (p % nf) } else { d };
+                    // Guarantee distinct pickup/delivery.
+                    let d = if p == d { if p == 1 { 2 } else { 1 } } else { d };
+                    Order::new(
+                        OrderId(i as u32),
+                        NodeId::from_index(p),
+                        NodeId::from_index(d),
+                        q,
+                        TimePoint::from_hours(created_h),
+                        TimePoint::from_hours(created_h + slack_h),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            Fixture { net, fleet, orders }
+        })
+}
+
+/// Builds a view whose route greedily accumulates the first `n` orders.
+fn accumulate(fix: &Fixture, n: usize) -> VehicleView {
+    let mut view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+    for order in fix.orders.iter().take(n) {
+        if let Some(best) = best_insertion(&view, order, &fix.net, &fix.fleet, &fix.orders) {
+            view.route = best.candidate.route;
+            view.used = true;
+        }
+    }
+    view
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any candidate returned by the insertion enumeration re-simulates
+    /// feasibly, has exactly the original stops plus the new pair, and is at
+    /// least as long as the current route (metric distances).
+    #[test]
+    fn insertion_candidates_are_sound(fix in arb_fixture()) {
+        let n = fix.orders.len();
+        prop_assume!(n >= 2);
+        let view = accumulate(&fix, n - 1);
+        let current = view.route.length(&fix.net, view.anchor_node, view.depot);
+        let order = &fix.orders[n - 1];
+        for cand in enumerate_insertions(&view, order, &fix.net, &fix.fleet, &fix.orders) {
+            // Re-simulation agrees.
+            let sched = simulate_schedule(&view, &cand.route, &fix.net, &fix.fleet, &fix.orders)
+                .expect("candidate must be feasible");
+            prop_assert!((sched.total_length - cand.schedule.total_length).abs() < 1e-9);
+            // Stop multiset: original + pickup + delivery.
+            prop_assert_eq!(cand.route.len(), view.route.len() + 2);
+            let mut extra: Vec<Stop> = cand.route.stops().to_vec();
+            for s in view.route.stops() {
+                let pos = extra.iter().position(|x| x == s).expect("original stop kept");
+                extra.remove(pos);
+            }
+            extra.sort_by_key(|s| s.action.is_pickup());
+            prop_assert_eq!(extra.len(), 2);
+            prop_assert_eq!(extra[1], Stop::pickup(order.pickup, order.id));
+            prop_assert_eq!(extra[0], Stop::delivery(order.delivery, order.id));
+            // Monotone length.
+            prop_assert!(cand.length() >= current - 1e-9);
+        }
+    }
+
+    /// `best_insertion` returns the minimum-length candidate of the full
+    /// enumeration.
+    #[test]
+    fn best_insertion_is_argmin(fix in arb_fixture()) {
+        let n = fix.orders.len();
+        let view = accumulate(&fix, n.saturating_sub(1));
+        let order = &fix.orders[n - 1];
+        let all = enumerate_insertions(&view, order, &fix.net, &fix.fleet, &fix.orders);
+        let best = best_insertion(&view, order, &fix.net, &fix.fleet, &fix.orders);
+        match (all.is_empty(), best) {
+            (true, None) => {}
+            (false, Some(b)) => {
+                let min = all.iter().map(|c| c.length()).fold(f64::INFINITY, f64::min);
+                prop_assert!((b.length() - min).abs() < 1e-9);
+                prop_assert_eq!(b.num_feasible, all.len());
+            }
+            (empty, b) => prop_assert!(false, "mismatch: empty={empty}, best={:?}", b.map(|x| x.length())),
+        }
+    }
+
+    /// Schedules are temporally coherent: arrivals never precede the
+    /// previous departure, service never starts before arrival, the load
+    /// stays within [0, Q], and the LIFO stack discipline holds throughout.
+    #[test]
+    fn schedules_are_temporally_coherent(fix in arb_fixture()) {
+        let view = accumulate(&fix, fix.orders.len());
+        let sched = simulate_schedule(&view, &view.route, &fix.net, &fix.fleet, &fix.orders);
+        prop_assume!(view.route.len() >= 2);
+        let sched = sched.expect("accumulated route must stay feasible");
+        let mut prev_departure = view.anchor_time;
+        let mut stack: Vec<OrderId> = Vec::new();
+        for t in &sched.timings {
+            prop_assert!(t.arrival >= prev_departure);
+            prop_assert!(t.service_start >= t.arrival);
+            prop_assert!(t.departure >= t.service_start);
+            prop_assert!(t.load_after >= -1e-9);
+            prop_assert!(t.load_after <= fix.fleet.capacity + 1e-9);
+            match t.stop.action {
+                StopAction::Pickup(o) => stack.push(o),
+                StopAction::Delivery(o) => {
+                    prop_assert_eq!(stack.pop(), Some(o), "LIFO order violated");
+                }
+            }
+            prev_departure = t.departure;
+        }
+        prop_assert!(stack.is_empty(), "cargo left on board");
+        prop_assert!(sched.max_load <= fix.fleet.capacity + 1e-9);
+    }
+
+    /// Route length equals the schedule's driven length for any feasible
+    /// accumulated route.
+    #[test]
+    fn route_length_matches_schedule(fix in arb_fixture()) {
+        let view = accumulate(&fix, fix.orders.len());
+        if let Ok(sched) =
+            simulate_schedule(&view, &view.route, &fix.net, &fix.fleet, &fix.orders)
+        {
+            let len = view.route.length(&fix.net, view.anchor_node, view.depot);
+            prop_assert!((len - sched.total_length).abs() < 1e-9);
+        }
+    }
+
+    /// `with_insertion` at every legal position pair preserves the relative
+    /// order of pre-existing stops.
+    #[test]
+    fn with_insertion_preserves_relative_order(
+        fix in arb_fixture(),
+        raw_i in 0usize..20,
+        raw_j in 0usize..20,
+    ) {
+        let view = accumulate(&fix, fix.orders.len().saturating_sub(1));
+        let n = view.route.len();
+        let i = raw_i % (n + 1);
+        let j = i + (raw_j % (n + 1 - i));
+        let p = Stop::pickup(NodeId(1), OrderId(999));
+        let d = Stop::delivery(NodeId(2), OrderId(999));
+        let inserted = view.route.with_insertion(p, i, d, j);
+        let filtered: Vec<Stop> = inserted
+            .stops()
+            .iter()
+            .filter(|s| s.action.order() != OrderId(999))
+            .copied()
+            .collect();
+        prop_assert_eq!(filtered.as_slice(), view.route.stops());
+    }
+}

@@ -1,0 +1,80 @@
+//! The dispatcher abstraction: who serves the next order?
+
+use dpdp_net::{FleetConfig, Instance, Order, RoadNetwork, TimePoint, VehicleId};
+use dpdp_routing::{PlannerOutput, VehicleView};
+
+/// Everything a dispatching policy may look at when assigning one order.
+///
+/// This is the joint state `S^i_t` of the paper's MDP in raw form: one
+/// [`VehicleView`] and one [`PlannerOutput`] (Algorithm 2 result) per
+/// vehicle, plus the decision time and its interval index.
+#[derive(Debug)]
+pub struct DispatchContext<'a> {
+    /// The order being assigned.
+    pub order: &'a Order,
+    /// Wall-clock decision time (order creation, or the buffer flush time).
+    pub now: TimePoint,
+    /// Index of the current time interval `t` on the instance grid.
+    pub interval: usize,
+    /// Per-vehicle snapshots, dense by vehicle id.
+    pub views: &'a [VehicleView],
+    /// Per-vehicle Algorithm 2 outputs, dense by vehicle id.
+    pub plans: &'a [PlannerOutput],
+    /// The road network.
+    pub net: &'a RoadNetwork,
+    /// The fleet configuration.
+    pub fleet: &'a FleetConfig,
+    /// Dense order table for the whole instance.
+    pub orders: &'a [Order],
+}
+
+impl<'a> DispatchContext<'a> {
+    /// Ids of vehicles that can feasibly take the order.
+    pub fn feasible_vehicles(&self) -> impl Iterator<Item = VehicleId> + '_ {
+        self.plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.feasible())
+            .map(|(k, _)| VehicleId::from_index(k))
+    }
+
+    /// Whether any vehicle can take the order.
+    pub fn any_feasible(&self) -> bool {
+        self.plans.iter().any(|p| p.feasible())
+    }
+}
+
+/// A dispatching policy: picks the vehicle that serves each incoming order.
+///
+/// Returning `None`, or a vehicle whose plan is infeasible, rejects the
+/// order (the simulator records it as unserved).
+pub trait Dispatcher {
+    /// Chooses a vehicle for the order in `ctx`.
+    fn dispatch(&mut self, ctx: &DispatchContext<'_>) -> Option<VehicleId>;
+
+    /// Called once when an episode starts, with the instance being run.
+    fn begin_episode(&mut self, _instance: &Instance) {}
+
+    /// Called once when the episode ends.
+    fn end_episode(&mut self) {}
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str {
+        "dispatcher"
+    }
+}
+
+/// A trivial dispatcher for tests and smoke runs: picks the first feasible
+/// vehicle in id order.
+#[derive(Debug, Default, Clone)]
+pub struct FirstFeasible;
+
+impl Dispatcher for FirstFeasible {
+    fn dispatch(&mut self, ctx: &DispatchContext<'_>) -> Option<VehicleId> {
+        ctx.feasible_vehicles().next()
+    }
+
+    fn name(&self) -> &str {
+        "first-feasible"
+    }
+}

@@ -1,0 +1,25 @@
+//! Event-driven DPDP simulator — the paper's Algorithm 1.
+//!
+//! The simulator replays a day (an *episode*) of delivery orders against a
+//! fleet. Orders are processed in ascending creation time ("immediate
+//! service", Section IV-D); before each decision every vehicle's runtime
+//! state is advanced to the decision time; the route planner (Algorithm 2,
+//! from `dpdp-routing`) computes each vehicle's feasibility and candidate
+//! route; and a pluggable [`Dispatcher`] picks the serving vehicle.
+//!
+//! The crate also implements the fixed-interval *buffering* strategy the
+//! paper discusses (and rejects for response-time reasons) in Section IV-D,
+//! so that the trade-off can be reproduced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dispatcher;
+pub mod metrics;
+pub mod simulator;
+pub mod state;
+
+pub use dispatcher::{DispatchContext, Dispatcher};
+pub use metrics::{AssignmentRecord, EpisodeMetrics, EpisodeResult, VehicleStats};
+pub use simulator::{BufferingMode, SimConfig, Simulator};
+pub use state::VehicleState;

@@ -1,0 +1,108 @@
+//! Episode outcome metrics: NUV, TTL, TC (Section V-A of the paper).
+
+use dpdp_net::{OrderId, TimePoint, VehicleId};
+use serde::{Deserialize, Serialize};
+
+/// One dispatch decision recorded by the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentRecord {
+    /// The order assigned (or rejected).
+    pub order: OrderId,
+    /// The serving vehicle, or `None` if the order was rejected.
+    pub vehicle: Option<VehicleId>,
+    /// Decision time.
+    pub time: TimePoint,
+    /// Time-interval index of the decision.
+    pub interval: usize,
+    /// Remaining-route length of the chosen vehicle before the assignment
+    /// (`d_{t,k}`), km. Zero for rejections.
+    pub prev_length: f64,
+    /// Remaining-route length after the assignment (`d^i_{t,k}`), km.
+    pub new_length: f64,
+    /// Whether the chosen vehicle had been used before this assignment.
+    pub vehicle_was_used: bool,
+}
+
+impl AssignmentRecord {
+    /// Incremental distance `Δd` caused by the assignment, km.
+    #[inline]
+    pub fn incremental_length(&self) -> f64 {
+        self.new_length - self.prev_length
+    }
+}
+
+/// Aggregate metrics of one episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeMetrics {
+    /// Number of Used Vehicles.
+    pub nuv: usize,
+    /// Total Travel Length over all used vehicles, km (committed plus
+    /// remaining-route distance at episode end).
+    pub ttl: f64,
+    /// Total Cost `TC = mu * NUV + delta * TTL`.
+    pub total_cost: f64,
+    /// Orders successfully assigned.
+    pub served: usize,
+    /// Orders no vehicle could feasibly take (or the dispatcher declined).
+    pub rejected: usize,
+    /// Mean seconds between an order's creation and its dispatch decision.
+    /// Zero under immediate service; positive under buffering (Section IV-D).
+    pub avg_response_secs: f64,
+}
+
+/// Per-vehicle end-of-episode statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VehicleStats {
+    /// The vehicle.
+    pub vehicle: VehicleId,
+    /// Whether the vehicle served anything.
+    pub used: bool,
+    /// Total travel length (committed + remaining), km.
+    pub travel_km: f64,
+    /// Orders accepted over the episode.
+    pub orders_accepted: usize,
+}
+
+/// Full outcome of one simulated episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeResult {
+    /// Aggregate metrics.
+    pub metrics: EpisodeMetrics,
+    /// Per-order dispatch log in processing order.
+    pub assignments: Vec<AssignmentRecord>,
+    /// Per-vehicle statistics, dense by vehicle id.
+    pub vehicles: Vec<VehicleStats>,
+}
+
+impl EpisodeResult {
+    /// Convenience accessor: number of used vehicles.
+    #[inline]
+    pub fn nuv(&self) -> usize {
+        self.metrics.nuv
+    }
+
+    /// Convenience accessor: total cost.
+    #[inline]
+    pub fn total_cost(&self) -> f64 {
+        self.metrics.total_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_length() {
+        let r = AssignmentRecord {
+            order: OrderId(0),
+            vehicle: Some(VehicleId(1)),
+            time: TimePoint::ZERO,
+            interval: 0,
+            prev_length: 12.0,
+            new_length: 20.0,
+            vehicle_was_used: true,
+        };
+        assert!((r.incremental_length() - 8.0).abs() < 1e-12);
+    }
+}

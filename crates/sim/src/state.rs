@@ -1,0 +1,234 @@
+//! Runtime state of one vehicle during an episode.
+
+use dpdp_net::{FleetConfig, Order, RoadNetwork, TimePoint, VehicleConfig};
+use dpdp_routing::{Route, StopAction, VehicleView};
+
+/// The evolving state of a vehicle: a [`VehicleView`] snapshot (anchor, cargo
+/// stack, remaining route) plus the distance already driven.
+///
+/// The *anchor* invariant: `view.anchor_node` / `view.anchor_time` always
+/// describe the next point in space-time where the vehicle is free to change
+/// plans. While a leg is being driven the anchor is that leg's destination —
+/// this is how the paper's "no interference with in-service vehicles" rule is
+/// enforced: route edits only touch stops after the anchor.
+#[derive(Debug, Clone)]
+pub struct VehicleState {
+    /// The planner-facing snapshot.
+    pub view: VehicleView,
+    /// Kilometres of already-committed driving (executed legs).
+    pub traveled: f64,
+    /// Number of orders this vehicle has accepted.
+    pub orders_accepted: usize,
+}
+
+impl VehicleState {
+    /// Fresh state for a vehicle idling at its depot at time zero.
+    pub fn new(config: &VehicleConfig) -> Self {
+        VehicleState {
+            view: VehicleView::idle_at_depot(config.id, config.depot),
+            traveled: 0.0,
+            orders_accepted: 0,
+        }
+    }
+
+    /// Advances the vehicle to wall-clock time `now`, committing every route
+    /// leg whose departure has already happened.
+    ///
+    /// A vehicle departs toward its next stop the moment it becomes free, so
+    /// a leg is committed (distance accrued, cargo stack updated, anchor
+    /// moved to the leg destination) as soon as `anchor_time <= now`. After
+    /// the loop, an idle vehicle's anchor time is brought forward to `now`.
+    pub fn advance_to(
+        &mut self,
+        now: TimePoint,
+        net: &RoadNetwork,
+        fleet: &FleetConfig,
+        orders: &[Order],
+    ) {
+        loop {
+            if self.view.route.is_empty() {
+                break;
+            }
+            if self.view.anchor_time > now {
+                // Still executing the previous leg; destination is locked.
+                break;
+            }
+            let stop = self
+                .view
+                .route
+                .pop_front()
+                .expect("route checked non-empty");
+            let leg = net.distance(self.view.anchor_node, stop.node);
+            self.traveled += leg;
+            let arrival = self.view.anchor_time + fleet.travel_time(leg);
+            let order = &orders[stop.action.order().index()];
+            let service_start = match stop.action {
+                StopAction::Pickup(id) => {
+                    self.view.onboard.push((id, order.quantity));
+                    arrival.max(order.created)
+                }
+                StopAction::Delivery(id) => {
+                    debug_assert_eq!(
+                        self.view.onboard.last().map(|&(o, _)| o),
+                        Some(id),
+                        "simulator executed a LIFO-violating route"
+                    );
+                    self.view.onboard.pop();
+                    arrival
+                }
+            };
+            self.view.anchor_node = stop.node;
+            self.view.anchor_time = service_start + fleet.service_time;
+        }
+        if self.view.route.is_empty() && self.view.anchor_time < now {
+            self.view.anchor_time = now;
+        }
+    }
+
+    /// Commits an assignment: replaces the remaining route and marks the
+    /// vehicle used.
+    pub fn accept(&mut self, route: Route) {
+        self.view.route = route;
+        self.view.used = true;
+        self.orders_accepted += 1;
+    }
+
+    /// Whether the vehicle has served (or accepted) any order.
+    #[inline]
+    pub fn used(&self) -> bool {
+        self.view.used
+    }
+
+    /// Total travel length if the vehicle finished its remaining route now:
+    /// executed kilometres plus remaining route (anchor through stops, home
+    /// to depot). Unused vehicles report 0.
+    pub fn final_travel_length(&self, net: &RoadNetwork) -> f64 {
+        if !self.used() {
+            return 0.0;
+        }
+        self.traveled
+            + self
+                .view
+                .route
+                .length(net, self.view.anchor_node, self.view.depot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdp_net::{Node, NodeId, OrderId, Point, TimeDelta, VehicleId};
+    use dpdp_routing::Stop;
+
+    fn setup() -> (RoadNetwork, FleetConfig, Vec<Order>) {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(10.0, 0.0)),
+            Node::factory(NodeId(2), Point::new(20.0, 0.0)),
+        ];
+        let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
+        let fleet = FleetConfig::homogeneous(
+            1,
+            &[NodeId(0)],
+            10.0,
+            500.0,
+            2.0,
+            60.0,
+            TimeDelta::from_minutes(5.0),
+        )
+        .unwrap();
+        let orders = vec![Order::new(
+            OrderId(0),
+            NodeId(1),
+            NodeId(2),
+            5.0,
+            TimePoint::ZERO,
+            TimePoint::from_hours(24.0),
+        )
+        .unwrap()];
+        (net, fleet, orders)
+    }
+
+    fn state(fleet: &FleetConfig) -> VehicleState {
+        VehicleState::new(fleet.vehicle(VehicleId(0)))
+    }
+
+    #[test]
+    fn advance_commits_departed_legs_only() {
+        let (net, fleet, orders) = setup();
+        let mut s = state(&fleet);
+        s.accept(dpdp_routing::Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+        ]));
+        // At t = 0 the vehicle departs immediately: first leg is committed,
+        // anchor moves to node 1 at (10 min travel + 5 min service) = 15 min.
+        s.advance_to(TimePoint::ZERO, &net, &fleet, &orders);
+        assert_eq!(s.view.anchor_node, NodeId(1));
+        assert!((s.view.anchor_time.seconds() - 900.0).abs() < 1e-6);
+        assert_eq!(s.view.route.len(), 1);
+        assert!((s.traveled - 10.0).abs() < 1e-12);
+        assert_eq!(s.view.onboard.len(), 1);
+
+        // At 10 minutes, still servicing at node 1; nothing more commits.
+        s.advance_to(TimePoint::from_seconds(600.0), &net, &fleet, &orders);
+        assert_eq!(s.view.route.len(), 1);
+
+        // At 15 minutes it departs the delivery leg.
+        s.advance_to(TimePoint::from_seconds(900.0), &net, &fleet, &orders);
+        assert_eq!(s.view.anchor_node, NodeId(2));
+        assert!(s.view.route.is_empty());
+        assert!(s.view.onboard.is_empty());
+        assert!((s.traveled - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_vehicle_anchor_time_tracks_now() {
+        let (net, fleet, orders) = setup();
+        let mut s = state(&fleet);
+        s.advance_to(TimePoint::from_hours(3.0), &net, &fleet, &orders);
+        assert_eq!(s.view.anchor_time, TimePoint::from_hours(3.0));
+        assert_eq!(s.view.anchor_node, NodeId(0));
+        assert!(!s.used());
+    }
+
+    #[test]
+    fn final_travel_length_includes_remaining_and_home() {
+        let (net, fleet, orders) = setup();
+        let mut s = state(&fleet);
+        assert_eq!(s.final_travel_length(&net), 0.0);
+        s.accept(dpdp_routing::Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+        ]));
+        // Nothing executed yet: full route from depot = 10 + 10 + 20 = 40.
+        assert!((s.final_travel_length(&net) - 40.0).abs() < 1e-9);
+        // After full execution the remaining part is just home from node 2.
+        s.advance_to(TimePoint::from_hours(1.0), &net, &fleet, &orders);
+        assert!((s.final_travel_length(&net) - 40.0).abs() < 1e-9);
+        assert!((s.traveled - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waiting_for_order_creation_delays_anchor() {
+        let (net, fleet, _) = setup();
+        let orders = vec![Order::new(
+            OrderId(0),
+            NodeId(1),
+            NodeId(2),
+            5.0,
+            TimePoint::from_hours(2.0),
+            TimePoint::from_hours(24.0),
+        )
+        .unwrap()];
+        let mut s = state(&fleet);
+        s.accept(dpdp_routing::Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+        ]));
+        s.advance_to(TimePoint::ZERO, &net, &fleet, &orders);
+        // Arrives at 10 min but waits until 2 h for the cargo; departs 2h05.
+        assert_eq!(s.view.anchor_node, NodeId(1));
+        assert!((s.view.anchor_time.seconds() - (7200.0 + 300.0)).abs() < 1e-6);
+    }
+}

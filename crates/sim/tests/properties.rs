@@ -1,0 +1,147 @@
+//! Property-based tests for the simulator: conservation laws and execution
+//! coherence over random instances and dispatchers.
+
+use dpdp_net::*;
+use dpdp_sim::dispatcher::FirstFeasible;
+use dpdp_sim::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    instance: Instance,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec((0.0f64..40.0, 0.0f64..40.0), 4..8),
+        proptest::collection::vec((0.5f64..6.0, 0.0f64..20.0, 2.0f64..10.0), 1..10),
+        1usize..5,
+    )
+        .prop_map(|(pts, order_params, k)| {
+            let nodes: Vec<Node> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| {
+                    if i == 0 {
+                        Node::depot(NodeId::from_index(i), Point::new(x, y))
+                    } else {
+                        Node::factory(NodeId::from_index(i), Point::new(x, y))
+                    }
+                })
+                .collect();
+            let nf = nodes.len() - 1;
+            let net = RoadNetwork::euclidean(nodes, 1.2).unwrap();
+            let fleet = FleetConfig::homogeneous(
+                k,
+                &[NodeId(0)],
+                10.0,
+                300.0,
+                2.0,
+                40.0,
+                TimeDelta::from_minutes(2.0),
+            )
+            .unwrap();
+            let orders: Vec<Order> = order_params
+                .iter()
+                .enumerate()
+                .map(|(i, &(q, created_h, slack_h))| {
+                    let p = 1 + (i % nf);
+                    let mut d = 1 + ((i * 3 + 1) % nf);
+                    if d == p {
+                        d = 1 + (d % nf);
+                        if d == p {
+                            d = if p == 1 { 2 } else { 1 };
+                        }
+                    }
+                    Order::new(
+                        OrderId(i as u32),
+                        NodeId::from_index(p),
+                        NodeId::from_index(d),
+                        q,
+                        TimePoint::from_hours(created_h),
+                        TimePoint::from_hours(created_h + slack_h),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            Scenario {
+                instance: Instance::new(net, fleet, IntervalGrid::paper_default(), orders)
+                    .unwrap(),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation & identity laws hold for any instance: every order is
+    /// either served or rejected, TC matches its definition, NUV is
+    /// bounded by fleet size and by distinct serving vehicles.
+    #[test]
+    fn episode_conservation_laws(s in arb_scenario()) {
+        let result = Simulator::new(&s.instance).run(&mut FirstFeasible);
+        let m = &result.metrics;
+        prop_assert_eq!(m.served + m.rejected, s.instance.num_orders());
+        prop_assert_eq!(result.assignments.len(), s.instance.num_orders());
+        let expect = s.instance.fleet.total_cost(m.nuv, m.ttl);
+        prop_assert!((m.total_cost - expect).abs() < 1e-6);
+        let distinct: std::collections::BTreeSet<_> = result
+            .assignments
+            .iter()
+            .filter_map(|a| a.vehicle)
+            .collect();
+        prop_assert_eq!(m.nuv, distinct.len());
+        prop_assert!(m.nuv <= s.instance.num_vehicles());
+        prop_assert!(m.ttl >= 0.0);
+        prop_assert_eq!(m.avg_response_secs, 0.0);
+    }
+
+    /// Assignment records are monotone in time and consistent: every served
+    /// order's new length is at least its previous length (metric), and
+    /// `vehicle_was_used` is false exactly once per used vehicle.
+    #[test]
+    fn assignment_log_is_coherent(s in arb_scenario()) {
+        let result = Simulator::new(&s.instance).run(&mut FirstFeasible);
+        let mut prev_time = TimePoint::ZERO;
+        let mut activations = std::collections::BTreeMap::new();
+        for a in &result.assignments {
+            prop_assert!(a.time >= prev_time);
+            prev_time = a.time;
+            if let Some(v) = a.vehicle {
+                prop_assert!(a.new_length >= a.prev_length - 1e-9);
+                if !a.vehicle_was_used {
+                    *activations.entry(v).or_insert(0usize) += 1;
+                }
+            }
+        }
+        for (v, n) in activations {
+            prop_assert_eq!(n, 1, "vehicle {} activated more than once", v);
+        }
+    }
+
+    /// Buffering never *decreases* response time and never serves more
+    /// orders than immediate dispatch rejects fewer of (deadlines only get
+    /// tighter when decisions are delayed).
+    #[test]
+    fn buffering_only_delays(s in arb_scenario(), minutes in 1.0f64..120.0) {
+        let immediate = Simulator::new(&s.instance).run(&mut FirstFeasible);
+        let cfg = SimConfig {
+            buffering: BufferingMode::FixedInterval(TimeDelta::from_minutes(minutes)),
+        };
+        let buffered = Simulator::with_config(&s.instance, cfg).run(&mut FirstFeasible);
+        prop_assert!(buffered.metrics.avg_response_secs >= 0.0);
+        prop_assert!(
+            buffered.metrics.avg_response_secs >= immediate.metrics.avg_response_secs
+        );
+        prop_assert!(buffered.metrics.served <= s.instance.num_orders());
+    }
+
+    /// Replaying the same instance with the same dispatcher is bit-stable.
+    #[test]
+    fn simulation_is_deterministic(s in arb_scenario()) {
+        let a = Simulator::new(&s.instance).run(&mut FirstFeasible);
+        let b = Simulator::new(&s.instance).run(&mut FirstFeasible);
+        prop_assert_eq!(a.metrics, b.metrics);
+        prop_assert_eq!(a.assignments, b.assignments);
+    }
+}

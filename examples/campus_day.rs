@@ -1,0 +1,61 @@
+//! Industry-scale day: replay one full generated day of campus orders
+//! (600+ with the paper-scale dataset) against a 150-vehicle fleet under
+//! all three greedy baselines, and inspect the dispatch log.
+//!
+//! ```text
+//! cargo run -p dpdp-core --release --example campus_day
+//! ```
+
+use dpdp_core::models;
+use dpdp_core::prelude::*;
+
+fn main() {
+    let presets = Presets::quick();
+    let instance = presets.industry_instance(0);
+    println!(
+        "industry day: {} orders, {} vehicles, total cargo {:.1}",
+        instance.num_orders(),
+        instance.num_vehicles(),
+        instance.total_quantity()
+    );
+
+    for mut dispatcher in [models::baseline1(), models::baseline2(), models::baseline3()] {
+        let row = evaluate(&mut *dispatcher, &instance);
+        println!(
+            "{:<10} NUV {:>3}  TC {:>10.1}  TTL {:>8.1} km  served {:>3}  rejected {:>2}  ({:.2}s)",
+            row.algo, row.nuv, row.total_cost, row.ttl, row.served, row.rejected, row.wall_secs
+        );
+    }
+
+    // A closer look at Baseline 1's dispatch log.
+    let mut b1 = models::baseline1();
+    let result = Simulator::new(&instance).run(&mut *b1);
+    let hitchhikes = result
+        .assignments
+        .iter()
+        .filter(|a| a.vehicle.is_some() && a.incremental_length() < 1.0)
+        .count();
+    let fresh = result
+        .assignments
+        .iter()
+        .filter(|a| a.vehicle.is_some() && !a.vehicle_was_used)
+        .count();
+    println!(
+        "\nBaseline1 dispatch log: {} assignments, {} near-free hitchhikes (<1 km), {} vehicle activations",
+        result.assignments.len(),
+        hitchhikes,
+        fresh
+    );
+    // Busiest interval of the day.
+    let mut per_interval = std::collections::HashMap::new();
+    for a in &result.assignments {
+        *per_interval.entry(a.interval).or_insert(0usize) += 1;
+    }
+    if let Some((interval, count)) = per_interval.iter().max_by_key(|(_, c)| **c) {
+        println!(
+            "busiest 10-minute interval: #{interval} ({count} orders) — around {:02}:{:02}",
+            interval / 6,
+            (interval % 6) * 10
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! The spatial-temporal machinery on its own: STD matrices (Definition 1),
+//! mean/EWMA demand prediction (Eq. (3)) and the ST Score (Definitions 2–5)
+//! for two candidate routes — one riding the demand wave, one against it.
+//!
+//! ```text
+//! cargo run -p dpdp-core --release --example demand_forecast
+//! ```
+
+use dpdp_core::prelude::*;
+use dpdp_data::{DemandPredictor, EwmaPredictor, MeanPredictor};
+use dpdp_routing::{simulate_schedule, Route, Stop, VehicleView};
+
+fn main() {
+    let presets = Presets::quick();
+    let ds = presets.dataset();
+
+    // Build a week of STD matrices and predict day 7 two ways.
+    let history = ds.std_history(0..7);
+    let actual = ds.std_history(7..8).pop().expect("day exists");
+    let mean_pred = MeanPredictor::new(4).predict(&history);
+    let ewma_pred = EwmaPredictor::new(0.4).predict(&history);
+    println!("predicting day 7 from days 0-6:");
+    for (name, pred) in [("mean(4)", &mean_pred), ("ewma(0.4)", &ewma_pred)] {
+        println!(
+            "  {name:<10} total {:>8.1} (actual {:>8.1}), Frobenius diff {:>8.2}",
+            pred.total(),
+            actual.total(),
+            pred.frobenius_diff(&actual)
+        );
+    }
+
+    // ST Score: compare two candidate routes for the same vehicle.
+    let campus = ds.campus();
+    let orders = ds.day_orders(7);
+    let instance = ds.day_instance(7, 10);
+    let fleet = &instance.fleet;
+    let scorer = StScorer::new(ds.grid(), ds.factory_index());
+
+    // Among factories that actually generate orders today, find the ones
+    // the forecast calls hottest and coldest.
+    let rows = mean_pred.row_sums();
+    let mut active: Vec<usize> = orders
+        .iter()
+        .filter_map(|o| ds.factory_index().row(o.pickup))
+        .collect();
+    active.sort_unstable();
+    active.dedup();
+    let hot = *active
+        .iter()
+        .max_by(|&&a, &&b| rows[a].partial_cmp(&rows[b]).expect("finite"))
+        .expect("a day always has orders");
+    let cold = *active
+        .iter()
+        .min_by(|&&a, &&b| rows[a].partial_cmp(&rows[b]).expect("finite"))
+        .expect("a day always has orders");
+
+    // One order from each.
+    let pick = |row: usize| {
+        orders
+            .iter()
+            .find(|o| ds.factory_index().row(o.pickup) == Some(row))
+            .cloned()
+    };
+    let (Some(hot_order), Some(cold_order)) = (pick(hot), pick(cold)) else {
+        unreachable!("hot/cold rows were chosen among active factories");
+    };
+    let view = VehicleView::idle_at_depot(fleet.vehicles[0].id, campus.depots[0]);
+    for (label, order) in [("hot-spot route", &hot_order), ("cold-spot route", &cold_order)] {
+        let route = Route::from_stops(vec![
+            Stop::pickup(order.pickup, order.id),
+            Stop::delivery(order.delivery, order.id),
+        ]);
+        // Schedules need the day's dense order table.
+        let sched = simulate_schedule(&view, &route, &campus.network, fleet, &orders)
+            .expect("direct route is feasible");
+        let score = scorer.score(&view, &sched, &mean_pred, fleet.capacity);
+        println!(
+            "{label:<16} via F{:<2} -> ST Score {score:.4} (lower = better hitchhiking odds)",
+            ds.factory_index().row(order.pickup).expect("factory")
+        );
+    }
+}
