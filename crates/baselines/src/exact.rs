@@ -176,7 +176,7 @@ impl Search<'_> {
                 let plan = self.planner.plan(view, order);
                 if let Some(b) = plan.best {
                     let delta = b.length() - plan.current_length;
-                    if best.as_ref().map_or(true, |(_, _, bd)| delta < *bd) {
+                    if best.as_ref().is_none_or(|(_, _, bd)| delta < *bd) {
                         best = Some((k, b.candidate.route, delta));
                     }
                 }
@@ -322,8 +322,7 @@ mod tests {
     use super::*;
     use crate::greedy::{Baseline1, Baseline2, Baseline3};
     use dpdp_net::{
-        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork,
-        TimeDelta,
+        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta,
     };
     use dpdp_sim::{Dispatcher, Simulator};
 
@@ -426,7 +425,7 @@ mod tests {
             &mut Baseline2,
             &mut Baseline3::default(),
         ] {
-            let r = Simulator::new(&inst).run(d);
+            let r = Simulator::builder(&inst).build().unwrap().run(d);
             assert_eq!(r.metrics.served, 5);
             assert!(
                 sol.total_cost <= r.metrics.total_cost + 1e-9,

@@ -1,7 +1,16 @@
 //! The three greedy insertion baselines (Section V-A).
+//!
+//! Baselines 1 and 2 are *batch-native*: their `dispatch_batch` scores the
+//! whole epoch's `(order, vehicle)` plan matrix once against the shared
+//! snapshot and then commits orders sequentially, rescoring only the column
+//! of the vehicle that just accepted (the batch's plan delta). This is
+//! outcome-identical to the legacy per-order path — the parity tests below
+//! run both and compare `EpisodeResult`s — but does the scoring work once
+//! per epoch instead of once per order.
 
 use dpdp_net::{Instance, VehicleId};
-use dpdp_sim::{DispatchContext, Dispatcher};
+use dpdp_routing::PlannerOutput;
+use dpdp_sim::{Decision, DecisionBatch, DispatchContext, Dispatcher};
 
 fn argmin_by<F: Fn(usize) -> f64>(ctx: &DispatchContext<'_>, key: F) -> Option<VehicleId> {
     let mut best: Option<(usize, f64)> = None;
@@ -10,11 +19,50 @@ fn argmin_by<F: Fn(usize) -> f64>(ctx: &DispatchContext<'_>, key: F) -> Option<V
             continue;
         }
         let v = key(k);
-        if best.map_or(true, |(_, b)| v < b) {
+        if best.is_none_or(|(_, b)| v < b) {
             best = Some((k, v));
         }
     }
     best.map(|(k, _)| VehicleId::from_index(k))
+}
+
+fn argmin_scores(scores: &[Option<f64>]) -> Option<VehicleId> {
+    let mut best: Option<(usize, f64)> = None;
+    for (k, s) in scores.iter().enumerate() {
+        if let Some(v) = *s {
+            if best.is_none_or(|(_, b)| v < b) {
+                best = Some((k, v));
+            }
+        }
+    }
+    best.map(|(k, _)| VehicleId::from_index(k))
+}
+
+/// Batch-native greedy dispatch: score every `(order, vehicle)` pair once
+/// from the epoch snapshot, commit orders in creation order, and refresh
+/// only the accepting vehicle's column for the orders still undecided.
+///
+/// `score` maps a feasible plan to its (lower-is-better) key and an
+/// infeasible one to `None`.
+fn greedy_batch(
+    batch: &DecisionBatch<'_>,
+    score: impl Fn(&PlannerOutput) -> Option<f64>,
+) -> Vec<Decision> {
+    let b = batch.len();
+    let mut scores: Vec<Vec<Option<f64>>> = (0..b)
+        .map(|i| batch.with_context(i, |ctx| ctx.plans.iter().map(&score).collect()))
+        .collect();
+    let mut out = Vec::with_capacity(b);
+    for i in 0..b {
+        let decision = batch.resolve(i, argmin_scores(&scores[i]));
+        if let Some(k) = decision.vehicle {
+            for (j, row) in scores.iter_mut().enumerate().skip(i + 1) {
+                row[k.index()] = batch.with_context(j, |ctx| score(&ctx.plans[k.index()]));
+            }
+        }
+        out.push(decision);
+    }
+    out
 }
 
 /// Baseline 1 (Mitrovic-Minic & Laporte): the vehicle with the **shortest
@@ -32,6 +80,10 @@ impl Dispatcher for Baseline1 {
         })
     }
 
+    fn dispatch_batch(&mut self, batch: &DecisionBatch<'_>) -> Vec<Decision> {
+        greedy_batch(batch, PlannerOutput::incremental_length)
+    }
+
     fn name(&self) -> &str {
         "Baseline1"
     }
@@ -47,6 +99,10 @@ impl Dispatcher for Baseline2 {
         argmin_by(ctx, |k| {
             ctx.plans[k].best_length().expect("filtered to feasible")
         })
+    }
+
+    fn dispatch_batch(&mut self, batch: &DecisionBatch<'_>) -> Vec<Decision> {
+        greedy_batch(batch, PlannerOutput::best_length)
     }
 
     fn name(&self) -> &str {
@@ -95,6 +151,49 @@ impl Dispatcher for Baseline3 {
         Some(VehicleId::from_index(k))
     }
 
+    fn dispatch_batch(&mut self, batch: &DecisionBatch<'_>) -> Vec<Decision> {
+        if self.accepted.len() != batch.num_vehicles() {
+            // Defensive: a dispatch outside an episode bracket.
+            self.accepted = vec![0; batch.num_vehicles()];
+        }
+        let b = batch.len();
+        let mut deltas: Vec<Vec<Option<f64>>> = (0..b)
+            .map(|i| {
+                batch.with_context(i, |ctx| {
+                    ctx.plans.iter().map(|p| p.incremental_length()).collect()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(b);
+        for i in 0..b {
+            let mut best: Option<(usize, usize, f64)> = None; // (k, count, delta)
+            for (k, d) in deltas[i].iter().enumerate() {
+                if let Some(delta) = *d {
+                    let count = self.accepted[k];
+                    let better = match best {
+                        None => true,
+                        Some((_, bc, bd)) => count > bc || (count == bc && delta < bd),
+                    };
+                    if better {
+                        best = Some((k, count, delta));
+                    }
+                }
+            }
+            let decision = batch.resolve(i, best.map(|(k, _, _)| VehicleId::from_index(k)));
+            if let Some(k) = decision.vehicle {
+                // Acceptance only perturbs the accepting vehicle's column:
+                // its count and its plans for the remaining orders.
+                self.accepted[k.index()] += 1;
+                for (j, row) in deltas.iter_mut().enumerate().skip(i + 1) {
+                    row[k.index()] =
+                        batch.with_context(j, |ctx| ctx.plans[k.index()].incremental_length());
+                }
+            }
+            out.push(decision);
+        }
+        out
+    }
+
     fn name(&self) -> &str {
         "Baseline3"
     }
@@ -104,8 +203,8 @@ impl Dispatcher for Baseline3 {
 mod tests {
     use super::*;
     use dpdp_net::{
-        FleetConfig, Instance, IntervalGrid, Node, NodeId, Order, OrderId, Point,
-        RoadNetwork, TimeDelta, TimePoint,
+        FleetConfig, Instance, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork,
+        TimeDelta, TimePoint,
     };
     use dpdp_sim::Simulator;
 
@@ -121,16 +220,9 @@ mod tests {
             Node::factory(NodeId(4), Point::new(0.0, 60.0)),
         ];
         let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let fleet = FleetConfig::homogeneous(
-            4,
-            &[NodeId(0)],
-            50.0,
-            300.0,
-            2.0,
-            60.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let fleet =
+            FleetConfig::homogeneous(4, &[NodeId(0)], 50.0, 300.0, 2.0, 60.0, TimeDelta::ZERO)
+                .unwrap();
         let orders = vec![
             Order::new(
                 OrderId(0),
@@ -166,7 +258,10 @@ mod tests {
     #[test]
     fn baseline1_minimises_marginal_distance() {
         let inst = instance();
-        let r = Simulator::new(&inst).run(&mut Baseline1);
+        let r = Simulator::builder(&inst)
+            .build()
+            .unwrap()
+            .run(&mut Baseline1);
         assert_eq!(r.metrics.served, 3);
         // B1 never pays more than a fresh vehicle would: an empty vehicle is
         // always available in this instance, so each order's incremental
@@ -217,7 +312,10 @@ mod tests {
         )
         .unwrap()];
         let inst = Instance::new(net, fleet, IntervalGrid::paper_default(), orders).unwrap();
-        let r = Simulator::new(&inst).run(&mut Baseline1);
+        let r = Simulator::builder(&inst)
+            .build()
+            .unwrap()
+            .run(&mut Baseline1);
         assert_eq!(
             r.assignments[0].vehicle,
             Some(dpdp_net::VehicleId(1)),
@@ -230,8 +328,14 @@ mod tests {
     #[test]
     fn baseline3_uses_fewest_vehicles() {
         let inst = instance();
-        let r3 = Simulator::new(&inst).run(&mut Baseline3::default());
-        let r1 = Simulator::new(&inst).run(&mut Baseline1);
+        let r3 = Simulator::builder(&inst)
+            .build()
+            .unwrap()
+            .run(&mut Baseline3::default());
+        let r1 = Simulator::builder(&inst)
+            .build()
+            .unwrap()
+            .run(&mut Baseline1);
         assert_eq!(r3.metrics.served, 3);
         assert!(
             r3.metrics.nuv <= r1.metrics.nuv,
@@ -246,7 +350,10 @@ mod tests {
     #[test]
     fn baseline2_serves_everything() {
         let inst = instance();
-        let r = Simulator::new(&inst).run(&mut Baseline2);
+        let r = Simulator::builder(&inst)
+            .build()
+            .unwrap()
+            .run(&mut Baseline2);
         assert_eq!(r.metrics.served, 3);
         // Baseline 2 favours short *total* routes, so it spreads orders over
         // fresh (empty) vehicles whenever that keeps routes short.
@@ -272,19 +379,13 @@ mod tests {
                 .unwrap()
             })
             .collect();
-        inst = Instance::new(
-            inst.network.clone(),
-            inst.fleet.clone(),
-            inst.grid,
-            orders,
-        )
-        .unwrap();
+        inst = Instance::new(inst.network.clone(), inst.fleet.clone(), inst.grid, orders).unwrap();
         for d in [
             &mut Baseline1 as &mut dyn Dispatcher,
             &mut Baseline2,
             &mut Baseline3::default(),
         ] {
-            let r = Simulator::new(&inst).run(d);
+            let r = Simulator::builder(&inst).build().unwrap().run(d);
             assert_eq!(r.metrics.served, 0);
             assert_eq!(r.metrics.nuv, 0);
         }

@@ -109,13 +109,9 @@ pub fn relocate_improvement(
                         routes[dst].clone()
                     };
                     let view = fresh_view(instance, dst, dst_route);
-                    let Some(ins) = best_insertion(
-                        &view,
-                        order,
-                        &instance.network,
-                        fleet,
-                        instance.orders(),
-                    ) else {
+                    let Some(ins) =
+                        best_insertion(&view, order, &instance.network, fleet, instance.orders())
+                    else {
                         continue;
                     };
                     // Cost delta: recompute affected routes only.
@@ -123,16 +119,8 @@ pub fn relocate_improvement(
                     candidate[src] = pruned.clone();
                     candidate[dst] = ins.candidate.route.clone();
                     let (_, _, cost) = evaluate_routes(instance, &candidate);
-                    if cost < current - 1e-9
-                        && best.as_ref().map_or(true, |(b, ..)| cost < *b)
-                    {
-                        best = Some((
-                            cost,
-                            src,
-                            dst,
-                            pruned.clone(),
-                            ins.candidate.route.clone(),
-                        ));
+                    if cost < current - 1e-9 && best.as_ref().is_none_or(|(b, ..)| cost < *b) {
+                        best = Some((cost, src, dst, pruned.clone(), ins.candidate.route.clone()));
                     }
                 }
             }
@@ -162,8 +150,7 @@ mod tests {
     use crate::exact::{validate_solution, ExactSolver};
     use crate::greedy::Baseline3;
     use dpdp_net::{
-        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork,
-        TimeDelta,
+        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta,
     };
     use dpdp_routing::Stop;
     use dpdp_sim::Simulator;
@@ -177,20 +164,37 @@ mod tests {
             Node::factory(NodeId(4), Point::new(0.0, 25.0)),
         ];
         let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let fleet = FleetConfig::homogeneous(
-            3,
-            &[NodeId(0)],
-            10.0,
-            300.0,
-            2.0,
-            60.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let fleet =
+            FleetConfig::homogeneous(3, &[NodeId(0)], 10.0, 300.0, 2.0, 60.0, TimeDelta::ZERO)
+                .unwrap();
         let orders = vec![
-            Order::new(OrderId(0), NodeId(1), NodeId(2), 3.0, TimePoint::ZERO, TimePoint::from_hours(20.0)).unwrap(),
-            Order::new(OrderId(1), NodeId(3), NodeId(4), 3.0, TimePoint::ZERO, TimePoint::from_hours(20.0)).unwrap(),
-            Order::new(OrderId(2), NodeId(1), NodeId(2), 3.0, TimePoint::ZERO, TimePoint::from_hours(20.0)).unwrap(),
+            Order::new(
+                OrderId(0),
+                NodeId(1),
+                NodeId(2),
+                3.0,
+                TimePoint::ZERO,
+                TimePoint::from_hours(20.0),
+            )
+            .unwrap(),
+            Order::new(
+                OrderId(1),
+                NodeId(3),
+                NodeId(4),
+                3.0,
+                TimePoint::ZERO,
+                TimePoint::from_hours(20.0),
+            )
+            .unwrap(),
+            Order::new(
+                OrderId(2),
+                NodeId(1),
+                NodeId(2),
+                3.0,
+                TimePoint::ZERO,
+                TimePoint::from_hours(20.0),
+            )
+            .unwrap(),
         ];
         Instance::new(net, fleet, IntervalGrid::paper_default(), orders).unwrap()
     }
@@ -246,7 +250,10 @@ mod tests {
         // Replay Baseline 3 dynamically, then post-optimise its final routes
         // as a static solution: cost must not increase, and usually drops.
         let inst = instance();
-        let result = Simulator::new(&inst).run(&mut Baseline3::default());
+        let result = Simulator::builder(&inst)
+            .build()
+            .unwrap()
+            .run(&mut Baseline3::default());
         assert_eq!(result.metrics.served, 3);
         // Rebuild the static route set from the assignment log.
         let mut routes = vec![Route::empty(); inst.num_vehicles()];

@@ -7,11 +7,7 @@ use dpdp_nn::{Graph, ParamStore, Tensor};
 use dpdp_rl::{QNetwork, QNetworkConfig, StateSnapshot};
 
 fn snapshot(k: usize, ne: usize) -> StateSnapshot {
-    let features = Tensor::from_vec(
-        k,
-        5,
-        (0..k * 5).map(|i| (i as f64 * 0.17).sin()).collect(),
-    );
+    let features = Tensor::from_vec(k, 5, (0..k * 5).map(|i| (i as f64 * 0.17).sin()).collect());
     let neighbors = (0..k)
         .map(|i| {
             let mut v = vec![i];

@@ -45,7 +45,7 @@ fn bench_episode_planning(c: &mut Criterion) {
     c.bench_function("simulate_10_orders_baseline1", |b| {
         b.iter(|| {
             let mut b1 = Baseline1;
-            std::hint::black_box(Simulator::new(&instance).run(&mut b1))
+            std::hint::black_box(Simulator::builder(&instance).build().unwrap().run(&mut b1))
         })
     });
 }

@@ -12,13 +12,13 @@ fn bench_large_episode(c: &mut Criterion) {
     group.bench_function("baseline1", |b| {
         b.iter(|| {
             let mut d = Baseline1;
-            std::hint::black_box(Simulator::new(&instance).run(&mut d))
+            std::hint::black_box(Simulator::builder(&instance).build().unwrap().run(&mut d))
         })
     });
     group.bench_function("baseline3", |b| {
         b.iter(|| {
             let mut d = Baseline3::default();
-            std::hint::black_box(Simulator::new(&instance).run(&mut d))
+            std::hint::black_box(Simulator::builder(&instance).build().unwrap().run(&mut d))
         })
     });
     group.finish();
@@ -32,7 +32,7 @@ fn bench_industry_episode(c: &mut Criterion) {
     group.bench_function("baseline1", |b| {
         b.iter(|| {
             let mut d = Baseline1;
-            std::hint::black_box(Simulator::new(&instance).run(&mut d))
+            std::hint::black_box(Simulator::builder(&instance).build().unwrap().run(&mut d))
         })
     });
     group.finish();

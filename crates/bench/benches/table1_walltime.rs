@@ -21,7 +21,14 @@ fn bench_table1_walltime(c: &mut Criterion) {
     agent.set_prediction(Some(presets.train_prediction(4)));
     agent.set_training(false);
     group.bench_function("st_ddgn_episode_inference", |b| {
-        b.iter(|| std::hint::black_box(Simulator::new(&instance).run(&mut agent)))
+        b.iter(|| {
+            std::hint::black_box(
+                Simulator::builder(&instance)
+                    .build()
+                    .unwrap()
+                    .run(&mut agent),
+            )
+        })
     });
 
     // Exact solve of the same instance (node-capped to keep criterion

@@ -10,7 +10,7 @@
 use dpdp_bench::{write_artifact, Cli};
 use dpdp_core::prelude::*;
 use dpdp_net::TimeDelta;
-use dpdp_sim::{BufferingMode, SimConfig};
+use dpdp_sim::BufferingMode;
 
 fn main() {
     let cli = Cli::parse(0, 3);
@@ -51,7 +51,10 @@ fn main() {
         let mut rejected = 0;
         let mut resp = 0.0;
         for inst in &instances {
-            let sim = Simulator::with_config(inst, SimConfig { buffering: mode });
+            let sim = Simulator::builder(inst)
+                .buffering(mode)
+                .build()
+                .expect("positive buffering periods");
             let mut b1 = Baseline1;
             let r = sim.run(&mut b1);
             nuv += r.metrics.nuv as f64;

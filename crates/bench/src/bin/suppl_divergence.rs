@@ -33,8 +33,7 @@ fn main() {
     ] {
         let mut cfg = AgentConfig::new(ModelKind::StDdgn);
         cfg.seed = cli.seed;
-        let scorer =
-            StScorer::with_divergence(ds.grid(), ds.factory_index(), kind);
+        let scorer = StScorer::with_divergence(ds.grid(), ds.factory_index(), kind);
         let mut agent = DqnAgent::new(cfg, ds.grid().num_intervals(), Some(scorer));
         agent.set_prediction(Some(presets.train_prediction(4)));
         train(
@@ -56,7 +55,5 @@ fn main() {
     if let Some(path) = write_artifact("suppl_divergence.csv", &report::rows_to_csv(&rows)) {
         println!("wrote {}", path.display());
     }
-    println!(
-        "Expected shape (paper's supplementary): the two are close, with JS slightly better."
-    );
+    println!("Expected shape (paper's supplementary): the two are close, with JS slightly better.");
 }

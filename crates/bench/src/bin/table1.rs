@@ -35,8 +35,7 @@ fn main() {
             "algo", "NUV", "TC", "wall(s)", "note"
         );
         for &spec in &specs {
-            let mut model =
-                build_and_train(spec, &presets, &instance, cli.episodes, cli.seed);
+            let mut model = build_and_train(spec, &presets, &instance, cli.episodes, cli.seed);
             let row = evaluate(model.dispatcher(), &instance);
             println!(
                 "{:<10} {:>5} {:>12.2} {:>12.4} {:>10}",
@@ -63,7 +62,10 @@ fn main() {
                 ));
             }
             None => {
-                println!("{:<10} {:>5} {:>12} {:>12} {:>10}", "EXACT", "-", "-", "-", "infeasible");
+                println!(
+                    "{:<10} {:>5} {:>12} {:>12} {:>10}",
+                    "EXACT", "-", "-", "-", "infeasible"
+                );
                 csv.push_str(&format!("{n},EXACT,,,,false\n"));
             }
         }

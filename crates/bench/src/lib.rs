@@ -8,8 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dpdp_core::prelude::*;
 use dpdp_core::models::{self, ModelSpec};
+use dpdp_core::prelude::*;
 use dpdp_rl::{EpisodePoint, TrainerConfig};
 use std::path::PathBuf;
 
@@ -27,46 +27,118 @@ pub struct Cli {
     pub seed: u64,
 }
 
+/// Why a command line was rejected (see [`Cli::parse_from`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// An argument that is not one of the known flags.
+    UnknownFlag(String),
+    /// A value-taking flag appeared last, with nothing after it.
+    MissingValue(&'static str),
+    /// A flag's value failed to parse as a number.
+    InvalidValue {
+        /// The flag whose value was malformed.
+        flag: &'static str,
+        /// The offending value.
+        value: String,
+    },
+    /// `--help` / `-h` was given.
+    HelpRequested,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            CliError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            CliError::InvalidValue { flag, value } => {
+                write!(f, "flag `{flag}` got a non-numeric value `{value}`")
+            }
+            CliError::HelpRequested => write!(f, "help requested"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text shared by every regenerator binary.
+pub const USAGE: &str = "\
+options:
+  --episodes N    training episodes for learned models
+  --instances N   number of evaluation instances
+  --seed N        master seed
+  --quick         use the reduced-volume dataset
+  -h, --help      print this help";
+
 impl Cli {
-    /// Parses `std::env::args`, with the given defaults.
+    /// Parses `std::env::args` with the given defaults. Unknown flags and
+    /// malformed numeric values are reported to stderr and exit the process
+    /// with status 2 (a typo like `--episode 500` must not silently run the
+    /// defaults); `--help` prints usage and exits 0.
     pub fn parse(default_episodes: usize, default_instances: usize) -> Cli {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Cli::parse_from(&args, default_episodes, default_instances) {
+            Ok(cli) => cli,
+            Err(CliError::HelpRequested) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (no program name), with the given
+    /// defaults.
+    ///
+    /// # Errors
+    /// Rejects unknown flags, value-less value flags, and non-numeric
+    /// values; reports `--help` as [`CliError::HelpRequested`].
+    pub fn parse_from(
+        args: &[String],
+        default_episodes: usize,
+        default_instances: usize,
+    ) -> Result<Cli, CliError> {
         let mut cli = Cli {
             episodes: default_episodes,
             instances: default_instances,
             quick: false,
             seed: 7,
         };
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+        fn numeric<T: std::str::FromStr>(
+            flag: &'static str,
+            value: Option<&String>,
+        ) -> Result<T, CliError> {
+            let value = value.ok_or(CliError::MissingValue(flag))?;
+            value.parse().map_err(|_| CliError::InvalidValue {
+                flag,
+                value: value.clone(),
+            })
+        }
+        let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--episodes" => {
-                    cli.episodes = args
-                        .get(i + 1)
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or(cli.episodes);
+                    cli.episodes = numeric("--episodes", args.get(i + 1))?;
                     i += 1;
                 }
                 "--instances" => {
-                    cli.instances = args
-                        .get(i + 1)
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or(cli.instances);
+                    cli.instances = numeric("--instances", args.get(i + 1))?;
                     i += 1;
                 }
                 "--seed" => {
-                    cli.seed = args
-                        .get(i + 1)
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or(cli.seed);
+                    cli.seed = numeric("--seed", args.get(i + 1))?;
                     i += 1;
                 }
                 "--quick" => cli.quick = true,
-                _ => {}
+                "--help" | "-h" => return Err(CliError::HelpRequested),
+                other => return Err(CliError::UnknownFlag(other.to_string())),
             }
             i += 1;
         }
-        cli
+        Ok(cli)
     }
 
     /// Builds presets respecting `--quick`.
@@ -82,10 +154,10 @@ impl Cli {
 /// A trained (or stateless) dispatcher, preserving concrete type access for
 /// prediction wiring and mode switching.
 pub enum Model {
-    /// A DQN-family agent.
-    Dqn(DqnAgent),
+    /// A DQN-family agent (boxed: the agents dwarf the heuristic variant).
+    Dqn(Box<DqnAgent>),
     /// The actor-critic baseline.
-    Ac(ActorCriticAgent),
+    Ac(Box<ActorCriticAgent>),
     /// A stateless heuristic.
     Heuristic(Box<dyn Dispatcher>),
 }
@@ -97,16 +169,20 @@ impl Model {
             ModelSpec::Baseline1 => Model::Heuristic(models::baseline1()),
             ModelSpec::Baseline2 => Model::Heuristic(models::baseline2()),
             ModelSpec::Baseline3 => Model::Heuristic(models::baseline3()),
-            ModelSpec::ActorCritic => Model::Ac(models::actor_critic(presets.dataset(), seed)),
-            ModelSpec::Dqn(kind) => Model::Dqn(models::dqn_agent(kind, presets.dataset(), seed)),
+            ModelSpec::ActorCritic => {
+                Model::Ac(Box::new(models::actor_critic(presets.dataset(), seed)))
+            }
+            ModelSpec::Dqn(kind) => {
+                Model::Dqn(Box::new(models::dqn_agent(kind, presets.dataset(), seed)))
+            }
         }
     }
 
     /// The dispatcher view.
     pub fn dispatcher(&mut self) -> &mut dyn Dispatcher {
         match self {
-            Model::Dqn(a) => a,
-            Model::Ac(a) => a,
+            Model::Dqn(a) => a.as_mut(),
+            Model::Ac(a) => a.as_mut(),
             Model::Heuristic(h) => h.as_mut(),
         }
     }
@@ -187,6 +263,65 @@ pub fn tail_mean_nuv(points: &[EpisodePoint], n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn cli_parses_known_flags() {
+        let cli = Cli::parse_from(
+            &argv(&["--episodes", "250", "--quick", "--seed", "11"]),
+            60,
+            3,
+        )
+        .unwrap();
+        assert_eq!(cli.episodes, 250);
+        assert_eq!(cli.instances, 3);
+        assert!(cli.quick);
+        assert_eq!(cli.seed, 11);
+    }
+
+    #[test]
+    fn cli_defaults_apply_without_flags() {
+        let cli = Cli::parse_from(&[], 60, 3).unwrap();
+        assert_eq!(cli.episodes, 60);
+        assert_eq!(cli.instances, 3);
+        assert!(!cli.quick);
+        assert_eq!(cli.seed, 7);
+    }
+
+    #[test]
+    fn cli_rejects_unknown_flags() {
+        // The historical failure mode: a typo silently ran the defaults.
+        let err = Cli::parse_from(&argv(&["--episode", "500"]), 60, 3).unwrap_err();
+        assert_eq!(err, CliError::UnknownFlag("--episode".to_string()));
+        assert!(err.to_string().contains("--episode"));
+    }
+
+    #[test]
+    fn cli_rejects_malformed_and_missing_values() {
+        let err = Cli::parse_from(&argv(&["--episodes", "many"]), 60, 3).unwrap_err();
+        assert_eq!(
+            err,
+            CliError::InvalidValue {
+                flag: "--episodes",
+                value: "many".to_string()
+            }
+        );
+        let err = Cli::parse_from(&argv(&["--seed"]), 60, 3).unwrap_err();
+        assert_eq!(err, CliError::MissingValue("--seed"));
+        let err = Cli::parse_from(&argv(&["--instances", "-4"]), 60, 3).unwrap_err();
+        assert!(matches!(err, CliError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn cli_reports_help() {
+        for flag in ["--help", "-h"] {
+            let err = Cli::parse_from(&argv(&[flag]), 60, 3).unwrap_err();
+            assert_eq!(err, CliError::HelpRequested);
+        }
+    }
 
     #[test]
     fn model_build_covers_all_specs() {

@@ -28,7 +28,10 @@ pub struct EvalRow {
 /// Runs one episode and times it.
 pub fn evaluate(dispatcher: &mut dyn Dispatcher, instance: &Instance) -> EvalRow {
     let start = Instant::now();
-    let result = Simulator::new(instance).run(dispatcher);
+    let result = Simulator::builder(instance)
+        .build()
+        .unwrap()
+        .run(dispatcher);
     let wall_secs = start.elapsed().as_secs_f64();
     let m = result.metrics;
     EvalRow {

@@ -26,6 +26,32 @@
 //! let row = evaluate(&mut *b1, &instance);
 //! println!("NUV = {}, TC = {:.1}", row.nuv, row.total_cost);
 //! ```
+//!
+//! For full control, configure the simulator through its builder and watch
+//! episodes through observers. Dispatch runs in *batched decision epochs*:
+//! all orders sharing a decision time are decided by one
+//! `Dispatcher::dispatch_batch` call against a shared fleet snapshot
+//! (per-order policies are adapted automatically):
+//!
+//! ```no_run
+//! use dpdp_core::prelude::*;
+//! use dpdp_net::TimeDelta;
+//!
+//! let presets = Presets::quick();
+//! let instance = presets.large_instance(0);
+//! let sim = Simulator::builder(&instance)
+//!     .buffering(BufferingMode::FixedInterval(TimeDelta::from_minutes(10.0)))
+//!     .seed(7)
+//!     .build()
+//!     .expect("positive buffering period");
+//! let mut counter = EventCounter::default(); // a SimObserver
+//! let mut b1 = models::baseline1();
+//! let result = sim.run_observed(&mut *b1, &mut [&mut counter]);
+//! println!(
+//!     "{} epochs, {} decisions, TC {:.1}",
+//!     counter.epochs, counter.decisions, result.metrics.total_cost,
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,8 +74,9 @@ pub mod prelude {
     pub use dpdp_baselines::{Baseline1, Baseline2, Baseline3, ExactSolver};
     pub use dpdp_data::{Dataset, DatasetConfig, StScorer, StdMatrix};
     pub use dpdp_net::Instance;
-    pub use dpdp_rl::{
-        train, ActorCriticAgent, AgentConfig, DqnAgent, ModelKind, TrainerConfig,
+    pub use dpdp_rl::{train, ActorCriticAgent, AgentConfig, DqnAgent, ModelKind, TrainerConfig};
+    pub use dpdp_sim::{
+        BufferingMode, Decision, DecisionBatch, DecisionReason, Dispatcher, EpisodeMetrics,
+        EpisodeResult, EventCounter, MetricsOptions, SimObserver, Simulator, SimulatorBuilder,
     };
-    pub use dpdp_sim::{Dispatcher, EpisodeMetrics, Simulator};
 }

@@ -103,8 +103,10 @@ pub fn dqn_agent_with_config(config: AgentConfig, dataset: &Dataset) -> DqnAgent
 
 /// Builds the Actor-Critic baseline.
 pub fn actor_critic(dataset: &Dataset, seed: u64) -> ActorCriticAgent {
-    let mut config = ActorCriticConfig::default();
-    config.seed = seed;
+    let config = ActorCriticConfig {
+        seed,
+        ..ActorCriticConfig::default()
+    };
     ActorCriticAgent::new(config, dataset.grid().num_intervals())
 }
 
@@ -121,7 +123,15 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["DQN", "AC", "DGN", "ST-DDGN", "Baseline1", "Baseline2", "Baseline3"]
+            vec![
+                "DQN",
+                "AC",
+                "DGN",
+                "ST-DDGN",
+                "Baseline1",
+                "Baseline2",
+                "Baseline3"
+            ]
         );
         let ablation: Vec<&str> = ModelSpec::ablation_lineup()
             .into_iter()

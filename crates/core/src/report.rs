@@ -36,8 +36,7 @@ pub fn rows_to_csv(rows: &[EvalRow]) -> String {
 /// Renders a training convergence curve as CSV
 /// (`episode,nuv,total_cost,ttl,served,rejected,capacity_diff`).
 pub fn curve_to_csv(points: &[EpisodePoint]) -> String {
-    let mut out =
-        String::from("episode,nuv,total_cost,ttl_km,served,rejected,capacity_diff\n");
+    let mut out = String::from("episode,nuv,total_cost,ttl_km,served,rejected,capacity_diff\n");
     for p in points {
         out.push_str(&format!(
             "{},{},{:.3},{:.3},{},{},{}\n",
@@ -47,8 +46,7 @@ pub fn curve_to_csv(points: &[EpisodePoint]) -> String {
             p.ttl,
             p.served,
             p.rejected,
-            p.capacity_diff
-                .map_or(String::new(), |d| format!("{d:.3}")),
+            p.capacity_diff.map_or(String::new(), |d| format!("{d:.3}")),
         ));
     }
     out

@@ -56,7 +56,10 @@ impl Campus {
     /// without both cannot host any order).
     pub fn generate(config: &CampusConfig) -> Self {
         assert!(config.num_depots > 0, "campus needs at least one depot");
-        assert!(config.num_factories > 0, "campus needs at least one factory");
+        assert!(
+            config.num_factories > 0,
+            "campus needs at least one factory"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut nodes = Vec::with_capacity(config.num_depots + config.num_factories);
         let place = |rng: &mut StdRng| {
@@ -131,8 +134,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one depot")]
     fn zero_depots_panics() {
-        let mut cfg = CampusConfig::default();
-        cfg.num_depots = 0;
+        let cfg = CampusConfig {
+            num_depots: 0,
+            ..CampusConfig::default()
+        };
         let _ = Campus::generate(&cfg);
     }
 }

@@ -253,9 +253,15 @@ mod tests {
             dot / (na * nb)
         };
         let sim = cosine(&pred.row_sums(), &actual.row_sums());
-        assert!(sim > 0.8, "factory-level prediction similarity {sim} too low");
+        assert!(
+            sim > 0.8,
+            "factory-level prediction similarity {sim} too low"
+        );
         let uniform = vec![1.0; 27];
         let baseline = cosine(&uniform, &actual.row_sums());
-        assert!(sim > baseline, "prediction ({sim}) no better than uniform ({baseline})");
+        assert!(
+            sim > baseline,
+            "prediction ({sim}) no better than uniform ({baseline})"
+        );
     }
 }

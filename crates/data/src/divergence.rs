@@ -131,9 +131,15 @@ mod tests {
     fn divergence_handles_unnormalised_and_empty_input() {
         assert_eq!(divergence(DivergenceKind::JensenShannon, &[], &[]), 0.0);
         let d = divergence(DivergenceKind::JensenShannon, &[2.0, 2.0], &[4.0, 4.0]);
-        assert!(d.abs() < 1e-9, "proportional vectors should have ~0 divergence");
+        assert!(
+            d.abs() < 1e-9,
+            "proportional vectors should have ~0 divergence"
+        );
         let d = divergence(DivergenceKind::SymmetricKl, &[1.0, 0.0], &[0.0, 1.0]);
-        assert!(d > 1.0, "disjoint mass should diverge strongly under sym-KL");
+        assert!(
+            d > 1.0,
+            "disjoint mass should diverge strongly under sym-KL"
+        );
     }
 
     #[test]

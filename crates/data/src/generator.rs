@@ -87,7 +87,8 @@ impl DemandProfile {
         // can be generated independently yet consistently.
         let mut factors = vec![1.0f64; weights.len()];
         for d in 0..=day {
-            let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(d + 1)));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(d + 1)));
             for f in factors.iter_mut() {
                 let shock = 1.0 + drift * sample_normal(&mut rng);
                 *f = (*f * 0.8 + 0.2) * shock.clamp(0.5, 1.5);
@@ -198,14 +199,12 @@ impl OrderGenerator {
             }
             // Creation time: sample an hour by weight, then uniform within.
             let hour = sample_weighted(&mut rng, &self.profile.hourly_weights);
-            let created =
-                TimePoint::from_hours(hour as f64 + rng.random_range(0.0..1.0));
+            let created = TimePoint::from_hours(hour as f64 + rng.random_range(0.0..1.0));
             // Quantity: log-normal with mean quantity_mean, capped.
             let mu = cfg.quantity_mean.ln() - cfg.quantity_sigma * cfg.quantity_sigma / 2.0;
             let q = (mu + cfg.quantity_sigma * sample_normal(&mut rng)).exp();
             let quantity = q.clamp(0.1, cfg.quantity_max);
-            let slack_secs =
-                rng.random_range(cfg.min_slack.seconds()..=cfg.max_slack.seconds());
+            let slack_secs = rng.random_range(cfg.min_slack.seconds()..=cfg.max_slack.seconds());
             let deadline = created + TimeDelta::from_seconds(slack_secs);
             orders.push(
                 Order::new(

@@ -31,11 +31,7 @@ impl StScorer {
 
     /// Creates a scorer with an explicit divergence (the supplementary
     /// material compares JS with symmetric KL).
-    pub fn with_divergence(
-        grid: IntervalGrid,
-        index: FactoryIndex,
-        kind: DivergenceKind,
-    ) -> Self {
+    pub fn with_divergence(grid: IntervalGrid, index: FactoryIndex, kind: DivergenceKind) -> Self {
         StScorer { grid, index, kind }
     }
 
@@ -129,16 +125,9 @@ mod tests {
             Node::factory(NodeId(2), Point::new(20.0, 0.0)),
         ];
         let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let fleet = FleetConfig::homogeneous(
-            1,
-            &[NodeId(0)],
-            10.0,
-            500.0,
-            2.0,
-            60.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let fleet =
+            FleetConfig::homogeneous(1, &[NodeId(0)], 10.0, 500.0, 2.0, 60.0, TimeDelta::ZERO)
+                .unwrap();
         let orders = vec![Order::new(
             OrderId(0),
             NodeId(1),

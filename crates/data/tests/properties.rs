@@ -51,9 +51,11 @@ proptest! {
     #[test]
     fn std_matrix_additivity(seed in 0u64..500) {
         let campus = Campus::generate(&CampusConfig { seed, ..CampusConfig::default() });
-        let mut cfg = OrderGeneratorConfig::default();
-        cfg.orders_per_day = 40;
-        cfg.seed = seed;
+        let cfg = OrderGeneratorConfig {
+            orders_per_day: 40,
+            seed,
+            ..OrderGeneratorConfig::default()
+        };
         let generator = OrderGenerator::new(&campus, cfg);
         let day = generator.generate_day(0);
         let grid = IntervalGrid::paper_default();
@@ -70,9 +72,11 @@ proptest! {
     #[test]
     fn mean_predictor_is_bounded(seed in 0u64..200, k in 1usize..5) {
         let campus = Campus::generate(&CampusConfig::default());
-        let mut cfg = OrderGeneratorConfig::default();
-        cfg.orders_per_day = 30;
-        cfg.seed = seed;
+        let cfg = OrderGeneratorConfig {
+            orders_per_day: 30,
+            seed,
+            ..OrderGeneratorConfig::default()
+        };
         let generator = OrderGenerator::new(&campus, cfg);
         let grid = IntervalGrid::paper_default();
         let index = FactoryIndex::new(&campus.factories);
@@ -95,9 +99,11 @@ proptest! {
     #[test]
     fn generator_never_uses_depots(seed in 0u64..200) {
         let campus = Campus::generate(&CampusConfig { seed, ..CampusConfig::default() });
-        let mut cfg = OrderGeneratorConfig::default();
-        cfg.orders_per_day = 25;
-        cfg.seed = seed;
+        let cfg = OrderGeneratorConfig {
+            orders_per_day: 25,
+            seed,
+            ..OrderGeneratorConfig::default()
+        };
         let generator = OrderGenerator::new(&campus, cfg);
         for order in generator.generate_day(seed % 10) {
             prop_assert!(campus.network.node(order.pickup).is_factory());

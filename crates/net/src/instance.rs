@@ -99,8 +99,8 @@ impl Instance {
 mod tests {
     use super::*;
     use crate::ids::{NodeId, OrderId};
-    use crate::node::Node;
     use crate::network::Point;
+    use crate::node::Node;
     use crate::time::{TimeDelta, TimePoint};
 
     fn build() -> Instance {
@@ -110,16 +110,9 @@ mod tests {
             Node::factory(NodeId(2), Point::new(2.0, 0.0)),
         ];
         let network = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let fleet = FleetConfig::homogeneous(
-            2,
-            &[NodeId(0)],
-            100.0,
-            500.0,
-            2.0,
-            40.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let fleet =
+            FleetConfig::homogeneous(2, &[NodeId(0)], 100.0, 500.0, 2.0, 40.0, TimeDelta::ZERO)
+                .unwrap();
         let orders = vec![
             Order::new(
                 OrderId(0),
@@ -168,16 +161,9 @@ mod tests {
             Node::factory(NodeId(1), Point::new(1.0, 0.0)),
         ];
         let network = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let fleet = FleetConfig::homogeneous(
-            1,
-            &[NodeId(0)],
-            100.0,
-            500.0,
-            2.0,
-            40.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let fleet =
+            FleetConfig::homogeneous(1, &[NodeId(0)], 100.0, 500.0, 2.0, 40.0, TimeDelta::ZERO)
+                .unwrap();
         let orders = vec![Order::new(
             OrderId(0),
             NodeId(1),
@@ -187,8 +173,6 @@ mod tests {
             TimePoint::from_hours(1.0),
         )
         .unwrap()];
-        assert!(
-            Instance::new(network, fleet, IntervalGrid::paper_default(), orders).is_err()
-        );
+        assert!(Instance::new(network, fleet, IntervalGrid::paper_default(), orders).is_err());
     }
 }

@@ -54,10 +54,7 @@ impl Order {
         if deadline < created {
             return Err(NetError::InvalidOrder {
                 order: id,
-                reason: format!(
-                    "deadline {} precedes creation time {}",
-                    deadline, created
-                ),
+                reason: format!("deadline {} precedes creation time {}", deadline, created),
             });
         }
         Ok(Order {
@@ -100,8 +97,8 @@ impl Order {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::Node;
     use crate::network::Point;
+    use crate::node::Node;
 
     fn net() -> RoadNetwork {
         let nodes = vec![

@@ -246,7 +246,10 @@ impl IntervalGrid {
     /// # Panics
     /// Panics if `num_intervals == 0` or `horizon` is not strictly positive.
     pub fn new(horizon: TimeDelta, num_intervals: usize) -> Self {
-        assert!(num_intervals > 0, "IntervalGrid needs at least one interval");
+        assert!(
+            num_intervals > 0,
+            "IntervalGrid needs at least one interval"
+        );
         assert!(
             horizon.seconds() > 0.0,
             "IntervalGrid horizon must be positive"

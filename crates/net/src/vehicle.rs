@@ -133,8 +133,8 @@ impl FleetConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::Node;
     use crate::network::Point;
+    use crate::node::Node;
 
     fn fleet(k: usize) -> FleetConfig {
         FleetConfig::homogeneous(
@@ -201,27 +201,11 @@ mod tests {
             Node::factory(NodeId(1), Point::new(1.0, 0.0)),
         ];
         let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let ok = FleetConfig::homogeneous(
-            2,
-            &[NodeId(0)],
-            1.0,
-            1.0,
-            1.0,
-            1.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let ok =
+            FleetConfig::homogeneous(2, &[NodeId(0)], 1.0, 1.0, 1.0, 1.0, TimeDelta::ZERO).unwrap();
         assert!(ok.validate_against(&net).is_ok());
-        let bad = FleetConfig::homogeneous(
-            1,
-            &[NodeId(1)],
-            1.0,
-            1.0,
-            1.0,
-            1.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let bad =
+            FleetConfig::homogeneous(1, &[NodeId(1)], 1.0, 1.0, 1.0, 1.0, TimeDelta::ZERO).unwrap();
         assert!(bad.validate_against(&net).is_err());
     }
 }

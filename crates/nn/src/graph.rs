@@ -186,8 +186,8 @@ impl Graph {
             let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let exps: Vec<f64> = row.iter().map(|&x| (x - max).exp()).collect();
             let sum: f64 = exps.iter().sum();
-            for c in 0..n {
-                *value.get_mut(r, c) = exps[c] / sum;
+            for (c, &e) in exps.iter().enumerate() {
+                *value.get_mut(r, c) = e / sum;
             }
         }
         self.push(value, Op::SoftmaxRows(a))
@@ -222,8 +222,8 @@ impl Graph {
                     sum += exps[c];
                 }
             }
-            for c in 0..n {
-                *value.get_mut(r, c) = exps[c] / sum;
+            for (c, &e) in exps.iter().enumerate() {
+                *value.get_mut(r, c) = e / sum;
             }
         }
         self.push(value, Op::MaskedSoftmaxRows(a, mask.clone()))
@@ -547,11 +547,7 @@ mod tests {
 
     /// Central finite-difference gradient check: builds the graph twice per
     /// perturbed element and compares against the analytic gradient.
-    fn grad_check(
-        build: impl Fn(&mut Graph, &Tensor) -> Var,
-        input: &Tensor,
-        tol: f64,
-    ) {
+    fn grad_check(build: impl Fn(&mut Graph, &Tensor) -> Var, input: &Tensor, tol: f64) {
         let mut g = Graph::new();
         let _ = build(&mut g, input);
         // The build closure must create the input as node 0.

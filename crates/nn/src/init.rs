@@ -9,9 +9,7 @@ use rand::RngExt;
 /// comparable scale across layers.
 pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
     let a = (6.0 / (rows + cols) as f64).sqrt();
-    let data = (0..rows * cols)
-        .map(|_| rng.random_range(-a..a))
-        .collect();
+    let data = (0..rows * cols).map(|_| rng.random_range(-a..a)).collect();
     Tensor::from_vec(rows, cols, data)
 }
 

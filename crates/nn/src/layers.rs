@@ -57,7 +57,10 @@ impl Mlp {
     /// # Panics
     /// Panics if fewer than two widths are given.
     pub fn new(store: &mut ParamStore, widths: &[usize]) -> Self {
-        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(store, w[0], w[1]))
@@ -105,7 +108,10 @@ impl MultiHeadAttention {
     /// # Panics
     /// Panics unless `heads` divides `d_model`.
     pub fn new(store: &mut ParamStore, d_model: usize, heads: usize) -> Self {
-        assert!(heads > 0 && d_model % heads == 0, "heads must divide d_model");
+        assert!(
+            heads > 0 && d_model.is_multiple_of(heads),
+            "heads must divide d_model"
+        );
         MultiHeadAttention {
             wq: store.add_xavier(d_model, d_model),
             wk: store.add_xavier(d_model, d_model),
@@ -200,7 +206,10 @@ mod tests {
             crate::params::ParamId(0),
             Tensor::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]),
         );
-        store.set_value(crate::params::ParamId(1), Tensor::from_rows(&[&[0.5, -0.5]]));
+        store.set_value(
+            crate::params::ParamId(1),
+            Tensor::from_rows(&[&[0.5, -0.5]]),
+        );
         let mut g = Graph::new();
         let x = g.constant(Tensor::from_rows(&[&[1.0, 2.0, 3.0]]));
         let y = l.forward(&mut g, &store, x);
@@ -263,7 +272,11 @@ mod tests {
             .count();
         // wq receives zero gradient only if attention is perfectly uniform
         // AND values identical; with nonzero inputs expect most params hit.
-        assert!(grads_nonzero >= store.len() - 1, "{grads_nonzero}/{}", store.len());
+        assert!(
+            grads_nonzero >= store.len() - 1,
+            "{grads_nonzero}/{}",
+            store.len()
+        );
     }
 
     #[test]

@@ -138,7 +138,11 @@ impl ParamStore {
             "stores must have the same number of parameters"
         );
         for (dst, src) in self.params.iter_mut().zip(&other.params) {
-            assert_eq!(dst.value.shape(), src.value.shape(), "parameter shape mismatch");
+            assert_eq!(
+                dst.value.shape(),
+                src.value.shape(),
+                "parameter shape mismatch"
+            );
             dst.value = src.value.clone();
         }
     }

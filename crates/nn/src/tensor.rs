@@ -136,7 +136,8 @@ impl Tensor {
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} @ {:?}",
             self.shape(),
             other.shape()

@@ -10,7 +10,7 @@ use crate::reward::{instant_reward, long_term_reward, RewardParams};
 use crate::state::{StateBuilder, StateSnapshot, STATE_DIM};
 use dpdp_net::{Instance, VehicleId};
 use dpdp_nn::{Adam, Graph, Mlp, Optimizer, ParamStore, Tensor};
-use dpdp_sim::{DispatchContext, Dispatcher};
+use dpdp_sim::{Decision, DecisionBatch, DispatchContext, Dispatcher};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -83,7 +83,10 @@ impl ActorCriticAgent {
     /// days.
     pub fn new(config: ActorCriticConfig, num_intervals: usize) -> Self {
         let mut actor_params = ParamStore::new(config.seed);
-        let actor = Mlp::new(&mut actor_params, &[STATE_DIM, config.hidden, config.hidden, 1]);
+        let actor = Mlp::new(
+            &mut actor_params,
+            &[STATE_DIM, config.hidden, config.hidden, 1],
+        );
         let mut critic_params = ParamStore::new(config.seed.wrapping_add(101));
         let critic = Mlp::new(
             &mut critic_params,
@@ -133,6 +136,96 @@ impl ActorCriticAgent {
         let row = g.transpose(picked); // 1 x F
         let probs = g.softmax_rows(row);
         (feasible, g.value(probs).row(0).to_vec())
+    }
+
+    /// Actor logits for many joint states in one forward pass (the actor is
+    /// a per-vehicle MLP, so stacking rows is exact). Returns one logit per
+    /// vehicle per snapshot.
+    fn logits_batch(&self, snaps: &[StateSnapshot]) -> Vec<Vec<f64>> {
+        let (features, offsets) = crate::batch_dispatch::stack_features(snaps);
+        let mut g = Graph::new();
+        let x = g.constant(features);
+        let logits = self.actor.forward(&mut g, &self.actor_params, x);
+        let values = g.value(logits);
+        snaps
+            .iter()
+            .zip(&offsets)
+            .map(|(snap, &base)| {
+                (0..snap.num_vehicles())
+                    .map(|r| values.get(base + r, 0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Policy probabilities from precomputed logits, replicating the
+    /// graph-side masked softmax bit for bit (gather feasible ascending,
+    /// max-subtract, exponentiate, normalise).
+    fn policy_from_logits(snap: &StateSnapshot, logits: &[f64]) -> (Vec<usize>, Vec<f64>) {
+        let feasible: Vec<usize> = (0..snap.num_vehicles())
+            .filter(|&i| snap.feasible[i])
+            .collect();
+        if feasible.is_empty() {
+            return (feasible, Vec::new());
+        }
+        let picked: Vec<f64> = feasible.iter().map(|&i| logits[i]).collect();
+        let max = picked.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = picked.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        (feasible, exps.iter().map(|&e| e / sum).collect())
+    }
+
+    /// The shared per-order decision body: sample (training) or argmax
+    /// (evaluation) over the feasible policy, account the reward, and
+    /// extend the on-policy trajectory.
+    fn decide_one(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        snap: StateSnapshot,
+        feasible: Vec<usize>,
+        probs: Vec<f64>,
+    ) -> Option<usize> {
+        if feasible.is_empty() {
+            return None;
+        }
+        let action = if self.training {
+            if self.rng.random_range(0.0..1.0) < self.config.explore_floor {
+                feasible[self.rng.random_range(0..feasible.len())]
+            } else {
+                // Sample from the policy.
+                let mut u = self.rng.random_range(0.0..1.0);
+                let mut pick = feasible[feasible.len() - 1];
+                for (i, &p) in probs.iter().enumerate() {
+                    if u < p {
+                        pick = feasible[i];
+                        break;
+                    }
+                    u -= p;
+                }
+                pick
+            }
+        } else {
+            // Greedy: most probable feasible vehicle.
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            feasible[best]
+        };
+        let delta = ctx.plans[action]
+            .incremental_length()
+            .expect("chosen action is feasible");
+        let reward = instant_reward(&self.reward_params, ctx.views[action].used, delta);
+        if self.training {
+            self.trajectory.push(Step {
+                snap,
+                action,
+                reward,
+            });
+        }
+        Some(action)
     }
 
     fn value_of(&self, snap: &StateSnapshot) -> f64 {
@@ -203,6 +296,32 @@ impl ActorCriticAgent {
     }
 }
 
+impl crate::batch_dispatch::BatchScoredPolicy for ActorCriticAgent {
+    /// Per-vehicle actor logits.
+    type Scores = Vec<f64>;
+
+    fn build_snapshot(&self, ctx: &DispatchContext<'_>) -> StateSnapshot {
+        self.state_builder.build(ctx)
+    }
+
+    fn score_batch(&self, snaps: &[StateSnapshot]) -> Vec<Vec<f64>> {
+        self.logits_batch(snaps)
+    }
+
+    fn decide(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        snap: StateSnapshot,
+        precomputed: Option<&Vec<f64>>,
+    ) -> Option<usize> {
+        let (feasible, probs) = match precomputed {
+            Some(logits) => Self::policy_from_logits(&snap, logits),
+            None => self.policy(&snap),
+        };
+        self.decide_one(ctx, snap, feasible, probs)
+    }
+}
+
 impl Dispatcher for ActorCriticAgent {
     fn begin_episode(&mut self, instance: &Instance) {
         self.reward_params = RewardParams::new(
@@ -216,47 +335,17 @@ impl Dispatcher for ActorCriticAgent {
     fn dispatch(&mut self, ctx: &DispatchContext<'_>) -> Option<VehicleId> {
         let snap = self.state_builder.build(ctx);
         let (feasible, probs) = self.policy(&snap);
-        if feasible.is_empty() {
-            return None;
-        }
-        let action = if self.training {
-            if self.rng.random_range(0.0..1.0) < self.config.explore_floor {
-                feasible[self.rng.random_range(0..feasible.len())]
-            } else {
-                // Sample from the policy.
-                let mut u = self.rng.random_range(0.0..1.0);
-                let mut pick = feasible[feasible.len() - 1];
-                for (i, &p) in probs.iter().enumerate() {
-                    if u < p {
-                        pick = feasible[i];
-                        break;
-                    }
-                    u -= p;
-                }
-                pick
-            }
-        } else {
-            // Greedy: most probable feasible vehicle.
-            let best = probs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                .map(|(i, _)| i)
-                .expect("non-empty");
-            feasible[best]
-        };
-        let delta = ctx.plans[action]
-            .incremental_length()
-            .expect("chosen action is feasible");
-        let reward = instant_reward(&self.reward_params, ctx.views[action].used, delta);
-        if self.training {
-            self.trajectory.push(Step {
-                snap,
-                action,
-                reward,
-            });
-        }
-        Some(VehicleId::from_index(action))
+        self.decide_one(ctx, snap, feasible, probs)
+            .map(VehicleId::from_index)
+    }
+
+    /// Batch-native dispatch: one actor forward pass scores every order of
+    /// the epoch against the shared snapshot; orders commit sequentially
+    /// and fall back to fresh evaluation once an assignment perturbs the
+    /// snapshot, keeping the decision stream identical to the per-order
+    /// path.
+    fn dispatch_batch(&mut self, batch: &DecisionBatch<'_>) -> Vec<Decision> {
+        crate::batch_dispatch::dispatch_batch_scored(self, batch)
     }
 
     fn end_episode(&mut self) {
@@ -275,8 +364,8 @@ impl Dispatcher for ActorCriticAgent {
 mod tests {
     use super::*;
     use dpdp_net::{
-        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork,
-        TimeDelta, TimePoint,
+        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta,
+        TimePoint,
     };
     use dpdp_sim::Simulator;
 
@@ -287,16 +376,9 @@ mod tests {
             Node::factory(NodeId(2), Point::new(10.0, 0.0)),
         ];
         let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let fleet = FleetConfig::homogeneous(
-            2,
-            &[NodeId(0)],
-            10.0,
-            300.0,
-            2.0,
-            40.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let fleet =
+            FleetConfig::homogeneous(2, &[NodeId(0)], 10.0, 300.0, 2.0, 40.0, TimeDelta::ZERO)
+                .unwrap();
         let orders = (0..5)
             .map(|i| {
                 Order::new(
@@ -317,7 +399,7 @@ mod tests {
     fn ac_runs_and_learns_without_panicking() {
         let inst = instance();
         let mut agent = ActorCriticAgent::new(ActorCriticConfig::default(), 144);
-        let sim = Simulator::new(&inst);
+        let sim = Simulator::builder(&inst).build().unwrap();
         for _ in 0..5 {
             let r = sim.run(&mut agent);
             assert_eq!(r.metrics.served, 5);
@@ -329,7 +411,7 @@ mod tests {
     fn eval_mode_is_deterministic_and_does_not_learn() {
         let inst = instance();
         let mut agent = ActorCriticAgent::new(ActorCriticConfig::default(), 144);
-        let sim = Simulator::new(&inst);
+        let sim = Simulator::builder(&inst).build().unwrap();
         sim.run(&mut agent);
         agent.set_training(false);
         let a = sim.run(&mut agent);
@@ -344,7 +426,7 @@ mod tests {
         let mut agent = ActorCriticAgent::new(ActorCriticConfig::default(), 144);
         // Run one episode to exercise the policy path, then inspect via a
         // fabricated snapshot from the first decision of a fresh run.
-        let sim = Simulator::new(&inst);
+        let sim = Simulator::builder(&inst).build().unwrap();
         sim.run(&mut agent);
         // Build a snapshot manually.
         let snap = StateSnapshot {

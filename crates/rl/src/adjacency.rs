@@ -13,10 +13,7 @@ use dpdp_routing::VehicleView;
 pub fn nearest_neighbors(views: &[VehicleView], net: &RoadNetwork, ne: usize) -> Vec<Vec<usize>> {
     let k = views.len();
     let take = ne.min(k);
-    let positions: Vec<_> = views
-        .iter()
-        .map(|v| net.node(v.anchor_node).pos)
-        .collect();
+    let positions: Vec<_> = views.iter().map(|v| net.node(v.anchor_node).pos).collect();
     (0..k)
         .map(|i| {
             let mut by_dist: Vec<usize> = (0..k).collect();

@@ -9,7 +9,7 @@ use crate::state::{StateBuilder, StateSnapshot};
 use dpdp_data::{StScorer, StdMatrix};
 use dpdp_net::{Instance, VehicleId};
 use dpdp_nn::{Adam, Graph, Optimizer, ParamStore, Tensor};
-use dpdp_sim::{DispatchContext, Dispatcher};
+use dpdp_sim::{Decision, DecisionBatch, DispatchContext, Dispatcher};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -175,8 +175,7 @@ impl DqnAgent {
         let mut target = ParamStore::new(config.seed.wrapping_add(1));
         let _ = QNetwork::new(&mut target, qcfg);
         target.copy_values_from(&online);
-        let mut state_builder =
-            StateBuilder::new(config.dist_scale, num_intervals, config.ne);
+        let mut state_builder = StateBuilder::new(config.dist_scale, num_intervals, config.ne);
         if let Some(s) = scorer {
             state_builder = state_builder.with_scorer(s);
         }
@@ -254,7 +253,14 @@ impl DqnAgent {
         }
     }
 
-    fn choose_action(&mut self, snap: &StateSnapshot) -> Option<usize> {
+    /// Epsilon-greedy action choice. When `precomputed` Q-values are given
+    /// (from a batched epoch forward) the greedy branch uses them instead
+    /// of running a fresh forward pass; both paths are bit-identical.
+    fn choose_action(
+        &mut self,
+        snap: &StateSnapshot,
+        precomputed: Option<&[f64]>,
+    ) -> Option<usize> {
         let feasible: Vec<usize> = (0..snap.num_vehicles())
             .filter(|&i| snap.feasible[i])
             .collect();
@@ -265,7 +271,39 @@ impl DqnAgent {
             let pick = self.rng.random_range(0..feasible.len());
             return Some(feasible[pick]);
         }
-        self.qnet.greedy_action(&self.online, snap)
+        match precomputed {
+            Some(q) => {
+                let mut best: Option<(usize, f64)> = None;
+                for &i in &feasible {
+                    if best.is_none_or(|(_, b)| q[i] > b) {
+                        best = Some((i, q[i]));
+                    }
+                }
+                best.map(|(i, _)| i)
+            }
+            None => self.qnet.greedy_action(&self.online, snap),
+        }
+    }
+
+    /// The shared per-order decision body: choose, account the reward, and
+    /// chain the MDP transition. `snap` must describe `ctx`, and
+    /// `precomputed` (if any) must be `snap`'s Q-values.
+    fn decide_one(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        snap: StateSnapshot,
+        precomputed: Option<&[f64]>,
+    ) -> Option<usize> {
+        let action = self.choose_action(&snap, precomputed)?;
+        let plan = &ctx.plans[action];
+        let delta = plan
+            .incremental_length()
+            .expect("chosen action is feasible");
+        let r = instant_reward(&self.reward_params, ctx.views[action].used, delta);
+        self.close_last(Some((&snap, ctx.interval)));
+        self.last = Some((snap, action, r, ctx.interval));
+        self.episode_instant_rewards.push(r);
+        Some(action)
     }
 
     /// Best feasible Q-value of a snapshot under the given parameters.
@@ -332,9 +370,7 @@ impl DqnAgent {
             // Algorithm 3 marks the last order of each time interval
             // terminal, bounding bootstrapping within intervals.
             let (next_snap, terminal) = match next {
-                Some((snap, next_interval)) => {
-                    (Some(snap.clone()), next_interval != interval)
-                }
+                Some((snap, next_interval)) => (Some(snap.clone()), next_interval != interval),
                 None => (None, true),
             };
             self.pending.push(Transition {
@@ -345,6 +381,27 @@ impl DqnAgent {
                 terminal,
             });
         }
+    }
+}
+
+impl crate::batch_dispatch::BatchScoredPolicy for DqnAgent {
+    type Scores = Vec<f64>;
+
+    fn build_snapshot(&self, ctx: &DispatchContext<'_>) -> StateSnapshot {
+        self.state_builder.build(ctx)
+    }
+
+    fn score_batch(&self, snaps: &[StateSnapshot]) -> Vec<Vec<f64>> {
+        self.qnet.q_values_batch(&self.online, snaps)
+    }
+
+    fn decide(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        snap: StateSnapshot,
+        precomputed: Option<&Vec<f64>>,
+    ) -> Option<usize> {
+        self.decide_one(ctx, snap, precomputed.map(Vec::as_slice))
     }
 }
 
@@ -362,18 +419,17 @@ impl Dispatcher for DqnAgent {
 
     fn dispatch(&mut self, ctx: &DispatchContext<'_>) -> Option<VehicleId> {
         let snap = self.state_builder.build(ctx);
-        let action = self.choose_action(&snap)?;
-        let plan = &ctx.plans[action];
-        let delta = plan.incremental_length().expect("chosen action is feasible");
-        let r = instant_reward(
-            &self.reward_params,
-            ctx.views[action].used,
-            delta,
-        );
-        self.close_last(Some((&snap, ctx.interval)));
-        self.last = Some((snap, action, r, ctx.interval));
-        self.episode_instant_rewards.push(r);
-        Some(VehicleId::from_index(action))
+        self.decide_one(ctx, snap, None).map(VehicleId::from_index)
+    }
+
+    /// Batch-native dispatch: builds every order's joint state against the
+    /// shared epoch snapshot and scores them all through **one** Q-network
+    /// forward pass ([`QNetwork::q_values_batch`]). Orders then commit
+    /// sequentially; once an assignment perturbs the snapshot, later orders
+    /// fall back to fresh single-state evaluation, which keeps the
+    /// decision stream bit-identical to the legacy per-order path.
+    fn dispatch_batch(&mut self, batch: &DecisionBatch<'_>) -> Vec<Decision> {
+        crate::batch_dispatch::dispatch_batch_scored(self, batch)
     }
 
     fn end_episode(&mut self) {
@@ -392,7 +448,10 @@ impl Dispatcher for DqnAgent {
                 }
             }
             self.episode += 1;
-            if self.episode % self.config.target_sync_period.max(1) == 0 {
+            if self
+                .episode
+                .is_multiple_of(self.config.target_sync_period.max(1))
+            {
                 self.target.copy_values_from(&self.online);
             }
         }
@@ -407,8 +466,8 @@ impl Dispatcher for DqnAgent {
 mod tests {
     use super::*;
     use dpdp_net::{
-        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork,
-        TimeDelta, TimePoint,
+        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta,
+        TimePoint,
     };
     use dpdp_sim::Simulator;
 
@@ -420,16 +479,9 @@ mod tests {
             Node::factory(NodeId(3), Point::new(5.0, 5.0)),
         ];
         let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let fleet = FleetConfig::homogeneous(
-            3,
-            &[NodeId(0)],
-            10.0,
-            300.0,
-            2.0,
-            40.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let fleet =
+            FleetConfig::homogeneous(3, &[NodeId(0)], 10.0, 300.0, 2.0, 40.0, TimeDelta::ZERO)
+                .unwrap();
         let mut os = Vec::new();
         for i in 0..orders {
             let (p, d) = if i % 2 == 0 { (1, 2) } else { (3, 1) };
@@ -461,10 +513,15 @@ mod tests {
 
     #[test]
     fn all_kinds_run_episodes_and_fill_replay() {
-        for kind in [ModelKind::Dqn, ModelKind::Ddqn, ModelKind::Dgn, ModelKind::Ddgn] {
+        for kind in [
+            ModelKind::Dqn,
+            ModelKind::Ddqn,
+            ModelKind::Dgn,
+            ModelKind::Ddgn,
+        ] {
             let inst = tiny_instance(6);
             let mut agent = DqnAgent::new(quick_config(kind), 144, None);
-            let sim = Simulator::new(&inst);
+            let sim = Simulator::builder(&inst).build().unwrap();
             let result = sim.run(&mut agent);
             assert_eq!(result.metrics.served, 6, "{kind:?} should serve all");
             assert_eq!(agent.replay.len(), 6);
@@ -486,7 +543,7 @@ mod tests {
         cfg.updates_per_episode = 4;
         cfg.epsilon = EpsilonSchedule::linear(0.8, 0.0, 40);
         let mut agent = DqnAgent::new(cfg, 144, None);
-        let sim = Simulator::new(&inst);
+        let sim = Simulator::builder(&inst).build().unwrap();
         let mut costs = Vec::new();
         for _ in 0..50 {
             let r = sim.run(&mut agent);
@@ -509,7 +566,7 @@ mod tests {
     fn eval_mode_is_deterministic() {
         let inst = tiny_instance(6);
         let mut agent = DqnAgent::new(quick_config(ModelKind::Ddgn), 144, None);
-        let sim = Simulator::new(&inst);
+        let sim = Simulator::builder(&inst).build().unwrap();
         for _ in 0..3 {
             sim.run(&mut agent);
         }
@@ -526,7 +583,7 @@ mod tests {
         // non-final transitions should still be terminal per Algorithm 3.
         let inst = tiny_instance(4);
         let mut agent = DqnAgent::new(quick_config(ModelKind::Dqn), 144, None);
-        let sim = Simulator::new(&inst);
+        let sim = Simulator::builder(&inst).build().unwrap();
         sim.run(&mut agent);
         // Replay now has 4 transitions, all terminal.
         let mut rng = StdRng::seed_from_u64(0);

@@ -1,0 +1,92 @@
+//! Shared batch-dispatch scaffolding for the learned agents.
+//!
+//! Both [`DqnAgent`](crate::agent::DqnAgent) and
+//! [`ActorCriticAgent`](crate::ac::ActorCriticAgent) follow the same
+//! epoch-commit protocol: build every order's joint state against the
+//! shared epoch snapshot, score them all in **one** network forward pass,
+//! then commit orders sequentially — falling back to fresh per-order
+//! evaluation once an assignment perturbs the snapshot, which keeps the
+//! decision stream bit-identical to the legacy per-order path. The subtle
+//! invariants (precomputed scores are valid only until the first
+//! assignment; each prebuilt snapshot is consumed exactly once; `resolve`
+//! runs in batch order) live here, once.
+
+use crate::state::{StateSnapshot, STATE_DIM};
+use dpdp_net::VehicleId;
+use dpdp_nn::Tensor;
+use dpdp_sim::{Decision, DecisionBatch, DispatchContext};
+
+/// Stacks snapshot feature matrices into one `(sum K_i) x STATE_DIM`
+/// tensor, returning each snapshot's starting row. Shared by every batched
+/// forward (DQN Q-values, AC logits) so the parity-critical stacking logic
+/// exists once.
+pub(crate) fn stack_features(snaps: &[StateSnapshot]) -> (Tensor, Vec<usize>) {
+    let total: usize = snaps.iter().map(StateSnapshot::num_vehicles).sum();
+    let mut features = Tensor::zeros(total, STATE_DIM);
+    let mut offsets = Vec::with_capacity(snaps.len());
+    let mut row = 0;
+    for snap in snaps {
+        offsets.push(row);
+        for r in 0..snap.num_vehicles() {
+            for c in 0..STATE_DIM {
+                *features.get_mut(row + r, c) = snap.features.get(r, c);
+            }
+        }
+        row += snap.num_vehicles();
+    }
+    (features, offsets)
+}
+
+/// A learned policy that can score a whole epoch in one forward pass.
+pub(crate) trait BatchScoredPolicy {
+    /// Precomputed per-order scores (Q-values, logits, …).
+    type Scores;
+
+    /// Builds the joint state for one order's context.
+    fn build_snapshot(&self, ctx: &DispatchContext<'_>) -> StateSnapshot;
+
+    /// Scores every snapshot in a single network forward pass. Must be
+    /// bit-identical to scoring each snapshot alone.
+    fn score_batch(&self, snaps: &[StateSnapshot]) -> Vec<Self::Scores>;
+
+    /// The per-order decision body (choice, reward accounting, trajectory
+    /// bookkeeping). `precomputed`, when given, holds `snap`'s scores from
+    /// [`BatchScoredPolicy::score_batch`]; `None` means score afresh.
+    fn decide(
+        &mut self,
+        ctx: &DispatchContext<'_>,
+        snap: StateSnapshot,
+        precomputed: Option<&Self::Scores>,
+    ) -> Option<usize>;
+}
+
+/// Drives one decision epoch for a [`BatchScoredPolicy`].
+pub(crate) fn dispatch_batch_scored<P: BatchScoredPolicy>(
+    policy: &mut P,
+    batch: &DecisionBatch<'_>,
+) -> Vec<Decision> {
+    let built: Vec<StateSnapshot> = (0..batch.len())
+        .map(|i| batch.with_context(i, |ctx| policy.build_snapshot(ctx)))
+        .collect();
+    let scores = policy.score_batch(&built);
+    let mut snaps: Vec<Option<StateSnapshot>> = built.into_iter().map(Some).collect();
+    let mut stale = false;
+    (0..batch.len())
+        .map(|i| {
+            let action = if stale {
+                batch.with_context(i, |ctx| {
+                    let snap = policy.build_snapshot(ctx);
+                    policy.decide(ctx, snap, None)
+                })
+            } else {
+                let snap = snaps[i].take().expect("each snapshot consumed once");
+                batch.with_context(i, |ctx| policy.decide(ctx, snap, Some(&scores[i])))
+            };
+            let decision = batch.resolve(i, action.map(VehicleId::from_index));
+            if decision.is_assigned() {
+                stale = true;
+            }
+            decision
+        })
+        .collect()
+}

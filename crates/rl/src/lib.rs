@@ -22,6 +22,7 @@
 pub mod ac;
 pub mod adjacency;
 pub mod agent;
+mod batch_dispatch;
 pub mod qnet;
 pub mod recorder;
 pub mod replay;

@@ -133,12 +133,111 @@ impl QNetwork {
             .collect()
     }
 
+    /// Evaluates many joint states in **one forward pass** by stacking
+    /// their feature matrices and running the attention levels under a
+    /// block-diagonal neighbourhood mask, so no information leaks between
+    /// states. Returns one Q-vector per snapshot, in order.
+    ///
+    /// Every op involved (row-wise MLPs, masked softmax attention with
+    /// exactly-zero masked weights) treats the blocks independently, so the
+    /// results are bit-identical to calling [`QNetwork::q_values`] once per
+    /// snapshot — the batch/serial parity tests rely on this.
+    ///
+    /// With the graph pathway enabled the stacked attention is dense over
+    /// all `sum K_i` rows, which grows quadratically; to bound that, wide
+    /// batches are split into chunks of at most
+    /// [`QNetwork::MAX_ATTENTION_ROWS`] rows (chunking cannot change the
+    /// results — blocks never interact).
+    pub fn q_values_batch(&self, store: &ParamStore, snaps: &[StateSnapshot]) -> Vec<Vec<f64>> {
+        if !self.config.graph {
+            // Row-wise MLPs only: stacking cost is linear, no need to chunk.
+            return self.q_values_stacked(store, snaps);
+        }
+        let mut out = Vec::with_capacity(snaps.len());
+        let mut start = 0;
+        while start < snaps.len() {
+            let mut rows = snaps[start].num_vehicles();
+            let mut end = start + 1;
+            while end < snaps.len() && rows + snaps[end].num_vehicles() <= Self::MAX_ATTENTION_ROWS
+            {
+                rows += snaps[end].num_vehicles();
+                end += 1;
+            }
+            out.extend(self.q_values_stacked(store, &snaps[start..end]));
+            start = end;
+        }
+        out
+    }
+
+    /// Upper bound on the stacked-attention width per forward pass (rows of
+    /// the block-diagonal mask).
+    pub const MAX_ATTENTION_ROWS: usize = 256;
+
+    fn q_values_stacked(&self, store: &ParamStore, snaps: &[StateSnapshot]) -> Vec<Vec<f64>> {
+        match snaps.len() {
+            0 => return Vec::new(),
+            1 => return vec![self.q_values(store, &snaps[0])],
+            _ => {}
+        }
+        let total: usize = snaps.iter().map(StateSnapshot::num_vehicles).sum();
+        let (features, offsets) = crate::batch_dispatch::stack_features(snaps);
+        let mut g = Graph::new();
+        let x = g.constant(features);
+        let h0 = self.initial.forward(&mut g, store, x);
+        let top = if self.config.graph {
+            // Block-diagonal self-inclusive adjacency over feasible
+            // neighbours: block b holds snapshot b's mask, all cross-block
+            // entries stay zero.
+            let mut mask = dpdp_nn::Tensor::zeros(total, total);
+            for (snap, &base) in snaps.iter().zip(&offsets) {
+                for v in 0..snap.num_vehicles() {
+                    *mask.get_mut(base + v, base + v) = 1.0;
+                    for &n in &snap.neighbors[v] {
+                        if n != v && snap.feasible[n] {
+                            *mask.get_mut(base + v, base + n) = 1.0;
+                        }
+                    }
+                }
+            }
+            let mut h = h0;
+            for attn in &self.attention {
+                let out = attn.forward_masked(&mut g, store, h, &mask);
+                h = g.relu(out);
+            }
+            h
+        } else {
+            h0
+        };
+        let head_in = if self.config.graph {
+            g.concat_cols(&[h0, top])
+        } else {
+            top
+        };
+        let q = self.head.forward(&mut g, store, head_in);
+        let values = g.value(q);
+        snaps
+            .iter()
+            .zip(&offsets)
+            .map(|(snap, &base)| {
+                (0..snap.num_vehicles())
+                    .map(|i| {
+                        if snap.feasible[i] {
+                            values.get(base + i, 0)
+                        } else {
+                            f64::NEG_INFINITY
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Index of the feasible vehicle with the highest Q-value, if any.
     pub fn greedy_action(&self, store: &ParamStore, snap: &StateSnapshot) -> Option<usize> {
         let q = self.q_values(store, snap);
         let mut best: Option<(usize, f64)> = None;
         for (i, &v) in q.iter().enumerate() {
-            if snap.feasible[i] && best.map_or(true, |(_, b)| v > b) {
+            if snap.feasible[i] && best.is_none_or(|(_, b)| v > b) {
                 best = Some((i, v));
             }
         }
@@ -155,7 +254,9 @@ mod tests {
         let features = Tensor::from_vec(
             k,
             STATE_DIM,
-            (0..k * STATE_DIM).map(|i| (i as f64 * 0.13).sin()).collect(),
+            (0..k * STATE_DIM)
+                .map(|i| (i as f64 * 0.13).sin())
+                .collect(),
         );
         let neighbors = (0..k)
             .map(|i| (0..k).filter(|&j| j != i).take(3).collect())

@@ -1,32 +1,34 @@
 //! Capacity-distribution recording (the paper's Fig. 9).
 //!
-//! Wraps any dispatcher and accumulates, per episode, the spatial-temporal
-//! distribution of *assigned delivery capacity*: for every dispatch
-//! decision, the chosen route's residual-capacity vector is added into an
+//! A [`SimObserver`] that accumulates, per episode, the spatial-temporal
+//! distribution of *assigned delivery capacity*: for every committed
+//! assignment, the chosen route's residual-capacity vector is added into an
 //! [`StdMatrix`] at the route's `(factory, interval)` coordinates. Comparing
 //! this matrix with the demand STD matrix (Frobenius `Diff`) shows whether a
 //! policy has learned to move capacity to demand hot spots.
+//!
+//! Before the observer seam existed this was a `Dispatcher` wrapper that
+//! intercepted every policy's choices; now any dispatcher composes with it
+//! through [`Simulator::run_observed`] without being wrapped.
+//!
+//! [`Simulator::run_observed`]: dpdp_sim::Simulator::run_observed
 
 use dpdp_data::{st_score::capacity_vector, FactoryIndex, StdMatrix};
-use dpdp_net::{Instance, IntervalGrid, VehicleId};
-use dpdp_sim::{DispatchContext, Dispatcher};
+use dpdp_net::IntervalGrid;
+use dpdp_sim::{DecisionRecord, SimObserver};
 
-/// A dispatcher wrapper that records the capacity STD matrix of each
-/// episode.
-pub struct CapacityRecorder<'a> {
-    inner: &'a mut dyn Dispatcher,
+/// An observer that records the capacity STD matrix of each episode.
+pub struct CapacityRecorder {
     grid: IntervalGrid,
     index: FactoryIndex,
     current: StdMatrix,
 }
 
-impl<'a> CapacityRecorder<'a> {
-    /// Wraps `inner`, recording coordinates on `grid` over the factories of
-    /// `index`.
-    pub fn new(inner: &'a mut dyn Dispatcher, grid: IntervalGrid, index: FactoryIndex) -> Self {
+impl CapacityRecorder {
+    /// Records route coordinates on `grid` over the factories of `index`.
+    pub fn new(grid: IntervalGrid, index: FactoryIndex) -> Self {
         let current = StdMatrix::zeros(index.num_factories(), grid.num_intervals());
         CapacityRecorder {
-            inner,
             grid,
             index,
             current,
@@ -41,33 +43,22 @@ impl<'a> CapacityRecorder<'a> {
     }
 }
 
-impl Dispatcher for CapacityRecorder<'_> {
-    fn begin_episode(&mut self, instance: &Instance) {
-        self.inner.begin_episode(instance);
-    }
-
-    fn dispatch(&mut self, ctx: &DispatchContext<'_>) -> Option<VehicleId> {
-        let choice = self.inner.dispatch(ctx)?;
-        let k = choice.index();
-        if let Some(best) = ctx.plans.get(k).and_then(|p| p.best.as_ref()) {
-            let schedule = &best.candidate.schedule;
-            let eta = capacity_vector(&ctx.views[k], schedule, ctx.fleet.capacity);
-            for (timing, cap) in schedule.timings.iter().zip(eta) {
-                if let Some(row) = self.index.row(timing.stop.node) {
-                    let col = self.grid.interval_of(timing.arrival);
-                    *self.current.get_mut(row, col) += cap;
-                }
+impl SimObserver for CapacityRecorder {
+    fn on_decision(&mut self, record: &DecisionRecord<'_>) {
+        let (Some(view), Some(plan)) = (record.view, record.plan) else {
+            return; // rejection: no committed route
+        };
+        let Some(best) = plan.best.as_ref() else {
+            return;
+        };
+        let schedule = &best.candidate.schedule;
+        let eta = capacity_vector(view, schedule, record.fleet.capacity);
+        for (timing, cap) in schedule.timings.iter().zip(eta) {
+            if let Some(row) = self.index.row(timing.stop.node) {
+                let col = self.grid.interval_of(timing.arrival);
+                *self.current.get_mut(row, col) += cap;
             }
         }
-        Some(choice)
-    }
-
-    fn end_episode(&mut self) {
-        self.inner.end_episode();
-    }
-
-    fn name(&self) -> &str {
-        self.inner.name()
     }
 }
 
@@ -75,7 +66,8 @@ impl Dispatcher for CapacityRecorder<'_> {
 mod tests {
     use super::*;
     use dpdp_net::{
-        FleetConfig, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta, TimePoint,
+        FleetConfig, Instance, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta,
+        TimePoint,
     };
     use dpdp_sim::{dispatcher::FirstFeasible, Simulator};
 
@@ -87,16 +79,9 @@ mod tests {
             Node::factory(NodeId(2), Point::new(20.0, 0.0)),
         ];
         let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let fleet = FleetConfig::homogeneous(
-            1,
-            &[NodeId(0)],
-            10.0,
-            300.0,
-            2.0,
-            60.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let fleet =
+            FleetConfig::homogeneous(1, &[NodeId(0)], 10.0, 300.0, 2.0, 60.0, TimeDelta::ZERO)
+                .unwrap();
         let orders = vec![Order::new(
             OrderId(0),
             NodeId(1),
@@ -110,9 +95,11 @@ mod tests {
         let inst = Instance::new(net, fleet, grid, orders).unwrap();
         let index = FactoryIndex::new(&[NodeId(1), NodeId(2)]);
 
-        let mut inner = FirstFeasible;
-        let mut rec = CapacityRecorder::new(&mut inner, grid, index);
-        let result = Simulator::new(&inst).run(&mut rec);
+        let mut rec = CapacityRecorder::new(grid, index);
+        let result = Simulator::builder(&inst)
+            .build()
+            .unwrap()
+            .run_observed(&mut FirstFeasible, &mut [&mut rec]);
         assert_eq!(result.metrics.served, 1);
         let m = rec.take_matrix();
         // Residual 10 at the pickup, 6 at the delivery: total 16.

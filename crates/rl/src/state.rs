@@ -136,8 +136,8 @@ mod tests {
     use super::*;
     use dpdp_data::FactoryIndex;
     use dpdp_net::{
-        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork,
-        TimeDelta, TimePoint, VehicleId,
+        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta,
+        TimePoint, VehicleId,
     };
     use dpdp_routing::{RoutePlanner, VehicleView};
 
@@ -148,16 +148,9 @@ mod tests {
             Node::factory(NodeId(2), Point::new(20.0, 0.0)),
         ];
         let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let fleet = FleetConfig::homogeneous(
-            2,
-            &[NodeId(0)],
-            10.0,
-            500.0,
-            2.0,
-            60.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let fleet =
+            FleetConfig::homogeneous(2, &[NodeId(0)], 10.0, 500.0, 2.0, 60.0, TimeDelta::ZERO)
+                .unwrap();
         let orders = vec![Order::new(
             OrderId(0),
             NodeId(1),
@@ -173,14 +166,11 @@ mod tests {
     #[test]
     fn build_fills_features_and_mask() {
         let (net, fleet, orders) = fixture();
-        let views = vec![
-            VehicleView::idle_at_depot(VehicleId(0), NodeId(0)),
-            {
-                let mut v = VehicleView::idle_at_depot(VehicleId(1), NodeId(0));
-                v.used = true;
-                v
-            },
-        ];
+        let views = vec![VehicleView::idle_at_depot(VehicleId(0), NodeId(0)), {
+            let mut v = VehicleView::idle_at_depot(VehicleId(1), NodeId(0));
+            v.used = true;
+            v
+        }];
         let planner = RoutePlanner::new(&net, &fleet, &orders);
         let plans: Vec<_> = views.iter().map(|v| planner.plan(v, &orders[0])).collect();
         let grid = IntervalGrid::paper_default();

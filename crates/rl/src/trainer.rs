@@ -8,7 +8,7 @@
 use crate::recorder::CapacityRecorder;
 use dpdp_data::{FactoryIndex, StdMatrix};
 use dpdp_net::Instance;
-use dpdp_sim::{Dispatcher, Simulator};
+use dpdp_sim::{Dispatcher, SimObserver, Simulator};
 use serde::{Deserialize, Serialize};
 
 /// Trainer configuration.
@@ -95,19 +95,26 @@ pub fn train(
     instance: &Instance,
     config: &TrainerConfig,
 ) -> TrainReport {
-    let sim = Simulator::new(instance);
+    let sim = Simulator::builder(instance)
+        .build()
+        .expect("immediate-service simulator always builds");
     let mut points = Vec::with_capacity(config.episodes);
     let mut capacity_matrices = Vec::new();
-    let demand = config.capacity_index.as_ref().map(|index| {
-        StdMatrix::from_orders(instance.orders(), &instance.grid, index)
-    });
+    let demand = config
+        .capacity_index
+        .as_ref()
+        .map(|index| StdMatrix::from_orders(instance.orders(), &instance.grid, index));
+    // The capacity recorder is an episode observer: it composes with any
+    // dispatcher without wrapping it.
+    let mut recorder = config
+        .capacity_index
+        .as_ref()
+        .map(|index| CapacityRecorder::new(instance.grid, index.clone()));
 
     for episode in 0..config.episodes {
-        let (metrics, cap) = match &config.capacity_index {
-            Some(index) => {
-                let mut rec =
-                    CapacityRecorder::new(dispatcher, instance.grid, index.clone());
-                let result = sim.run(&mut rec);
+        let (metrics, cap) = match recorder.as_mut() {
+            Some(rec) => {
+                let result = sim.run_observed(dispatcher, &mut [rec as &mut dyn SimObserver]);
                 (result.metrics, Some(rec.take_matrix()))
             }
             None => (sim.run(dispatcher).metrics, None),
@@ -117,8 +124,8 @@ pub fn train(
             _ => None,
         };
         if let Some(c) = cap {
-            let keep = config.snapshot_episodes.contains(&episode)
-                || episode + 1 == config.episodes;
+            let keep =
+                config.snapshot_episodes.contains(&episode) || episode + 1 == config.episodes;
             if keep {
                 capacity_matrices.push((episode, c));
             }
@@ -147,8 +154,8 @@ mod tests {
     use crate::agent::{AgentConfig, DqnAgent, ModelKind};
     use crate::schedule::EpsilonSchedule;
     use dpdp_net::{
-        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork,
-        TimeDelta, TimePoint,
+        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta,
+        TimePoint,
     };
     use dpdp_sim::dispatcher::FirstFeasible;
 
@@ -159,16 +166,9 @@ mod tests {
             Node::factory(NodeId(2), Point::new(10.0, 0.0)),
         ];
         let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let fleet = FleetConfig::homogeneous(
-            2,
-            &[NodeId(0)],
-            10.0,
-            300.0,
-            2.0,
-            40.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let fleet =
+            FleetConfig::homogeneous(2, &[NodeId(0)], 10.0, 300.0, 2.0, 40.0, TimeDelta::ZERO)
+                .unwrap();
         let orders = (0..4)
             .map(|i| {
                 Order::new(

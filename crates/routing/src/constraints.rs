@@ -68,7 +68,11 @@ impl fmt::Display for Violation {
             }
             Violation::UnknownOrder(order) => write!(f, "unknown order {order}"),
             Violation::IncompleteRoute { undelivered } => {
-                write!(f, "route returns to depot with {} undelivered order(s)", undelivered.len())
+                write!(
+                    f,
+                    "route returns to depot with {} undelivered order(s)",
+                    undelivered.len()
+                )
             }
         }
     }

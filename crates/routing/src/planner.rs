@@ -59,9 +59,7 @@ impl<'a> RoutePlanner<'a> {
     /// Runs Algorithm 2: checks whether `view`'s vehicle can take `order`,
     /// and if so finds the shortest feasible temporary route.
     pub fn plan(&self, view: &VehicleView, order: &Order) -> PlannerOutput {
-        let current_length = view
-            .route
-            .length(self.net, view.anchor_node, view.depot);
+        let current_length = view.route.length(self.net, view.anchor_node, view.depot);
         let best = best_insertion(view, order, self.net, self.fleet, self.orders);
         PlannerOutput {
             current_length,
@@ -102,16 +100,9 @@ mod tests {
             Node::factory(NodeId(2), Point::new(20.0, 0.0)),
         ];
         let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
-        let fleet = FleetConfig::homogeneous(
-            1,
-            &[NodeId(0)],
-            10.0,
-            500.0,
-            2.0,
-            60.0,
-            TimeDelta::ZERO,
-        )
-        .unwrap();
+        let fleet =
+            FleetConfig::homogeneous(1, &[NodeId(0)], 10.0, 500.0, 2.0, 60.0, TimeDelta::ZERO)
+                .unwrap();
         let orders = vec![Order::new(
             OrderId(0),
             NodeId(1),

@@ -72,7 +72,10 @@ impl Route {
         delivery_pos: usize,
     ) -> Route {
         assert!(pickup_pos <= self.stops.len(), "pickup_pos out of range");
-        assert!(delivery_pos <= self.stops.len(), "delivery_pos out of range");
+        assert!(
+            delivery_pos <= self.stops.len(),
+            "delivery_pos out of range"
+        );
         assert!(delivery_pos >= pickup_pos, "delivery before pickup");
         let mut stops = Vec::with_capacity(self.stops.len() + 2);
         stops.extend_from_slice(&self.stops[..pickup_pos]);

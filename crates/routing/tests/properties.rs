@@ -15,10 +15,7 @@ struct Fixture {
 fn arb_fixture() -> impl Strategy<Value = Fixture> {
     (
         proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0), 4..8),
-        proptest::collection::vec(
-            (0.5f64..5.0, 0.0f64..12.0, 4.0f64..24.0),
-            1..6,
-        ),
+        proptest::collection::vec((0.5f64..5.0, 0.0f64..12.0, 4.0f64..24.0), 1..6),
         1.0f64..1.5,
     )
         .prop_map(|(pts, order_params, detour)| {
@@ -51,10 +48,22 @@ fn arb_fixture() -> impl Strategy<Value = Fixture> {
                 .map(|(i, &(q, created_h, slack_h))| {
                     let p = 1 + (i % nf);
                     let d = 1 + ((i + 1) % nf);
-                    let (p, d) = if p == d { (p, 1 + ((p) % nf).max(1)) } else { (p, d) };
+                    let (p, d) = if p == d {
+                        (p, 1 + ((p) % nf).max(1))
+                    } else {
+                        (p, d)
+                    };
                     let d = if p == d { 1 + (p % nf) } else { d };
                     // Guarantee distinct pickup/delivery.
-                    let d = if p == d { if p == 1 { 2 } else { 1 } } else { d };
+                    let d = if p == d {
+                        if p == 1 {
+                            2
+                        } else {
+                            1
+                        }
+                    } else {
+                        d
+                    };
                     Order::new(
                         OrderId(i as u32),
                         NodeId::from_index(p),

@@ -1,0 +1,463 @@
+//! Batched decision epochs: the unit of work a [`Dispatcher`] sees.
+//!
+//! The paper's Algorithm 1 frames dispatch as a sequence of *decision
+//! epochs*: every order whose decision time lands on the same instant is
+//! decided against one shared fleet snapshot. A [`DecisionBatch`] carries
+//! that snapshot — one [`VehicleView`] and one [`PlannerOutput`] per
+//! `(order, vehicle)` pair — and maintains it *incrementally* as decisions
+//! are committed: accepting an order replans only the chosen vehicle's
+//! entries for the still-undecided orders (a per-order plan delta), so a
+//! batch of `B` orders over `K` vehicles costs one full `B x K` planning
+//! sweep plus at most `B` single-vehicle replans, instead of `B` full
+//! sweeps.
+//!
+//! Sequential commit through [`DecisionBatch::resolve`] reproduces the
+//! legacy one-order-at-a-time semantics exactly (same snapshot evolution,
+//! same plan values), which is what makes the batch/serial parity tests in
+//! this crate and `dpdp-baselines` possible.
+//!
+//! [`Dispatcher`]: crate::dispatcher::Dispatcher
+
+use crate::dispatcher::DispatchContext;
+use crate::state::VehicleState;
+use dpdp_net::{FleetConfig, Order, OrderId, RoadNetwork, TimePoint, VehicleId};
+use dpdp_routing::{PlannerOutput, RoutePlanner, VehicleView};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// Why a [`Decision`] turned out the way it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecisionReason {
+    /// The order was assigned to a feasible vehicle.
+    Assigned,
+    /// No vehicle had a feasible insertion for the order.
+    NoFeasibleVehicle,
+    /// Feasible vehicles existed but the policy declined them all.
+    PolicyRejected,
+    /// The policy chose a vehicle whose plan was infeasible at commit time.
+    InfeasibleChoice,
+    /// The order's decision epoch fell beyond the simulation horizon.
+    HorizonExceeded,
+}
+
+/// One dispatch outcome produced by [`Dispatcher::dispatch_batch`].
+///
+/// [`Dispatcher::dispatch_batch`]: crate::dispatcher::Dispatcher::dispatch_batch
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decision {
+    /// The order decided.
+    pub order: OrderId,
+    /// The serving vehicle, or `None` for a rejection.
+    pub vehicle: Option<VehicleId>,
+    /// Why.
+    pub reason: DecisionReason,
+}
+
+impl Decision {
+    /// An accepted assignment.
+    pub fn assigned(order: OrderId, vehicle: VehicleId) -> Self {
+        Decision {
+            order,
+            vehicle: Some(vehicle),
+            reason: DecisionReason::Assigned,
+        }
+    }
+
+    /// A rejection with the given reason.
+    pub fn rejected(order: OrderId, reason: DecisionReason) -> Self {
+        Decision {
+            order,
+            vehicle: None,
+            reason,
+        }
+    }
+
+    /// Whether the order was assigned.
+    #[inline]
+    pub fn is_assigned(&self) -> bool {
+        self.vehicle.is_some()
+    }
+}
+
+/// Everything [`DecisionBatch::resolve`] recorded about one committed
+/// decision. The simulator adopts these records — and the batch's scratch
+/// states — wholesale when the dispatcher's returned decisions match them,
+/// so the planning work done inside the batch is never repeated.
+#[derive(Debug)]
+pub(crate) struct CommitRecord {
+    /// The decision `resolve` returned.
+    pub(crate) decision: Decision,
+    /// Commit details, present iff the decision assigned a vehicle.
+    pub(crate) assignment: Option<CommitAssignment>,
+}
+
+/// The committed side of an assignment, captured before the scratch state
+/// mutated.
+#[derive(Debug)]
+pub(crate) struct CommitAssignment {
+    /// The chosen vehicle's view before accepting the order.
+    pub(crate) pre_view: VehicleView,
+    /// The validated Algorithm 2 output the assignment committed.
+    pub(crate) plan: PlannerOutput,
+    /// Whether the vehicle had been used before this assignment.
+    pub(crate) vehicle_was_used: bool,
+}
+
+/// Interior state of a batch: evolves as decisions are committed.
+#[derive(Debug)]
+struct BatchInner {
+    /// Scratch copies of the simulator's vehicle states; committing a
+    /// decision mirrors the simulator's accept-and-advance exactly.
+    states: Vec<VehicleState>,
+    /// `states[k].view` clones, dense by vehicle, kept in sync on commit
+    /// (the contiguous slice [`DispatchContext`] wants).
+    views: Vec<VehicleView>,
+    /// `plans[i][k]`: Algorithm 2 output for epoch order `i` on vehicle `k`.
+    plans: Vec<Vec<PlannerOutput>>,
+    /// Which epoch orders have been resolved already.
+    decided: Vec<bool>,
+    /// Per-order commit records, filled by `resolve`.
+    commits: Vec<Option<CommitRecord>>,
+}
+
+/// All orders flushed at one decision epoch, sharing one fleet snapshot.
+///
+/// Built by the [`Simulator`] once per epoch and handed to
+/// [`Dispatcher::dispatch_batch`]. Policies read per-order joint states via
+/// [`DecisionBatch::with_context`] and commit outcomes via
+/// [`DecisionBatch::resolve`]; the shared snapshot is delta-updated after
+/// every acceptance so later orders in the batch see the committed routes,
+/// exactly as the legacy per-order path did.
+///
+/// [`Simulator`]: crate::simulator::Simulator
+/// [`Dispatcher::dispatch_batch`]: crate::dispatcher::Dispatcher::dispatch_batch
+#[derive(Debug)]
+pub struct DecisionBatch<'a> {
+    now: TimePoint,
+    interval: usize,
+    net: &'a RoadNetwork,
+    fleet: &'a FleetConfig,
+    orders: &'a [Order],
+    epoch_orders: Vec<OrderId>,
+    inner: RefCell<BatchInner>,
+}
+
+impl<'a> DecisionBatch<'a> {
+    /// Builds a batch over the given epoch orders from the simulator's
+    /// current vehicle states (cloned as scratch space).
+    pub(crate) fn new(
+        now: TimePoint,
+        interval: usize,
+        net: &'a RoadNetwork,
+        fleet: &'a FleetConfig,
+        orders: &'a [Order],
+        epoch_orders: Vec<OrderId>,
+        states: Vec<VehicleState>,
+    ) -> Self {
+        let views: Vec<VehicleView> = states.iter().map(|s| s.view.clone()).collect();
+        let planner = RoutePlanner::new(net, fleet, orders);
+        let plans = epoch_orders
+            .iter()
+            .map(|&oid| {
+                let order = &orders[oid.index()];
+                views.iter().map(|v| planner.plan(v, order)).collect()
+            })
+            .collect();
+        let decided = vec![false; epoch_orders.len()];
+        let commits = (0..epoch_orders.len()).map(|_| None).collect();
+        DecisionBatch {
+            now,
+            interval,
+            net,
+            fleet,
+            orders,
+            epoch_orders,
+            inner: RefCell::new(BatchInner {
+                states,
+                views,
+                plans,
+                decided,
+                commits,
+            }),
+        }
+    }
+
+    /// Tears the batch down into its per-order commit records and scratch
+    /// vehicle states (the simulator's fast commit path).
+    pub(crate) fn into_parts(self) -> (Vec<Option<CommitRecord>>, Vec<VehicleState>) {
+        let inner = self.inner.into_inner();
+        (inner.commits, inner.states)
+    }
+
+    /// Number of orders in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.epoch_orders.len()
+    }
+
+    /// Whether the batch is empty (never produced by the simulator).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.epoch_orders.is_empty()
+    }
+
+    /// The shared decision time of every order in the batch.
+    #[inline]
+    pub fn now(&self) -> TimePoint {
+        self.now
+    }
+
+    /// Index of the epoch's time interval on the instance grid.
+    #[inline]
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    /// Number of vehicles in the shared snapshot.
+    pub fn num_vehicles(&self) -> usize {
+        self.inner.borrow().views.len()
+    }
+
+    /// Ids of the orders flushed at this epoch, in creation order.
+    #[inline]
+    pub fn order_ids(&self) -> &[OrderId] {
+        &self.epoch_orders
+    }
+
+    /// The `i`-th order of the batch.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn order(&self, i: usize) -> &Order {
+        &self.orders[self.epoch_orders[i].index()]
+    }
+
+    /// Whether any vehicle can currently take the `i`-th order.
+    pub fn any_feasible(&self, i: usize) -> bool {
+        self.inner.borrow().plans[i].iter().any(|p| p.feasible())
+    }
+
+    /// Runs `f` with the `i`-th order's [`DispatchContext`], built from the
+    /// batch's *current* (delta-updated) snapshot. This is the joint state
+    /// `S^i_t` a legacy per-order policy would have seen at this point of
+    /// the sequential commit order.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`. The batch's shared snapshot is borrowed for
+    /// the duration of `f`, so calling [`DecisionBatch::resolve`] (or any
+    /// other batch method) from *inside* `f` panics with a `RefCell`
+    /// borrow error — read the context, return the choice, and resolve
+    /// outside the closure.
+    pub fn with_context<R>(&self, i: usize, f: impl FnOnce(&DispatchContext<'_>) -> R) -> R {
+        let inner = self.inner.borrow();
+        let ctx = DispatchContext {
+            order: self.order(i),
+            now: self.now,
+            interval: self.interval,
+            views: &inner.views,
+            plans: &inner.plans[i],
+            net: self.net,
+            fleet: self.fleet,
+            orders: self.orders,
+        };
+        f(&ctx)
+    }
+
+    /// Commits the policy's choice for the `i`-th order and returns the
+    /// resulting [`Decision`].
+    ///
+    /// An accepted choice updates the shared snapshot the way the simulator
+    /// will: the chosen vehicle adopts the best temporary route, advances
+    /// through any legs departing at the epoch instant, and its plans for
+    /// the still-undecided orders of the batch are recomputed. A `None`
+    /// choice or an infeasible vehicle yields a rejection with the matching
+    /// [`DecisionReason`].
+    ///
+    /// # Panics
+    /// Panics if `i >= len()` or the order was already resolved. Must not
+    /// be called from inside a [`DecisionBatch::with_context`] closure
+    /// (the shared snapshot is still borrowed there).
+    pub fn resolve(&self, i: usize, choice: Option<VehicleId>) -> Decision {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            !inner.decided[i],
+            "order {} resolved twice in one batch",
+            self.epoch_orders[i]
+        );
+        inner.decided[i] = true;
+        let oid = self.epoch_orders[i];
+        let (decision, assignment) = Self::commit(&mut inner, self, i, oid, choice);
+        inner.commits[i] = Some(CommitRecord {
+            decision,
+            assignment,
+        });
+        decision
+    }
+
+    /// The body of [`DecisionBatch::resolve`]: classifies the choice and,
+    /// for an acceptance, applies it to the scratch snapshot.
+    fn commit(
+        inner: &mut BatchInner,
+        batch: &DecisionBatch<'_>,
+        i: usize,
+        oid: OrderId,
+        choice: Option<VehicleId>,
+    ) -> (Decision, Option<CommitAssignment>) {
+        let Some(k) = choice else {
+            let reason = if inner.plans[i].iter().any(|p| p.feasible()) {
+                DecisionReason::PolicyRejected
+            } else {
+                DecisionReason::NoFeasibleVehicle
+            };
+            return (Decision::rejected(oid, reason), None);
+        };
+        let BatchInner {
+            states,
+            views,
+            plans,
+            decided,
+            ..
+        } = inner;
+        let plan = plans[i][k.index()].clone();
+        let Some(best) = plan.best.as_ref() else {
+            return (
+                Decision::rejected(oid, DecisionReason::InfeasibleChoice),
+                None,
+            );
+        };
+        // Mirror the simulator's commit: accept the route, then advance
+        // through legs that depart at the epoch instant, so later orders in
+        // the batch see the post-commit anchor (no-interference rule).
+        let state = &mut states[k.index()];
+        let pre_view = state.view.clone();
+        let vehicle_was_used = state.used();
+        state.accept(best.candidate.route.clone());
+        state.advance_to(batch.now, batch.net, batch.fleet, batch.orders);
+        views[k.index()] = state.view.clone();
+        let planner = RoutePlanner::new(batch.net, batch.fleet, batch.orders);
+        for (j, plan_row) in plans.iter_mut().enumerate() {
+            if !decided[j] {
+                let order = &batch.orders[batch.epoch_orders[j].index()];
+                plan_row[k.index()] = planner.plan(&views[k.index()], order);
+            }
+        }
+        (
+            Decision::assigned(oid, k),
+            Some(CommitAssignment {
+                pre_view,
+                plan,
+                vehicle_was_used,
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdp_net::{FleetConfig, Instance, IntervalGrid, Node, NodeId, Point, TimeDelta};
+
+    fn instance() -> Instance {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(10.0, 0.0)),
+            Node::factory(NodeId(2), Point::new(20.0, 0.0)),
+        ];
+        let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
+        let fleet =
+            FleetConfig::homogeneous(2, &[NodeId(0)], 10.0, 500.0, 2.0, 60.0, TimeDelta::ZERO)
+                .unwrap();
+        let orders = vec![
+            Order::new(
+                OrderId(0),
+                NodeId(1),
+                NodeId(2),
+                9.0,
+                TimePoint::from_hours(8.0),
+                // Tight deadline: no time to serve both orders back to
+                // back, and 9 + 9 exceeds the capacity of 10, so a vehicle
+                // that commits to one order cannot take the other.
+                TimePoint::from_hours(8.34),
+            )
+            .unwrap(),
+            Order::new(
+                OrderId(1),
+                NodeId(1),
+                NodeId(2),
+                9.0,
+                TimePoint::from_hours(8.0),
+                TimePoint::from_hours(8.34),
+            )
+            .unwrap(),
+        ];
+        Instance::new(net, fleet, IntervalGrid::paper_default(), orders).unwrap()
+    }
+
+    fn batch(inst: &Instance) -> DecisionBatch<'_> {
+        let states: Vec<VehicleState> = inst.fleet.vehicles.iter().map(VehicleState::new).collect();
+        let mut states = states;
+        for s in &mut states {
+            s.advance_to(
+                TimePoint::from_hours(8.0),
+                &inst.network,
+                &inst.fleet,
+                inst.orders(),
+            );
+        }
+        DecisionBatch::new(
+            TimePoint::from_hours(8.0),
+            inst.grid.interval_of(TimePoint::from_hours(8.0)),
+            &inst.network,
+            &inst.fleet,
+            inst.orders(),
+            vec![OrderId(0), OrderId(1)],
+            states,
+        )
+    }
+
+    #[test]
+    fn resolve_updates_plan_deltas_for_later_orders() {
+        let inst = instance();
+        let b = batch(&inst);
+        assert_eq!(b.len(), 2);
+        assert!(b.any_feasible(0) && b.any_feasible(1));
+        // Before any commit both orders see an idle vehicle 0.
+        let d0_before = b.with_context(1, |ctx| ctx.plans[0].incremental_length().unwrap());
+        let d = b.resolve(0, Some(VehicleId(0)));
+        assert_eq!(d, Decision::assigned(OrderId(0), VehicleId(0)));
+        // Vehicle 0 is now loaded with 9 of 10 capacity: order 1 (quantity
+        // 9) no longer fits on it, so its plan flipped infeasible.
+        let feasible_now = b.with_context(1, |ctx| ctx.plans[0].feasible());
+        assert!(!feasible_now, "capacity should exclude vehicle 0");
+        assert!(d0_before.is_finite());
+        // Vehicle 1 remains available.
+        let d2 = b.resolve(1, Some(VehicleId(1)));
+        assert_eq!(d2.reason, DecisionReason::Assigned);
+    }
+
+    #[test]
+    fn resolve_classifies_rejections() {
+        let inst = instance();
+        let b = batch(&inst);
+        // Policy declined although feasible vehicles exist.
+        assert_eq!(b.resolve(0, None).reason, DecisionReason::PolicyRejected);
+        // Choosing an infeasible vehicle: make vehicle 0 full first.
+        let b2 = batch(&inst);
+        b2.resolve(0, Some(VehicleId(0)));
+        let d = b2.with_context(1, |ctx| ctx.plans[0].feasible());
+        assert!(!d);
+        assert_eq!(
+            b2.resolve(1, Some(VehicleId(0))).reason,
+            DecisionReason::InfeasibleChoice
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "resolved twice")]
+    fn double_resolve_panics() {
+        let inst = instance();
+        let b = batch(&inst);
+        b.resolve(0, None);
+        b.resolve(0, None);
+    }
+}

@@ -1,5 +1,6 @@
-//! The dispatcher abstraction: who serves the next order?
+//! The dispatcher abstraction: who serves each order of a decision epoch?
 
+use crate::batch::{Decision, DecisionBatch};
 use dpdp_net::{FleetConfig, Instance, Order, RoadNetwork, TimePoint, VehicleId};
 use dpdp_routing::{PlannerOutput, VehicleView};
 
@@ -46,11 +47,41 @@ impl<'a> DispatchContext<'a> {
 
 /// A dispatching policy: picks the vehicle that serves each incoming order.
 ///
-/// Returning `None`, or a vehicle whose plan is infeasible, rejects the
-/// order (the simulator records it as unserved).
+/// The simulator drives policies exclusively through
+/// [`dispatch_batch`](Dispatcher::dispatch_batch): one call per decision
+/// epoch, covering every order flushed at that epoch. Policies come in two
+/// flavours:
+///
+/// * **Per-order policies** implement only [`dispatch`](Dispatcher::dispatch)
+///   and inherit the default `dispatch_batch`, which walks the batch in
+///   creation order, shows each order the delta-updated joint state, and
+///   commits through [`DecisionBatch::resolve`] — bit-for-bit the legacy
+///   one-order-at-a-time semantics.
+/// * **Batch-native policies** override `dispatch_batch` to exploit the
+///   shared epoch snapshot (e.g. scoring every order's Q-values in one
+///   network forward pass, as `dpdp-rl`'s agents do).
+///
+/// Returning `None` from `dispatch`, or a vehicle whose plan is infeasible,
+/// rejects the order (the simulator records it as unserved).
 pub trait Dispatcher {
     /// Chooses a vehicle for the order in `ctx`.
     fn dispatch(&mut self, ctx: &DispatchContext<'_>) -> Option<VehicleId>;
+
+    /// Decides every order of one epoch, returning one [`Decision`] per
+    /// batch order **in batch order**.
+    ///
+    /// The default implementation adapts a per-order policy: for each order
+    /// it builds the current [`DispatchContext`] (reflecting all decisions
+    /// committed so far in this batch) and funnels the choice through
+    /// [`DecisionBatch::resolve`].
+    fn dispatch_batch(&mut self, batch: &DecisionBatch<'_>) -> Vec<Decision> {
+        (0..batch.len())
+            .map(|i| {
+                let choice = batch.with_context(i, |ctx| self.dispatch(ctx));
+                batch.resolve(i, choice)
+            })
+            .collect()
+    }
 
     /// Called once when an episode starts, with the instance being run.
     fn begin_episode(&mut self, _instance: &Instance) {}
@@ -61,6 +92,36 @@ pub trait Dispatcher {
     /// A short human-readable name for reports.
     fn name(&self) -> &str {
         "dispatcher"
+    }
+}
+
+/// Forces a policy through the default per-order adapter even when it has a
+/// native `dispatch_batch`, by hiding the override behind delegation.
+///
+/// Useful to A/B a batch-native implementation against the sequential
+/// reference — the batch/serial parity tests run every policy both ways and
+/// assert identical [`EpisodeResult`](crate::metrics::EpisodeResult)s.
+#[derive(Debug, Default, Clone)]
+pub struct PerOrder<D>(pub D);
+
+impl<D: Dispatcher> Dispatcher for PerOrder<D> {
+    fn dispatch(&mut self, ctx: &DispatchContext<'_>) -> Option<VehicleId> {
+        self.0.dispatch(ctx)
+    }
+
+    // No dispatch_batch override: the trait default (sequential adapter)
+    // applies, regardless of D's own override.
+
+    fn begin_episode(&mut self, instance: &Instance) {
+        self.0.begin_episode(instance);
+    }
+
+    fn end_episode(&mut self) {
+        self.0.end_episode();
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
     }
 }
 

@@ -1,25 +1,41 @@
-//! Event-driven DPDP simulator — the paper's Algorithm 1.
+//! Event-driven DPDP simulator — the paper's Algorithm 1, organised around
+//! **batched decision epochs**.
 //!
 //! The simulator replays a day (an *episode*) of delivery orders against a
-//! fleet. Orders are processed in ascending creation time ("immediate
-//! service", Section IV-D); before each decision every vehicle's runtime
-//! state is advanced to the decision time; the route planner (Algorithm 2,
-//! from `dpdp-routing`) computes each vehicle's feasibility and candidate
-//! route; and a pluggable [`Dispatcher`] picks the serving vehicle.
+//! fleet. Orders are grouped into decision epochs — all orders sharing one
+//! decision time — and each epoch is decided through a single
+//! [`Dispatcher::dispatch_batch`] call over a [`DecisionBatch`]: one shared
+//! set of vehicle snapshots and Algorithm 2 planner outputs, delta-updated
+//! as decisions commit. Per-order policies keep implementing
+//! [`Dispatcher::dispatch`] and ride on the default batch adapter, which
+//! reproduces the legacy one-order-at-a-time semantics exactly; batch-native
+//! policies (like `dpdp-rl`'s agents) override `dispatch_batch` to score a
+//! whole epoch at once.
 //!
-//! The crate also implements the fixed-interval *buffering* strategy the
-//! paper discusses (and rejects for response-time reasons) in Section IV-D,
-//! so that the trade-off can be reproduced.
+//! Under immediate service (Section IV-D) epochs are single orders except
+//! for creation-time ties; under the fixed-interval *buffering* strategy the
+//! paper evaluates (and rejects for response-time reasons), every flush is
+//! one epoch and plans are computed once per epoch instead of once per
+//! order.
+//!
+//! Simulators are configured through [`SimulatorBuilder`] (buffering,
+//! horizon, metrics materialisation, seed), and episodes can be watched
+//! through [`SimObserver`] hooks — the seam that experience recording and
+//! metrics pipelines plug into.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dispatcher;
 pub mod metrics;
+pub mod observer;
 pub mod simulator;
 pub mod state;
 
-pub use dispatcher::{DispatchContext, Dispatcher};
-pub use metrics::{AssignmentRecord, EpisodeMetrics, EpisodeResult, VehicleStats};
-pub use simulator::{BufferingMode, SimConfig, Simulator};
+pub use batch::{Decision, DecisionBatch, DecisionReason};
+pub use dispatcher::{DispatchContext, Dispatcher, FirstFeasible, PerOrder};
+pub use metrics::{AssignmentRecord, EpisodeMetrics, EpisodeResult, MetricsOptions, VehicleStats};
+pub use observer::{DecisionRecord, EpochInfo, EventCounter, SimObserver};
+pub use simulator::{BufferingMode, SimBuildError, Simulator, SimulatorBuilder};
 pub use state::VehicleState;

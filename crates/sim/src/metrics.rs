@@ -1,6 +1,8 @@
 //! Episode outcome metrics: NUV, TTL, TC (Section V-A of the paper).
 
-use dpdp_net::{OrderId, TimePoint, VehicleId};
+use crate::batch::DecisionReason;
+use crate::state::VehicleState;
+use dpdp_net::{FleetConfig, OrderId, RoadNetwork, TimePoint, VehicleId};
 use serde::{Deserialize, Serialize};
 
 /// One dispatch decision recorded by the simulator.
@@ -10,6 +12,8 @@ pub struct AssignmentRecord {
     pub order: OrderId,
     /// The serving vehicle, or `None` if the order was rejected.
     pub vehicle: Option<VehicleId>,
+    /// Why the decision turned out this way.
+    pub reason: DecisionReason,
     /// Decision time.
     pub time: TimePoint,
     /// Time-interval index of the decision.
@@ -28,6 +32,54 @@ impl AssignmentRecord {
     #[inline]
     pub fn incremental_length(&self) -> f64 {
         self.new_length - self.prev_length
+    }
+
+    /// Record for a committed assignment, reading the route lengths off the
+    /// validated plan.
+    ///
+    /// # Panics
+    /// Panics if `plan` has no best route.
+    pub(crate) fn assigned(
+        order: OrderId,
+        vehicle: VehicleId,
+        time: TimePoint,
+        interval: usize,
+        plan: &dpdp_routing::PlannerOutput,
+        vehicle_was_used: bool,
+    ) -> Self {
+        let best = plan
+            .best
+            .as_ref()
+            .expect("assigned record needs a feasible plan");
+        AssignmentRecord {
+            order,
+            vehicle: Some(vehicle),
+            reason: DecisionReason::Assigned,
+            time,
+            interval,
+            prev_length: plan.current_length,
+            new_length: best.length(),
+            vehicle_was_used,
+        }
+    }
+
+    /// Record for a rejection.
+    pub(crate) fn rejected(
+        order: OrderId,
+        reason: DecisionReason,
+        time: TimePoint,
+        interval: usize,
+    ) -> Self {
+        AssignmentRecord {
+            order,
+            vehicle: None,
+            reason,
+            time,
+            interval,
+            prev_length: 0.0,
+            new_length: 0.0,
+            vehicle_was_used: false,
+        }
     }
 }
 
@@ -88,6 +140,118 @@ impl EpisodeResult {
     }
 }
 
+/// Which parts of an [`EpisodeResult`] the simulator should materialise.
+///
+/// Aggregate [`EpisodeMetrics`] are always computed; the per-order and
+/// per-vehicle logs can be switched off to keep long sweeps (training runs,
+/// benchmarks) allocation-light.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsOptions {
+    /// Keep the per-order [`AssignmentRecord`] log (default `true`).
+    pub record_assignments: bool,
+    /// Keep the per-vehicle [`VehicleStats`] (default `true`).
+    pub record_vehicle_stats: bool,
+}
+
+impl Default for MetricsOptions {
+    fn default() -> Self {
+        MetricsOptions {
+            record_assignments: true,
+            record_vehicle_stats: true,
+        }
+    }
+}
+
+/// Streaming accumulator behind the simulator's episode bookkeeping —
+/// consumes one [`AssignmentRecord`] per decision and finishes into an
+/// [`EpisodeResult`].
+#[derive(Debug)]
+pub(crate) struct MetricsAccumulator {
+    options: MetricsOptions,
+    assignments: Vec<AssignmentRecord>,
+    served: usize,
+    rejected: usize,
+    response_total: f64,
+    responses_counted: usize,
+}
+
+impl MetricsAccumulator {
+    pub(crate) fn new(options: MetricsOptions, capacity: usize) -> Self {
+        MetricsAccumulator {
+            options,
+            assignments: if options.record_assignments {
+                Vec::with_capacity(capacity)
+            } else {
+                Vec::new()
+            },
+            served: 0,
+            rejected: 0,
+            response_total: 0.0,
+            responses_counted: 0,
+        }
+    }
+
+    /// Accounts one decision. `response_secs` is `None` for orders the
+    /// simulator never dispatched (beyond the horizon), which are excluded
+    /// from the response-time average.
+    pub(crate) fn record(&mut self, record: AssignmentRecord, response_secs: Option<f64>) {
+        if record.vehicle.is_some() {
+            self.served += 1;
+        } else {
+            self.rejected += 1;
+        }
+        if let Some(secs) = response_secs {
+            self.response_total += secs;
+            self.responses_counted += 1;
+        }
+        if self.options.record_assignments {
+            self.assignments.push(record);
+        }
+    }
+
+    pub(crate) fn finish(
+        self,
+        states: &[VehicleState],
+        net: &RoadNetwork,
+        fleet: &FleetConfig,
+    ) -> EpisodeResult {
+        let nuv = states.iter().filter(|s| s.used()).count();
+        let lengths: Vec<f64> = states.iter().map(|s| s.final_travel_length(net)).collect();
+        let ttl: f64 = lengths.iter().sum();
+        let vehicles = if self.options.record_vehicle_stats {
+            states
+                .iter()
+                .zip(&lengths)
+                .map(|(s, &travel_km)| VehicleStats {
+                    vehicle: s.view.vehicle,
+                    used: s.used(),
+                    travel_km,
+                    orders_accepted: s.orders_accepted,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let metrics = EpisodeMetrics {
+            nuv,
+            ttl,
+            total_cost: fleet.total_cost(nuv, ttl),
+            served: self.served,
+            rejected: self.rejected,
+            avg_response_secs: if self.responses_counted == 0 {
+                0.0
+            } else {
+                self.response_total / self.responses_counted as f64
+            },
+        };
+        EpisodeResult {
+            metrics,
+            assignments: self.assignments,
+            vehicles,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +261,7 @@ mod tests {
         let r = AssignmentRecord {
             order: OrderId(0),
             vehicle: Some(VehicleId(1)),
+            reason: DecisionReason::Assigned,
             time: TimePoint::ZERO,
             interval: 0,
             prev_length: 12.0,

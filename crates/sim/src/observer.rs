@@ -1,0 +1,110 @@
+//! Episode observation hooks.
+//!
+//! A [`SimObserver`] watches a simulation from the outside: it is notified
+//! when an episode starts, when each decision epoch opens, after every
+//! decision, and when the episode ends. Experience recording (RL replay,
+//! capacity distributions, convergence curves) plugs in here instead of
+//! being hard-wired into dispatcher internals — the dispatcher decides,
+//! observers account.
+//!
+//! Guaranteed call order, enforced by
+//! [`Simulator::run_observed`](crate::simulator::Simulator::run_observed):
+//!
+//! ```text
+//! on_episode_begin
+//!   (on_epoch  on_decision*)*     // one on_epoch per dispatch_batch call
+//!   on_decision*                  // horizon-dropped orders, if any
+//! on_episode_end
+//! ```
+
+use crate::batch::Decision;
+use crate::metrics::{AssignmentRecord, EpisodeResult};
+use dpdp_net::{FleetConfig, Instance, RoadNetwork, TimePoint};
+use dpdp_routing::{PlannerOutput, VehicleView};
+
+/// One decision epoch, as announced to observers before its decisions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochInfo {
+    /// Zero-based index of the epoch within the episode.
+    pub index: usize,
+    /// Wall-clock decision time shared by the epoch's orders.
+    pub now: TimePoint,
+    /// Index of the epoch's time interval on the instance grid.
+    pub interval: usize,
+    /// Number of orders flushed at this epoch.
+    pub num_orders: usize,
+}
+
+/// Everything an observer may inspect about one committed decision.
+#[derive(Debug)]
+pub struct DecisionRecord<'a> {
+    /// The dispatcher's (validated) decision.
+    pub decision: &'a Decision,
+    /// The assignment log entry the simulator recorded.
+    pub assignment: &'a AssignmentRecord,
+    /// The chosen vehicle's view *before* accepting the order, when
+    /// assigned.
+    pub view: Option<&'a VehicleView>,
+    /// The validated Algorithm 2 output the assignment committed, when
+    /// assigned.
+    pub plan: Option<&'a PlannerOutput>,
+    /// The fleet configuration.
+    pub fleet: &'a FleetConfig,
+    /// The road network.
+    pub net: &'a RoadNetwork,
+}
+
+/// Observation hooks over one simulated episode. All methods default to
+/// no-ops so observers implement only what they need.
+pub trait SimObserver {
+    /// Called once before any decision, with the instance being run.
+    fn on_episode_begin(&mut self, _instance: &Instance) {}
+
+    /// Called when a decision epoch opens, immediately before the epoch's
+    /// single `dispatch_batch` call. Horizon-dropped epochs (no dispatch)
+    /// do not produce this event.
+    fn on_epoch(&mut self, _epoch: &EpochInfo) {}
+
+    /// Called after each decision is validated and committed.
+    fn on_decision(&mut self, _record: &DecisionRecord<'_>) {}
+
+    /// Called once with the finished episode result.
+    fn on_episode_end(&mut self, _result: &EpisodeResult) {}
+}
+
+/// An observer that counts events — useful to assert the epoch/decision
+/// protocol in tests and as a minimal example implementation.
+#[derive(Debug, Default, Clone)]
+pub struct EventCounter {
+    /// `on_episode_begin` calls seen.
+    pub episodes_begun: usize,
+    /// `on_epoch` calls seen.
+    pub epochs: usize,
+    /// `on_decision` calls seen.
+    pub decisions: usize,
+    /// Decisions that assigned a vehicle.
+    pub assigned: usize,
+    /// `on_episode_end` calls seen.
+    pub episodes_ended: usize,
+}
+
+impl SimObserver for EventCounter {
+    fn on_episode_begin(&mut self, _instance: &Instance) {
+        self.episodes_begun += 1;
+    }
+
+    fn on_epoch(&mut self, _epoch: &EpochInfo) {
+        self.epochs += 1;
+    }
+
+    fn on_decision(&mut self, record: &DecisionRecord<'_>) {
+        self.decisions += 1;
+        if record.decision.is_assigned() {
+            self.assigned += 1;
+        }
+    }
+
+    fn on_episode_end(&mut self, _result: &EpisodeResult) {
+        self.episodes_ended += 1;
+    }
+}

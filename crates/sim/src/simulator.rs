@@ -1,7 +1,10 @@
-//! The episode simulator (paper Algorithm 1).
+//! The episode simulator (paper Algorithm 1), organised around batched
+//! decision epochs.
 
-use crate::dispatcher::{DispatchContext, Dispatcher};
-use crate::metrics::{AssignmentRecord, EpisodeMetrics, EpisodeResult};
+use crate::batch::{Decision, DecisionBatch, DecisionReason};
+use crate::dispatcher::Dispatcher;
+use crate::metrics::{AssignmentRecord, EpisodeResult, MetricsAccumulator, MetricsOptions};
+use crate::observer::{DecisionRecord, EpochInfo, SimObserver};
 use crate::state::VehicleState;
 use dpdp_net::{Instance, TimeDelta, TimePoint};
 use dpdp_routing::{PlannerOutput, RoutePlanner, VehicleView};
@@ -10,49 +13,212 @@ use dpdp_routing::{PlannerOutput, RoutePlanner, VehicleView};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BufferingMode {
     /// Process each order the moment it is created (the paper's deployed
-    /// strategy; short response time).
+    /// strategy; short response time). Orders created at the same instant
+    /// still share one decision epoch.
     Immediate,
     /// Accumulate orders and flush them at fixed wall-clock multiples of the
     /// given period (the alternative strategy the paper evaluated and
-    /// rejected for its ~154 s response times).
+    /// rejected for its ~154 s response times). Every flush is one decision
+    /// epoch: all orders buffered since the previous flush are decided
+    /// through a single [`Dispatcher::dispatch_batch`] call.
+    ///
+    /// An order created *exactly* at a flush multiple (`created = k * period`)
+    /// is decided at that flush, not delayed to the next one.
     FixedInterval(TimeDelta),
 }
 
-/// Simulator configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SimConfig {
-    /// Buffering strategy for decision times.
-    pub buffering: BufferingMode,
+/// Errors detected when building a [`Simulator`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimBuildError {
+    /// `FixedInterval` buffering needs a strictly positive period.
+    NonPositivePeriod {
+        /// The offending period, in seconds.
+        seconds: f64,
+    },
 }
 
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig {
-            buffering: BufferingMode::Immediate,
+impl std::fmt::Display for SimBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimBuildError::NonPositivePeriod { seconds } => write!(
+                f,
+                "fixed-interval buffering period must be positive, got {seconds} s"
+            ),
         }
+    }
+}
+
+impl std::error::Error for SimBuildError {}
+
+/// Configures and validates a [`Simulator`].
+///
+/// ```
+/// # use dpdp_sim::{Simulator, BufferingMode};
+/// # use dpdp_net::{FleetConfig, Instance, IntervalGrid, Node, NodeId, Point,
+/// #     RoadNetwork, TimeDelta};
+/// # let nodes = vec![Node::depot(NodeId(0), Point::new(0.0, 0.0))];
+/// # let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
+/// # let fleet = FleetConfig::homogeneous(1, &[NodeId(0)], 10.0, 500.0, 2.0,
+/// #     60.0, TimeDelta::ZERO).unwrap();
+/// # let instance =
+/// #     Instance::new(net, fleet, IntervalGrid::paper_default(), vec![]).unwrap();
+/// let sim = Simulator::builder(&instance)
+///     .buffering(BufferingMode::FixedInterval(TimeDelta::from_minutes(10.0)))
+///     .seed(7)
+///     .build()
+///     .expect("positive period");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatorBuilder<'a> {
+    instance: &'a Instance,
+    buffering: BufferingMode,
+    horizon: Option<TimePoint>,
+    metrics: MetricsOptions,
+    seed: u64,
+}
+
+impl<'a> SimulatorBuilder<'a> {
+    /// Starts from the defaults: immediate service, no horizon, full
+    /// metrics, seed 0.
+    pub fn new(instance: &'a Instance) -> Self {
+        SimulatorBuilder {
+            instance,
+            buffering: BufferingMode::Immediate,
+            horizon: None,
+            metrics: MetricsOptions::default(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the buffering strategy.
+    pub fn buffering(mut self, buffering: BufferingMode) -> Self {
+        self.buffering = buffering;
+        self
+    }
+
+    /// Convenience: fixed-interval buffering with the given period.
+    pub fn fixed_interval(self, period: TimeDelta) -> Self {
+        self.buffering(BufferingMode::FixedInterval(period))
+    }
+
+    /// Stops dispatching at `horizon`: orders whose decision time falls
+    /// strictly after it are recorded as rejected with
+    /// [`DecisionReason::HorizonExceeded`] and excluded from the
+    /// response-time average.
+    pub fn horizon(mut self, horizon: TimePoint) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Chooses which episode logs to materialise.
+    pub fn metrics(mut self, options: MetricsOptions) -> Self {
+        self.metrics = options;
+        self
+    }
+
+    /// Seeds the simulator's deterministic identity. The replay itself is
+    /// deterministic; the seed is carried for stochastic scenario
+    /// extensions (e.g. sampled travel times) and surfaced to dispatchers
+    /// via [`Simulator::seed`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration and builds the simulator.
+    ///
+    /// # Errors
+    /// [`SimBuildError::NonPositivePeriod`] when fixed-interval buffering
+    /// was requested with a period `<= 0`.
+    pub fn build(self) -> Result<Simulator<'a>, SimBuildError> {
+        if let BufferingMode::FixedInterval(period) = self.buffering {
+            let seconds = period.seconds();
+            if seconds.is_nan() || seconds <= 0.0 {
+                return Err(SimBuildError::NonPositivePeriod { seconds });
+            }
+        }
+        Ok(Simulator {
+            instance: self.instance,
+            buffering: self.buffering,
+            horizon: self.horizon,
+            metrics: self.metrics,
+            seed: self.seed,
+        })
+    }
+}
+
+/// Fans every episode event out to the observers and feeds decisions into
+/// the metrics accumulator — the single place a decision is recorded, so
+/// the horizon, fast-commit and re-validation paths cannot drift apart.
+struct EpisodeSink<'run, 'obs, 'world> {
+    observers: &'run mut [&'obs mut dyn SimObserver],
+    acc: MetricsAccumulator,
+    fleet: &'world dpdp_net::FleetConfig,
+    net: &'world dpdp_net::RoadNetwork,
+}
+
+impl EpisodeSink<'_, '_, '_> {
+    fn begin(&mut self, instance: &Instance) {
+        for obs in self.observers.iter_mut() {
+            obs.on_episode_begin(instance);
+        }
+    }
+
+    fn epoch(&mut self, info: &EpochInfo) {
+        for obs in self.observers.iter_mut() {
+            obs.on_epoch(info);
+        }
+    }
+
+    /// Records one committed decision. `committed` carries the chosen
+    /// vehicle's pre-accept view and validated plan for assignments;
+    /// `response_secs` is `None` for orders that were never dispatched.
+    fn decision(
+        &mut self,
+        decision: &Decision,
+        record: AssignmentRecord,
+        committed: Option<(&VehicleView, &PlannerOutput)>,
+        response_secs: Option<f64>,
+    ) {
+        for obs in self.observers.iter_mut() {
+            obs.on_decision(&DecisionRecord {
+                decision,
+                assignment: &record,
+                view: committed.map(|(view, _)| view),
+                plan: committed.map(|(_, plan)| plan),
+                fleet: self.fleet,
+                net: self.net,
+            });
+        }
+        self.acc.record(record, response_secs);
+    }
+
+    fn finish(self, states: &[VehicleState]) -> EpisodeResult {
+        let result = self.acc.finish(states, self.net, self.fleet);
+        for obs in self.observers.iter_mut() {
+            obs.on_episode_end(&result);
+        }
+        result
     }
 }
 
 /// The episode simulator: replays an instance's orders against a fleet under
-/// a given [`Dispatcher`].
-#[derive(Debug)]
+/// a given [`Dispatcher`], one batched decision epoch at a time.
+///
+/// Construct via [`Simulator::builder`].
+#[derive(Debug, Clone)]
 pub struct Simulator<'a> {
     instance: &'a Instance,
-    config: SimConfig,
+    buffering: BufferingMode,
+    horizon: Option<TimePoint>,
+    metrics: MetricsOptions,
+    seed: u64,
 }
 
 impl<'a> Simulator<'a> {
-    /// Simulator with immediate service.
-    pub fn new(instance: &'a Instance) -> Self {
-        Simulator {
-            instance,
-            config: SimConfig::default(),
-        }
-    }
-
-    /// Simulator with an explicit configuration.
-    pub fn with_config(instance: &'a Instance, config: SimConfig) -> Self {
-        Simulator { instance, config }
+    /// Starts configuring a simulator for `instance`.
+    pub fn builder(instance: &'a Instance) -> SimulatorBuilder<'a> {
+        SimulatorBuilder::new(instance)
     }
 
     /// The instance being simulated.
@@ -60,12 +226,37 @@ impl<'a> Simulator<'a> {
         self.instance
     }
 
-    fn decision_time(&self, created: TimePoint) -> TimePoint {
-        match self.config.buffering {
+    /// The buffering strategy in effect.
+    pub fn buffering(&self) -> BufferingMode {
+        self.buffering
+    }
+
+    /// The simulator's seed (see [`SimulatorBuilder::seed`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The wall-clock time at which an order created at `created` is
+    /// decided.
+    ///
+    /// Under immediate service this is the creation time itself. Under
+    /// fixed-interval buffering it is the first flush instant `k * period`
+    /// with `k * period >= created` — in particular, an order created
+    /// exactly at a flush multiple is decided at that flush, not one period
+    /// later. (The implementation guards the `created / period` division
+    /// against floating-point round-up so the boundary holds even when the
+    /// product `k * period` is not exactly representable.)
+    pub fn decision_time(&self, created: TimePoint) -> TimePoint {
+        match self.buffering {
             BufferingMode::Immediate => created,
             BufferingMode::FixedInterval(period) => {
-                let p = period.seconds().max(f64::EPSILON);
-                let k = (created.seconds() / p).ceil();
+                let p = period.seconds();
+                let mut k = (created.seconds() / p).ceil();
+                // Float guard: if the division rounded up past the true
+                // quotient, (k-1)*p already covers the creation time.
+                if k >= 1.0 && (k - 1.0) * p >= created.seconds() {
+                    k -= 1.0;
+                }
                 TimePoint::from_seconds(k * p)
             }
         }
@@ -74,104 +265,203 @@ impl<'a> Simulator<'a> {
     /// Runs one full episode and returns the result. The dispatcher's
     /// `begin_episode` / `end_episode` hooks bracket the run.
     pub fn run(&self, dispatcher: &mut dyn Dispatcher) -> EpisodeResult {
+        self.run_observed(dispatcher, &mut [])
+    }
+
+    /// Runs one full episode, notifying `observers` of every epoch and
+    /// decision (see [`SimObserver`] for the guaranteed call order).
+    ///
+    /// Orders are grouped into *decision epochs* — maximal runs of orders
+    /// sharing one decision time — and each epoch is decided through a
+    /// single [`Dispatcher::dispatch_batch`] call against one shared fleet
+    /// snapshot. Every decision the dispatcher returns is re-validated
+    /// here: the simulator replans the chosen `(vehicle, order)` pair
+    /// against its authoritative state and downgrades infeasible choices to
+    /// rejections, so a buggy or adversarial policy cannot corrupt the
+    /// episode.
+    ///
+    /// # Panics
+    /// Panics if the dispatcher violates the `dispatch_batch` contract by
+    /// returning the wrong number of decisions or decisions out of order.
+    pub fn run_observed(
+        &self,
+        dispatcher: &mut dyn Dispatcher,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> EpisodeResult {
         let instance = self.instance;
         let net = &instance.network;
         let fleet = &instance.fleet;
         let orders = instance.orders();
         dispatcher.begin_episode(instance);
+        let mut sink = EpisodeSink {
+            observers,
+            acc: MetricsAccumulator::new(self.metrics, orders.len()),
+            fleet,
+            net,
+        };
+        sink.begin(instance);
 
-        let mut states: Vec<VehicleState> = fleet
-            .vehicles
-            .iter()
-            .map(VehicleState::new)
-            .collect();
-        let mut assignments = Vec::with_capacity(orders.len());
-        let mut response_total = 0.0;
+        let mut states: Vec<VehicleState> = fleet.vehicles.iter().map(VehicleState::new).collect();
 
-        for order in orders {
-            let now = self.decision_time(order.created);
-            response_total += (now - order.created).seconds();
+        let mut epoch_index = 0;
+        let mut start = 0;
+        while start < orders.len() {
+            let now = self.decision_time(orders[start].created);
+            let mut end = start + 1;
+            while end < orders.len() && self.decision_time(orders[end].created) == now {
+                end += 1;
+            }
+            let epoch_orders = &orders[start..end];
+            let interval = instance.grid.interval_of(now);
+
+            if self.horizon.is_some_and(|h| now > h) {
+                // Beyond the horizon: never dispatched. Orders are sorted
+                // by creation and decision times are monotone, so every
+                // later epoch is beyond it too — but keep scanning epochs
+                // to log each order.
+                for order in epoch_orders {
+                    let decision = Decision::rejected(order.id, DecisionReason::HorizonExceeded);
+                    let record = AssignmentRecord::rejected(
+                        order.id,
+                        DecisionReason::HorizonExceeded,
+                        now,
+                        interval,
+                    );
+                    sink.decision(&decision, record, None, None);
+                }
+                start = end;
+                continue;
+            }
+
             for s in &mut states {
                 s.advance_to(now, net, fleet, orders);
             }
-            let views: Vec<VehicleView> = states.iter().map(|s| s.view.clone()).collect();
-            let planner = RoutePlanner::new(net, fleet, orders);
-            let plans: Vec<PlannerOutput> =
-                views.iter().map(|v| planner.plan(v, order)).collect();
-            let interval = instance.grid.interval_of(now);
-            let ctx = DispatchContext {
-                order,
+            let batch = DecisionBatch::new(
                 now,
                 interval,
-                views: &views,
-                plans: &plans,
                 net,
                 fleet,
                 orders,
-            };
-            let choice = dispatcher
-                .dispatch(&ctx)
-                .filter(|k| plans[k.index()].feasible());
-            match choice {
-                Some(k) => {
-                    let plan = &plans[k.index()];
-                    let best = plan.best.as_ref().expect("choice filtered to feasible");
-                    assignments.push(AssignmentRecord {
-                        order: order.id,
-                        vehicle: Some(k),
-                        time: now,
-                        interval,
-                        prev_length: plan.current_length,
-                        new_length: best.length(),
-                        vehicle_was_used: states[k.index()].used(),
-                    });
-                    states[k.index()].accept(best.candidate.route.clone());
+                epoch_orders.iter().map(|o| o.id).collect(),
+                states.clone(),
+            );
+            sink.epoch(&EpochInfo {
+                index: epoch_index,
+                now,
+                interval,
+                num_orders: epoch_orders.len(),
+            });
+            let decisions = dispatcher.dispatch_batch(&batch);
+            assert_eq!(
+                decisions.len(),
+                epoch_orders.len(),
+                "{}: dispatch_batch returned {} decisions for {} orders",
+                dispatcher.name(),
+                decisions.len(),
+                epoch_orders.len(),
+            );
+
+            // Fast path: when every returned decision matches what the
+            // batch itself committed through `resolve` (true for the
+            // default adapter and every built-in policy), adopt the batch's
+            // scratch states and recorded plans verbatim — no replanning.
+            // Otherwise fall back to re-validating each decision against
+            // the authoritative state, so a stale or bogus choice degrades
+            // to a rejection instead of corrupting the episode.
+            let (commits, scratch_states) = batch.into_parts();
+            let resolved_by_batch = decisions
+                .iter()
+                .zip(&commits)
+                .all(|(d, c)| c.as_ref().is_some_and(|c| c.decision == *d));
+            if resolved_by_batch {
+                for ((order, decision), commit) in epoch_orders.iter().zip(&decisions).zip(commits)
+                {
+                    let commit = commit.expect("all commits checked present");
+                    let response = (now - order.created).seconds();
+                    match &commit.assignment {
+                        Some(a) => {
+                            let record = AssignmentRecord::assigned(
+                                order.id,
+                                decision.vehicle.expect("assignment has a vehicle"),
+                                now,
+                                interval,
+                                &a.plan,
+                                a.vehicle_was_used,
+                            );
+                            sink.decision(
+                                &commit.decision,
+                                record,
+                                Some((&a.pre_view, &a.plan)),
+                                Some(response),
+                            );
+                        }
+                        None => {
+                            let record = AssignmentRecord::rejected(
+                                order.id,
+                                decision.reason,
+                                now,
+                                interval,
+                            );
+                            sink.decision(&commit.decision, record, None, Some(response));
+                        }
+                    }
                 }
-                None => {
-                    assignments.push(AssignmentRecord {
-                        order: order.id,
-                        vehicle: None,
-                        time: now,
-                        interval,
-                        prev_length: 0.0,
-                        new_length: 0.0,
-                        vehicle_was_used: false,
+                states = scratch_states;
+            } else {
+                let planner = RoutePlanner::new(net, fleet, orders);
+                for (order, decision) in epoch_orders.iter().zip(&decisions) {
+                    assert_eq!(
+                        decision.order,
+                        order.id,
+                        "{}: dispatch_batch returned decisions out of order",
+                        dispatcher.name(),
+                    );
+                    let response = (now - order.created).seconds();
+                    let validated = decision.vehicle.and_then(|k| {
+                        let plan = planner.plan(&states[k.index()].view, order);
+                        plan.best.is_some().then_some((k, plan))
                     });
+                    match validated {
+                        Some((k, plan)) => {
+                            let record = AssignmentRecord::assigned(
+                                order.id,
+                                k,
+                                now,
+                                interval,
+                                &plan,
+                                states[k.index()].used(),
+                            );
+                            let committed = Decision::assigned(order.id, k);
+                            sink.decision(
+                                &committed,
+                                record,
+                                Some((&states[k.index()].view, &plan)),
+                                Some(response),
+                            );
+                            let best = plan.best.as_ref().expect("validated feasible");
+                            states[k.index()].accept(best.candidate.route.clone());
+                            states[k.index()].advance_to(now, net, fleet, orders);
+                        }
+                        None => {
+                            let reason = match decision.reason {
+                                // An assignment that failed re-validation.
+                                DecisionReason::Assigned => DecisionReason::InfeasibleChoice,
+                                other => other,
+                            };
+                            let committed = Decision::rejected(order.id, reason);
+                            let record =
+                                AssignmentRecord::rejected(order.id, reason, now, interval);
+                            sink.decision(&committed, record, None, Some(response));
+                        }
+                    }
                 }
             }
+            epoch_index += 1;
+            start = end;
         }
 
-        let nuv = states.iter().filter(|s| s.used()).count();
-        let vehicles: Vec<crate::metrics::VehicleStats> = states
-            .iter()
-            .map(|s| crate::metrics::VehicleStats {
-                vehicle: s.view.vehicle,
-                used: s.used(),
-                travel_km: s.final_travel_length(net),
-                orders_accepted: s.orders_accepted,
-            })
-            .collect();
-        let ttl: f64 = vehicles.iter().map(|v| v.travel_km).sum();
-        let served = assignments.iter().filter(|a| a.vehicle.is_some()).count();
-        let rejected = assignments.len() - served;
-        let metrics = EpisodeMetrics {
-            nuv,
-            ttl,
-            total_cost: fleet.total_cost(nuv, ttl),
-            served,
-            rejected,
-            avg_response_secs: if orders.is_empty() {
-                0.0
-            } else {
-                response_total / orders.len() as f64
-            },
-        };
         dispatcher.end_episode();
-        EpisodeResult {
-            metrics,
-            assignments,
-            vehicles,
-        }
+        sink.finish(&states)
     }
 }
 
@@ -180,8 +470,8 @@ mod tests {
     use super::*;
     use crate::dispatcher::FirstFeasible;
     use dpdp_net::{
-        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork,
-        TimeDelta, TimePoint,
+        FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta,
+        TimePoint,
     };
 
     fn instance(num_vehicles: usize, orders: Vec<Order>) -> Instance {
@@ -217,10 +507,16 @@ mod tests {
         .unwrap()
     }
 
+    fn sim(inst: &Instance) -> Simulator<'_> {
+        Simulator::builder(inst)
+            .build()
+            .expect("immediate never fails")
+    }
+
     #[test]
     fn single_order_single_vehicle() {
         let inst = instance(1, vec![order(0, 1, 2, 5.0, 8.0, 20.0)]);
-        let result = Simulator::new(&inst).run(&mut FirstFeasible);
+        let result = sim(&inst).run(&mut FirstFeasible);
         assert_eq!(result.metrics.nuv, 1);
         assert_eq!(result.metrics.served, 1);
         assert_eq!(result.metrics.rejected, 0);
@@ -228,25 +524,32 @@ mod tests {
         assert!((result.metrics.ttl - 40.0).abs() < 1e-9);
         assert!((result.metrics.total_cost - 580.0).abs() < 1e-9);
         assert_eq!(result.metrics.avg_response_secs, 0.0);
+        assert_eq!(result.assignments[0].reason, DecisionReason::Assigned);
     }
 
     #[test]
     fn infeasible_order_is_rejected() {
         // Deadline before any vehicle can reach the delivery node.
         let inst = instance(1, vec![order(0, 1, 2, 5.0, 8.0, 8.01)]);
-        let result = Simulator::new(&inst).run(&mut FirstFeasible);
+        let result = sim(&inst).run(&mut FirstFeasible);
         assert_eq!(result.metrics.served, 0);
         assert_eq!(result.metrics.rejected, 1);
         assert_eq!(result.metrics.nuv, 0);
         assert_eq!(result.metrics.ttl, 0.0);
         assert_eq!(result.assignments[0].vehicle, None);
+        assert_eq!(
+            result.assignments[0].reason,
+            DecisionReason::NoFeasibleVehicle
+        );
     }
 
     #[test]
     fn capacity_forces_second_vehicle() {
         // Two simultaneous heavy orders on the same lane: capacity (9+9 > 10)
         // forbids carrying both, and the deadlines are too tight to serve
-        // them sequentially, so a second vehicle is needed.
+        // them sequentially, so a second vehicle is needed. Both orders
+        // share one decision epoch (same creation instant), so this also
+        // exercises the within-batch plan delta.
         let inst = instance(
             2,
             vec![
@@ -254,7 +557,7 @@ mod tests {
                 order(1, 1, 2, 9.0, 8.0, 8.34),
             ],
         );
-        let result = Simulator::new(&inst).run(&mut FirstFeasible);
+        let result = sim(&inst).run(&mut FirstFeasible);
         assert_eq!(result.metrics.served, 2);
         assert_eq!(result.metrics.nuv, 2);
     }
@@ -269,7 +572,7 @@ mod tests {
                 order(2, 3, 1, 4.0, 10.0, 20.0),
             ],
         );
-        let result = Simulator::new(&inst).run(&mut FirstFeasible);
+        let result = sim(&inst).run(&mut FirstFeasible);
         let m = &result.metrics;
         let expect = inst.fleet.total_cost(m.nuv, m.ttl);
         assert!((m.total_cost - expect).abs() < 1e-9);
@@ -285,7 +588,7 @@ mod tests {
                 order(1, 3, 1, 3.0, 9.0, 20.0),
             ],
         );
-        let result = Simulator::new(&inst).run(&mut FirstFeasible);
+        let result = sim(&inst).run(&mut FirstFeasible);
         assert_eq!(result.vehicles.len(), 3);
         let used = result.vehicles.iter().filter(|v| v.used).count();
         assert_eq!(used, result.metrics.nuv);
@@ -302,10 +605,11 @@ mod tests {
     #[test]
     fn buffering_delays_decisions() {
         let inst = instance(1, vec![order(0, 1, 2, 5.0, 8.05, 20.0)]);
-        let cfg = SimConfig {
-            buffering: BufferingMode::FixedInterval(TimeDelta::from_minutes(30.0)),
-        };
-        let result = Simulator::with_config(&inst, cfg).run(&mut FirstFeasible);
+        let result = Simulator::builder(&inst)
+            .fixed_interval(TimeDelta::from_minutes(30.0))
+            .build()
+            .unwrap()
+            .run(&mut FirstFeasible);
         assert_eq!(result.metrics.served, 1);
         // Created 8:03, flushed at 8:30 -> 27 minutes response.
         let expect = 8.5 * 3600.0 - 8.05 * 3600.0;
@@ -324,9 +628,160 @@ mod tests {
                 order(1, 1, 3, 4.0, 8.0, 20.0),
             ],
         );
-        let result = Simulator::new(&inst).run(&mut FirstFeasible);
+        let result = sim(&inst).run(&mut FirstFeasible);
         assert_eq!(result.metrics.nuv, 1);
         assert!((result.metrics.ttl - 60.0).abs() < 1e-9);
         assert!((result.assignments[1].incremental_length()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_created_exactly_on_flush_multiple_decides_at_that_flush() {
+        // 8:30 is exactly the 17th multiple of a 30-minute period.
+        let inst = instance(1, vec![order(0, 1, 2, 5.0, 8.5, 20.0)]);
+        let s = Simulator::builder(&inst)
+            .fixed_interval(TimeDelta::from_minutes(30.0))
+            .build()
+            .unwrap();
+        assert_eq!(
+            s.decision_time(TimePoint::from_hours(8.5)),
+            TimePoint::from_hours(8.5),
+        );
+        let result = s.run(&mut FirstFeasible);
+        assert_eq!(result.metrics.avg_response_secs, 0.0);
+        assert_eq!(result.assignments[0].time, TimePoint::from_hours(8.5));
+    }
+
+    #[test]
+    fn decision_time_boundary_survives_float_rounding() {
+        // With an awkward period, created / period can round up past the
+        // true quotient; the guard must keep created = k * period on flush
+        // k. 0.1 s is the classic non-representable decimal.
+        let inst = instance(1, vec![]);
+        let s = Simulator::builder(&inst)
+            .fixed_interval(TimeDelta::from_seconds(0.1))
+            .build()
+            .unwrap();
+        for k in 1..2000u32 {
+            let created = TimePoint::from_seconds(k as f64 * 0.1);
+            let decided = s.decision_time(created);
+            assert!(
+                decided == created,
+                "created at multiple {k} of 0.1 s delayed from {:?} to {:?}",
+                created,
+                decided
+            );
+        }
+        // Orders strictly inside a period still wait for the next flush.
+        let inside = s.decision_time(TimePoint::from_seconds(0.05));
+        assert!((inside.seconds() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_positive_period_is_a_build_error() {
+        let inst = instance(1, vec![]);
+        for seconds in [0.0, -10.0] {
+            let err = Simulator::builder(&inst)
+                .fixed_interval(TimeDelta::from_seconds(seconds))
+                .build()
+                .unwrap_err();
+            assert_eq!(err, SimBuildError::NonPositivePeriod { seconds });
+            assert!(err.to_string().contains("must be positive"));
+        }
+    }
+
+    #[test]
+    fn horizon_drops_late_orders_as_rejections() {
+        let inst = instance(
+            2,
+            vec![
+                order(0, 1, 2, 2.0, 8.0, 20.0),
+                order(1, 2, 3, 2.0, 15.0, 23.0),
+            ],
+        );
+        let result = Simulator::builder(&inst)
+            .horizon(TimePoint::from_hours(12.0))
+            .build()
+            .unwrap()
+            .run(&mut FirstFeasible);
+        assert_eq!(result.metrics.served, 1);
+        assert_eq!(result.metrics.rejected, 1);
+        assert_eq!(
+            result.assignments[1].reason,
+            DecisionReason::HorizonExceeded
+        );
+        // Dropped orders do not distort the response-time average.
+        assert_eq!(result.metrics.avg_response_secs, 0.0);
+    }
+
+    #[test]
+    fn metrics_options_suppress_logs_without_changing_aggregates() {
+        let orders = vec![
+            order(0, 1, 2, 2.0, 8.0, 20.0),
+            order(1, 2, 3, 3.0, 9.0, 20.0),
+        ];
+        let inst = instance(2, orders);
+        let full = sim(&inst).run(&mut FirstFeasible);
+        let lean = Simulator::builder(&inst)
+            .metrics(MetricsOptions {
+                record_assignments: false,
+                record_vehicle_stats: false,
+            })
+            .build()
+            .unwrap()
+            .run(&mut FirstFeasible);
+        assert_eq!(full.metrics, lean.metrics);
+        assert!(lean.assignments.is_empty());
+        assert!(lean.vehicles.is_empty());
+        assert_eq!(full.assignments.len(), 2);
+        assert_eq!(full.vehicles.len(), 2);
+    }
+
+    #[test]
+    fn unresolved_decisions_are_revalidated_not_trusted() {
+        // A rogue dispatcher that never touches `DecisionBatch::resolve`
+        // and claims every order for vehicle 0: the simulator must take
+        // the re-validation path, honouring feasible claims and degrading
+        // infeasible ones to rejections.
+        struct ClaimVehicleZero;
+        impl Dispatcher for ClaimVehicleZero {
+            fn dispatch(
+                &mut self,
+                _ctx: &crate::dispatcher::DispatchContext<'_>,
+            ) -> Option<dpdp_net::VehicleId> {
+                unreachable!("batch override bypasses per-order dispatch")
+            }
+            fn dispatch_batch(&mut self, batch: &DecisionBatch<'_>) -> Vec<Decision> {
+                batch
+                    .order_ids()
+                    .iter()
+                    .map(|&oid| Decision::assigned(oid, dpdp_net::VehicleId(0)))
+                    .collect()
+            }
+        }
+
+        // Two heavy same-instant orders: vehicle 0 can only take one.
+        let inst = instance(
+            2,
+            vec![
+                order(0, 1, 2, 9.0, 8.0, 8.34),
+                order(1, 1, 2, 9.0, 8.0, 8.34),
+            ],
+        );
+        let result = sim(&inst).run(&mut ClaimVehicleZero);
+        assert_eq!(result.metrics.served, 1);
+        assert_eq!(result.metrics.rejected, 1);
+        assert_eq!(result.assignments[0].vehicle, Some(dpdp_net::VehicleId(0)));
+        assert_eq!(
+            result.assignments[1].reason,
+            DecisionReason::InfeasibleChoice,
+            "bogus claim must degrade to a rejection"
+        );
+    }
+
+    #[test]
+    fn builder_carries_seed() {
+        let inst = instance(1, vec![]);
+        let s = Simulator::builder(&inst).seed(99).build().unwrap();
+        assert_eq!(s.seed(), 99);
     }
 }

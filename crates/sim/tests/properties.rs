@@ -65,8 +65,7 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 })
                 .collect();
             Scenario {
-                instance: Instance::new(net, fleet, IntervalGrid::paper_default(), orders)
-                    .unwrap(),
+                instance: Instance::new(net, fleet, IntervalGrid::paper_default(), orders).unwrap(),
             }
         })
 }
@@ -79,7 +78,7 @@ proptest! {
     /// bounded by fleet size and by distinct serving vehicles.
     #[test]
     fn episode_conservation_laws(s in arb_scenario()) {
-        let result = Simulator::new(&s.instance).run(&mut FirstFeasible);
+        let result = Simulator::builder(&s.instance).build().unwrap().run(&mut FirstFeasible);
         let m = &result.metrics;
         prop_assert_eq!(m.served + m.rejected, s.instance.num_orders());
         prop_assert_eq!(result.assignments.len(), s.instance.num_orders());
@@ -101,7 +100,7 @@ proptest! {
     /// `vehicle_was_used` is false exactly once per used vehicle.
     #[test]
     fn assignment_log_is_coherent(s in arb_scenario()) {
-        let result = Simulator::new(&s.instance).run(&mut FirstFeasible);
+        let result = Simulator::builder(&s.instance).build().unwrap().run(&mut FirstFeasible);
         let mut prev_time = TimePoint::ZERO;
         let mut activations = std::collections::BTreeMap::new();
         for a in &result.assignments {
@@ -124,11 +123,12 @@ proptest! {
     /// tighter when decisions are delayed).
     #[test]
     fn buffering_only_delays(s in arb_scenario(), minutes in 1.0f64..120.0) {
-        let immediate = Simulator::new(&s.instance).run(&mut FirstFeasible);
-        let cfg = SimConfig {
-            buffering: BufferingMode::FixedInterval(TimeDelta::from_minutes(minutes)),
-        };
-        let buffered = Simulator::with_config(&s.instance, cfg).run(&mut FirstFeasible);
+        let immediate = Simulator::builder(&s.instance).build().unwrap().run(&mut FirstFeasible);
+        let buffered = Simulator::builder(&s.instance)
+            .buffering(BufferingMode::FixedInterval(TimeDelta::from_minutes(minutes)))
+            .build()
+            .unwrap()
+            .run(&mut FirstFeasible);
         prop_assert!(buffered.metrics.avg_response_secs >= 0.0);
         prop_assert!(
             buffered.metrics.avg_response_secs >= immediate.metrics.avg_response_secs
@@ -139,8 +139,8 @@ proptest! {
     /// Replaying the same instance with the same dispatcher is bit-stable.
     #[test]
     fn simulation_is_deterministic(s in arb_scenario()) {
-        let a = Simulator::new(&s.instance).run(&mut FirstFeasible);
-        let b = Simulator::new(&s.instance).run(&mut FirstFeasible);
+        let a = Simulator::builder(&s.instance).build().unwrap().run(&mut FirstFeasible);
+        let b = Simulator::builder(&s.instance).build().unwrap().run(&mut FirstFeasible);
         prop_assert_eq!(a.metrics, b.metrics);
         prop_assert_eq!(a.assignments, b.assignments);
     }

@@ -19,7 +19,11 @@ fn main() {
         instance.total_quantity()
     );
 
-    for mut dispatcher in [models::baseline1(), models::baseline2(), models::baseline3()] {
+    for mut dispatcher in [
+        models::baseline1(),
+        models::baseline2(),
+        models::baseline3(),
+    ] {
         let row = evaluate(&mut *dispatcher, &instance);
         println!(
             "{:<10} NUV {:>3}  TC {:>10.1}  TTL {:>8.1} km  served {:>3}  rejected {:>2}  ({:.2}s)",
@@ -29,7 +33,7 @@ fn main() {
 
     // A closer look at Baseline 1's dispatch log.
     let mut b1 = models::baseline1();
-    let result = Simulator::new(&instance).run(&mut *b1);
+    let result = Simulator::builder(&instance).build().unwrap().run(&mut *b1);
     let hitchhikes = result
         .assignments
         .iter()

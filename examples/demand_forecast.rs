@@ -65,7 +65,10 @@ fn main() {
         unreachable!("hot/cold rows were chosen among active factories");
     };
     let view = VehicleView::idle_at_depot(fleet.vehicles[0].id, campus.depots[0]);
-    for (label, order) in [("hot-spot route", &hot_order), ("cold-spot route", &cold_order)] {
+    for (label, order) in [
+        ("hot-spot route", &hot_order),
+        ("cold-spot route", &cold_order),
+    ] {
         let route = Route::from_stops(vec![
             Stop::pickup(order.pickup, order.id),
             Stop::delivery(order.delivery, order.id),

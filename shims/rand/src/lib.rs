@@ -1,0 +1,211 @@
+//! Offline stand-in for the slice of `rand` this workspace uses.
+//!
+//! Provides [`rngs::StdRng`] (a xoshiro256** generator seeded via
+//! SplitMix64), [`SeedableRng::seed_from_u64`] and
+//! [`RngExt::random_range`] over half-open and inclusive integer/float
+//! ranges. Streams are deterministic per seed but do **not** match upstream
+//! `rand`; everything in-repo treats the RNG as an arbitrary deterministic
+//! source.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable pseudo-random generators.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value convenience methods (the shim's take on `rand::Rng`).
+pub trait RngExt {
+    /// Advances the generator and returns the next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+}
+
+/// Pseudo-random number generators.
+pub mod rngs {
+    use super::SeedableRng;
+
+    /// A deterministic xoshiro256** generator (API stand-in for
+    /// `rand::rngs::StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Next 64 raw bits (xoshiro256**).
+        pub fn next_raw(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, as
+            // recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 1;
+            }
+            StdRng { s }
+        }
+    }
+}
+
+impl RngExt for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.draw(self)
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn draw(self, rng: &mut rngs::StdRng) -> Self::Output;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits -> [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn draw(self, rng: &mut rngs::StdRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let u = unit_f64(rng.next_raw());
+        let v = self.start + u * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn draw(self, rng: &mut rngs::StdRng) -> f64 {
+        let (a, b) = (*self.start(), *self.end());
+        assert!(a <= b, "empty inclusive f64 range");
+        a + unit_f64(rng.next_raw()) * (b - a)
+    }
+}
+
+fn uniform_below(rng: &mut rngs::StdRng, n: u64) -> u64 {
+    assert!(n > 0, "empty integer range");
+    // Rejection sampling over the widest multiple of `n` to avoid modulo
+    // bias.
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let v = rng.next_raw();
+        if v < zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn draw(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn draw(self, rng: &mut rngs::StdRng) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "empty inclusive integer range");
+                let span = (b - a) as u64;
+                if span == u64::MAX {
+                    return rng.next_raw() as $t;
+                }
+                a + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(usize, u64, u32, u16, u8);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.random_range(0.25..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let i = rng.random_range(3usize..10);
+            assert!((3..10).contains(&i));
+            let j = rng.random_range(5u64..=5);
+            assert_eq!(j, 5);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+}

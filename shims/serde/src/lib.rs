@@ -1,0 +1,4 @@
+//! Offline stand-in for `serde`: only the derive macros, as no code in this
+//! workspace serialises through serde (see shims/README.md).
+
+pub use serde_derive::{Deserialize, Serialize};

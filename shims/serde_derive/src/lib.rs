@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derive macros (offline serde shim).
+//!
+//! The workspace derives these traits for documentation/value-type hygiene
+//! but never serialises through serde (checkpointing uses `dpdp-nn`'s own
+//! binary format), so empty expansions are sufficient.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

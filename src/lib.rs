@@ -1,0 +1,19 @@
+//! Umbrella crate for the DPDP reproduction workspace.
+//!
+//! The substance lives in the `dpdp-*` crates under `crates/`; this root
+//! package exists so the repository-level integration tests (`tests/`) and
+//! runnable examples (`examples/`) are ordinary cargo targets. Downstream
+//! users should depend on the individual crates (most commonly
+//! [`dpdp_core`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dpdp_baselines as baselines;
+pub use dpdp_core as core;
+pub use dpdp_data as data;
+pub use dpdp_net as net;
+pub use dpdp_nn as nn;
+pub use dpdp_rl as rl;
+pub use dpdp_routing as routing;
+pub use dpdp_sim as sim;

@@ -17,11 +17,14 @@ fn baselines_serve_all_orders_on_sampled_instances() {
     let presets = quick_presets();
     for seed in [1, 2] {
         let instance = presets.dataset().sampled_instance(0..3, 30, 10, seed);
-        for mut d in [models::baseline1(), models::baseline2(), models::baseline3()] {
+        for mut d in [
+            models::baseline1(),
+            models::baseline2(),
+            models::baseline3(),
+        ] {
             let row = evaluate(&mut *d, &instance);
             assert_eq!(
-                row.served,
-                30,
+                row.served, 30,
                 "{} rejected orders on seed {seed}",
                 row.algo
             );
@@ -40,7 +43,11 @@ fn exact_lower_bounds_all_heuristics_on_tiny_instances() {
         let sol = ExactSolver::new().solve(&instance).expect("feasible");
         assert!(sol.optimal);
         dpdp_baselines::exact::validate_solution(&instance, &sol.routes).unwrap();
-        for mut d in [models::baseline1(), models::baseline2(), models::baseline3()] {
+        for mut d in [
+            models::baseline1(),
+            models::baseline2(),
+            models::baseline3(),
+        ] {
             let row = evaluate(&mut *d, &instance);
             if row.served == instance.num_orders() {
                 assert!(
@@ -121,8 +128,12 @@ fn capacity_recorder_composes_with_learned_agents() {
     let instance = presets.dataset().sampled_instance(0..2, 15, 6, 13);
     let mut agent = models::dqn_agent(ModelKind::Dgn, presets.dataset(), 3);
     let index = presets.dataset().factory_index();
-    let mut rec = CapacityRecorder::new(&mut agent, instance.grid, index);
-    let result = Simulator::new(&instance).run(&mut rec);
+    // The recorder observes the episode; the agent is not wrapped.
+    let mut rec = CapacityRecorder::new(instance.grid, index);
+    let result = Simulator::builder(&instance)
+        .build()
+        .unwrap()
+        .run_observed(&mut agent, &mut [&mut rec]);
     assert_eq!(result.metrics.served, 15);
     let m = rec.take_matrix();
     assert!(m.total() > 0.0, "capacity must be recorded somewhere");

@@ -10,13 +10,15 @@ use proptest::prelude::*;
 fn arb_dataset_config() -> impl Strategy<Value = DatasetConfig> {
     (2usize..8, 20usize..60, 1u64..1000, 1.0f64..1.5).prop_map(
         |(factories, orders, seed, detour)| {
-            let mut cfg = DatasetConfig::default();
-            cfg.campus = CampusConfig {
-                num_depots: 1 + (seed % 2) as usize,
-                num_factories: factories.max(3),
-                area_km: 8.0,
-                detour_factor: detour,
-                seed,
+            let mut cfg = DatasetConfig {
+                campus: CampusConfig {
+                    num_depots: 1 + (seed % 2) as usize,
+                    num_factories: factories.max(3),
+                    area_km: 8.0,
+                    detour_factor: detour,
+                    seed,
+                },
+                ..DatasetConfig::default()
             };
             cfg.generator.orders_per_day = orders;
             cfg.generator.seed = seed.wrapping_mul(31);
@@ -124,15 +126,17 @@ proptest! {
         let instance = ds.sampled_instance(0..1, 5, 5, seed);
         let mut responses = Vec::new();
         for minutes in [0.0, 10.0, 30.0] {
-            let cfg = dpdp_sim::SimConfig {
-                buffering: if minutes == 0.0 {
-                    dpdp_sim::BufferingMode::Immediate
-                } else {
-                    dpdp_sim::BufferingMode::FixedInterval(TimeDelta::from_minutes(minutes))
-                },
+            let buffering = if minutes == 0.0 {
+                dpdp_sim::BufferingMode::Immediate
+            } else {
+                dpdp_sim::BufferingMode::FixedInterval(TimeDelta::from_minutes(minutes))
             };
             let mut b1 = models::baseline1();
-            let r = Simulator::with_config(&instance, cfg).run(&mut *b1);
+            let r = Simulator::builder(&instance)
+                .buffering(buffering)
+                .build()
+                .unwrap()
+                .run(&mut *b1);
             responses.push(r.metrics.avg_response_secs);
         }
         prop_assert_eq!(responses[0], 0.0);
