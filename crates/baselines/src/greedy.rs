@@ -2,9 +2,11 @@
 //!
 //! Baselines 1 and 2 are *batch-native*: their `dispatch_batch` scores the
 //! whole epoch's `(order, vehicle)` plan matrix once against the shared
-//! snapshot and then commits orders sequentially, rescoring only the column
-//! of the vehicle that just accepted (the batch's plan delta). This is
-//! outcome-identical to the legacy per-order path — the parity tests below
+//! snapshot — spread across the simulator's thread pool via
+//! [`DecisionBatch::map_plans`] — and then commits orders sequentially,
+//! rescoring only the column of the vehicle that just accepted (the batch's
+//! plan delta). This is outcome-identical to the legacy per-order path for
+//! any thread count — the parity tests below and in `tests/batch_parity.rs`
 //! run both and compare `EpisodeResult`s — but does the scoring work once
 //! per epoch instead of once per order.
 
@@ -39,19 +41,18 @@ fn argmin_scores(scores: &[Option<f64>]) -> Option<VehicleId> {
 }
 
 /// Batch-native greedy dispatch: score every `(order, vehicle)` pair once
-/// from the epoch snapshot, commit orders in creation order, and refresh
-/// only the accepting vehicle's column for the orders still undecided.
+/// from the epoch snapshot (in parallel across the batch's thread pool),
+/// commit orders in creation order, and refresh only the accepting
+/// vehicle's column for the orders still undecided.
 ///
 /// `score` maps a feasible plan to its (lower-is-better) key and an
 /// infeasible one to `None`.
 fn greedy_batch(
     batch: &DecisionBatch<'_>,
-    score: impl Fn(&PlannerOutput) -> Option<f64>,
+    score: impl Fn(&PlannerOutput) -> Option<f64> + Sync,
 ) -> Vec<Decision> {
     let b = batch.len();
-    let mut scores: Vec<Vec<Option<f64>>> = (0..b)
-        .map(|i| batch.with_context(i, |ctx| ctx.plans.iter().map(&score).collect()))
-        .collect();
+    let mut scores: Vec<Vec<Option<f64>>> = batch.map_plans(|_, _, plan| score(plan));
     let mut out = Vec::with_capacity(b);
     for i in 0..b {
         let decision = batch.resolve(i, argmin_scores(&scores[i]));
@@ -157,13 +158,8 @@ impl Dispatcher for Baseline3 {
             self.accepted = vec![0; batch.num_vehicles()];
         }
         let b = batch.len();
-        let mut deltas: Vec<Vec<Option<f64>>> = (0..b)
-            .map(|i| {
-                batch.with_context(i, |ctx| {
-                    ctx.plans.iter().map(|p| p.incremental_length()).collect()
-                })
-            })
-            .collect();
+        let mut deltas: Vec<Vec<Option<f64>>> =
+            batch.map_plans(|_, _, plan| plan.incremental_length());
         let mut out = Vec::with_capacity(b);
         for i in 0..b {
             let mut best: Option<(usize, usize, f64)> = None; // (k, count, delta)

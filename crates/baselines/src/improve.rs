@@ -1,7 +1,7 @@
 //! Local-search post-optimisation of static route sets.
 //!
-//! The paper's related work (Mitrovic-Minic & Laporte [4]; Gendreau et
-//! al. [5]) pairs cheapest-insertion construction with an improvement
+//! The paper's related work (Mitrovic-Minic & Laporte \[4\]; Gendreau et
+//! al. \[5\]) pairs cheapest-insertion construction with an improvement
 //! phase. This module implements the classic **relocate** neighbourhood on
 //! top of any complete route set: repeatedly remove one order (its pickup
 //! and delivery stops) from its route and reinsert it at the globally

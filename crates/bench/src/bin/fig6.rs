@@ -29,7 +29,7 @@ fn main() {
     for spec in ModelSpec::comparison_lineup() {
         let mut model: Model =
             build_and_train(spec, &presets, &train_instance, cli.episodes, cli.seed);
-        let rows = evaluate_many(model.dispatcher(), &eval_instances);
+        let rows = evaluate_many_threads(model.dispatcher(), &eval_instances, cli.threads);
         if let Some(mean) = mean_row(&rows) {
             println!(
                 "  {:<10} NUV {:>5}  TC {:>10.1}  TTL {:>8.1} km  served {:>4}",

@@ -32,6 +32,8 @@ fn main() {
         })
         .collect();
 
+    // One scoring pool for every evaluation episode (workers outlive runs).
+    let pool = std::sync::Arc::new(dpdp_pool::ThreadPool::new(cli.threads));
     let mut csv = String::from("day,algo,nuv,tc,ttl,served,rejected\n");
     let mut sums: Vec<(f64, f64)> = vec![(0.0, 0.0); specs.len()]; // (nuv, tc)
     for day in 0..days as u64 {
@@ -39,7 +41,7 @@ fn main() {
         print!("Day {:>2} ({} orders):", day + 1, instance.num_orders());
         for (i, (spec, model)) in models.iter_mut().enumerate() {
             model.set_prediction(Some(presets.test_prediction(day, 4)));
-            let row = evaluate(model.dispatcher(), &instance);
+            let row = evaluate_pooled(model.dispatcher(), &instance, &pool);
             print!("  {}={}|{:.0}", spec.name(), row.nuv, row.total_cost);
             sums[i].0 += row.nuv as f64;
             sums[i].1 += row.total_cost;

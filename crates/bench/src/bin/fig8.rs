@@ -22,7 +22,7 @@ fn main() {
 
     // Baseline-1 reference line.
     let mut b1 = Model::build(ModelSpec::Baseline1, &presets, cli.seed);
-    let b1_row = evaluate(b1.dispatcher(), &instance);
+    let b1_row = evaluate_threads(b1.dispatcher(), &instance, cli.threads);
     println!(
         "Baseline 1 reference: NUV {} TC {:.1}",
         b1_row.nuv, b1_row.total_cost

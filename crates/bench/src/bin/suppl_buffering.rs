@@ -43,6 +43,8 @@ fn main() {
         "{:<14} {:>6} {:>12} {:>10} {:>14}",
         "mode", "NUV", "TC", "served", "response(s)"
     );
+    // One scoring pool shared by every simulator below.
+    let pool = std::sync::Arc::new(dpdp_pool::ThreadPool::new(cli.threads));
     let mut csv = String::from("mode,nuv,tc,served,rejected,avg_response_secs\n");
     for (label, mode) in modes {
         let mut nuv = 0.0;
@@ -53,6 +55,7 @@ fn main() {
         for inst in &instances {
             let sim = Simulator::builder(inst)
                 .buffering(mode)
+                .thread_pool(std::sync::Arc::clone(&pool))
                 .build()
                 .expect("positive buffering periods");
             let mut b1 = Baseline1;

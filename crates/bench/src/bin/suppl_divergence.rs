@@ -42,7 +42,7 @@ fn main() {
             &TrainerConfig::new(cli.episodes),
         );
         agent.set_training(false);
-        let eval_rows = evaluate_many(&mut agent, &eval_instances);
+        let eval_rows = evaluate_many_threads(&mut agent, &eval_instances, cli.threads);
         if let Some(mut mean) = mean_row(&eval_rows) {
             mean.algo = label.to_string();
             println!(

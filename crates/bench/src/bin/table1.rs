@@ -2,10 +2,18 @@
 //! instances (5 vehicles; 6, 7, 8, 10 orders): NUV, TC and wall time.
 //!
 //! ```text
-//! cargo run -p dpdp-bench --release --bin table1 [--quick] [--episodes N]
+//! cargo run -p dpdp-bench --release --bin table1 \
+//!     [--quick] [--episodes N] [--threads N]
 //! ```
+//!
+//! Besides the printed table and `table1.csv`, the run is archived as
+//! machine-readable `target/experiments/BENCH_table1.json` (wall time per
+//! policy, thread count, epoch counts) so the perf trajectory across PRs is
+//! recorded; the CI bench-smoke job uploads it and fails on any panic or
+//! non-finite metric.
 
-use dpdp_bench::{build_and_train, write_artifact, Cli};
+use dpdp_bench::{bench_json, build_and_train, check_finite, write_artifact, BenchRecord, Cli};
+use dpdp_core::experiment::evaluate_pooled;
 use dpdp_core::models::ModelSpec;
 use dpdp_core::prelude::*;
 use dpdp_rl::ModelKind;
@@ -22,11 +30,19 @@ fn main() {
         ModelSpec::Dqn(ModelKind::StDdgn),
     ];
     // The paper's Gurobi runs took 300 s (6 orders) and 2818 s (7 orders)
-    // and were intractable beyond; we cap our branch-and-bound likewise.
-    let exact_budget = Duration::from_secs(30);
+    // and were intractable beyond; we cap our branch-and-bound likewise —
+    // tighter under --quick, which doubles as the CI smoke budget.
+    let exact_budget = Duration::from_secs(if cli.quick { 2 } else { 30 });
 
+    // One scoring pool for every evaluation episode (workers outlive runs).
+    let pool = std::sync::Arc::new(dpdp_pool::ThreadPool::new(cli.threads));
     let mut csv = String::from("orders,algo,nuv,tc,wall_secs,optimal\n");
-    println!("Table I: DRL vs exact optimum on tiny instances");
+    let mut records: Vec<BenchRecord> = Vec::new();
+    println!(
+        "Table I: DRL vs exact optimum on tiny instances ({} scoring thread{})",
+        cli.threads,
+        if cli.threads == 1 { "" } else { "s" }
+    );
     for &n in &sizes {
         let instance = presets.tiny_instance(n, cli.seed);
         println!("\n== {n} orders, 5 vehicles ==");
@@ -36,7 +52,9 @@ fn main() {
         );
         for &spec in &specs {
             let mut model = build_and_train(spec, &presets, &instance, cli.episodes, cli.seed);
-            let row = evaluate(model.dispatcher(), &instance);
+            let row = evaluate_pooled(model.dispatcher(), &instance, &pool);
+            let record = BenchRecord::from_row(n.to_string(), &row);
+            check_finite(&record);
             println!(
                 "{:<10} {:>5} {:>12.2} {:>12.4} {:>10}",
                 row.algo, row.nuv, row.total_cost, row.wall_secs, ""
@@ -45,6 +63,7 @@ fn main() {
                 "{n},{},{},{:.3},{:.6},\n",
                 row.algo, row.nuv, row.total_cost, row.wall_secs
             ));
+            records.push(record);
         }
         let start = Instant::now();
         let solver = ExactSolver::with_time_limit(exact_budget);
@@ -52,6 +71,15 @@ fn main() {
             Some(sol) => {
                 let wall = start.elapsed().as_secs_f64();
                 let note = if sol.optimal { "optimal" } else { "timeout" };
+                let record = BenchRecord {
+                    instance: n.to_string(),
+                    algo: "EXACT".to_string(),
+                    nuv: sol.nuv,
+                    total_cost: sol.total_cost,
+                    wall_secs: wall,
+                    epochs: 0,
+                };
+                check_finite(&record);
                 println!(
                     "{:<10} {:>5} {:>12.2} {:>12.4} {:>10}",
                     "EXACT", sol.nuv, sol.total_cost, wall, note
@@ -60,6 +88,7 @@ fn main() {
                     "{n},EXACT,{},{:.3},{:.6},{}\n",
                     sol.nuv, sol.total_cost, wall, sol.optimal
                 ));
+                records.push(record);
             }
             None => {
                 println!(
@@ -72,6 +101,9 @@ fn main() {
     }
     if let Some(path) = write_artifact("table1.csv", &csv) {
         println!("\nwrote {}", path.display());
+    }
+    if let Some(path) = write_artifact("BENCH_table1.json", &bench_json("table1", &cli, &records)) {
+        println!("wrote {}", path.display());
     }
     println!(
         "\nExpected shape (paper): graph models (DGN/ST-DDGN) match or beat DQN/AC; \

@@ -14,7 +14,7 @@ use dpdp_rl::{EpisodePoint, TrainerConfig};
 use std::path::PathBuf;
 
 /// Minimal CLI: `--episodes N`, `--instances N`, `--quick` (smaller
-/// dataset), `--seed N`.
+/// dataset), `--seed N`, `--threads N`.
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Training episodes for learned models.
@@ -25,6 +25,9 @@ pub struct Cli {
     pub quick: bool,
     /// Master seed.
     pub seed: u64,
+    /// Scoring pool width for evaluation episodes (1 = serial; results are
+    /// identical for every width, only wall time moves).
+    pub threads: usize,
 }
 
 /// Why a command line was rejected (see [`Cli::parse_from`]).
@@ -34,7 +37,7 @@ pub enum CliError {
     UnknownFlag(String),
     /// A value-taking flag appeared last, with nothing after it.
     MissingValue(&'static str),
-    /// A flag's value failed to parse as a number.
+    /// A flag's value failed to parse or was out of range.
     InvalidValue {
         /// The flag whose value was malformed.
         flag: &'static str,
@@ -51,7 +54,7 @@ impl std::fmt::Display for CliError {
             CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
             CliError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
             CliError::InvalidValue { flag, value } => {
-                write!(f, "flag `{flag}` got a non-numeric value `{value}`")
+                write!(f, "flag `{flag}` got an invalid value `{value}`")
             }
             CliError::HelpRequested => write!(f, "help requested"),
         }
@@ -66,6 +69,7 @@ options:
   --episodes N    training episodes for learned models
   --instances N   number of evaluation instances
   --seed N        master seed
+  --threads N     scoring pool width (1 = serial; results are identical)
   --quick         use the reduced-volume dataset
   -h, --help      print this help";
 
@@ -106,6 +110,7 @@ impl Cli {
             instances: default_instances,
             quick: false,
             seed: 7,
+            threads: 1,
         };
         fn numeric<T: std::str::FromStr>(
             flag: &'static str,
@@ -130,6 +135,16 @@ impl Cli {
                 }
                 "--seed" => {
                     cli.seed = numeric("--seed", args.get(i + 1))?;
+                    i += 1;
+                }
+                "--threads" => {
+                    cli.threads = numeric("--threads", args.get(i + 1))?;
+                    if cli.threads == 0 {
+                        return Err(CliError::InvalidValue {
+                            flag: "--threads",
+                            value: "0".to_string(),
+                        });
+                    }
                     i += 1;
                 }
                 "--quick" => cli.quick = true,
@@ -250,6 +265,86 @@ pub fn write_artifact(name: &str, contents: &str) -> Option<PathBuf> {
     Some(path)
 }
 
+/// Exits with status 1 when a record carries non-finite metrics — the one
+/// guard the CI bench-smoke job relies on, applied to every archived row
+/// (learned policies and the exact solver alike): a NaN cost must fail the
+/// pipeline, not be archived as if it were a measurement.
+pub fn check_finite(record: &BenchRecord) {
+    if !(record.total_cost.is_finite() && record.wall_secs.is_finite()) {
+        eprintln!(
+            "error: non-finite metrics for {} on instance {}: {record:?}",
+            record.algo, record.instance
+        );
+        std::process::exit(1);
+    }
+}
+
+/// One record of a machine-readable benchmark artifact (see
+/// [`bench_json`]).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Instance label (e.g. order count).
+    pub instance: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Number of used vehicles.
+    pub nuv: usize,
+    /// Total cost.
+    pub total_cost: f64,
+    /// Wall-clock seconds for the episode.
+    pub wall_secs: f64,
+    /// Decision epochs the episode went through.
+    pub epochs: usize,
+}
+
+impl BenchRecord {
+    /// Builds a record from an evaluation row.
+    pub fn from_row(instance: impl Into<String>, row: &EvalRow) -> BenchRecord {
+        BenchRecord {
+            instance: instance.into(),
+            algo: row.algo.clone(),
+            nuv: row.nuv,
+            total_cost: row.total_cost,
+            wall_secs: row.wall_secs,
+            epochs: row.epochs,
+        }
+    }
+}
+
+/// Renders a benchmark run as JSON (hand-rolled — the offline serde shim
+/// has no serializer), recording the perf trajectory across PRs: wall time
+/// per policy, the thread count it ran with, and epoch counts.
+pub fn bench_json(bench: &str, cli: &Cli, records: &[BenchRecord]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"instance\": \"{}\", \"algo\": \"{}\", \"nuv\": {}, \
+                 \"total_cost\": {:.6}, \"wall_secs\": {:.6}, \"epochs\": {}}}",
+                esc(&r.instance),
+                esc(&r.algo),
+                r.nuv,
+                r.total_cost,
+                r.wall_secs,
+                r.epochs
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"{}\",\n  \"threads\": {},\n  \"episodes\": {},\n  \
+         \"seed\": {},\n  \"quick\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        esc(bench),
+        cli.threads,
+        cli.episodes,
+        cli.seed,
+        cli.quick,
+        rows.join(",\n")
+    )
+}
+
 /// Mean of the last `n` points' NUV (converged value for curve summaries).
 pub fn tail_mean_nuv(points: &[EpisodePoint], n: usize) -> f64 {
     if points.is_empty() {
@@ -271,7 +366,15 @@ mod tests {
     #[test]
     fn cli_parses_known_flags() {
         let cli = Cli::parse_from(
-            &argv(&["--episodes", "250", "--quick", "--seed", "11"]),
+            &argv(&[
+                "--episodes",
+                "250",
+                "--quick",
+                "--seed",
+                "11",
+                "--threads",
+                "4",
+            ]),
             60,
             3,
         )
@@ -280,6 +383,7 @@ mod tests {
         assert_eq!(cli.instances, 3);
         assert!(cli.quick);
         assert_eq!(cli.seed, 11);
+        assert_eq!(cli.threads, 4);
     }
 
     #[test]
@@ -289,6 +393,43 @@ mod tests {
         assert_eq!(cli.instances, 3);
         assert!(!cli.quick);
         assert_eq!(cli.seed, 7);
+        assert_eq!(cli.threads, 1);
+    }
+
+    #[test]
+    fn cli_rejects_zero_threads() {
+        let err = Cli::parse_from(&argv(&["--threads", "0"]), 60, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::InvalidValue {
+                flag: "--threads",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let cli = Cli::parse_from(&argv(&["--threads", "2", "--quick"]), 9, 1).unwrap();
+        let records = vec![BenchRecord {
+            instance: "6".into(),
+            algo: "ST-\"DDGN\"".into(),
+            nuv: 3,
+            total_cost: 1234.5,
+            wall_secs: 0.25,
+            epochs: 6,
+        }];
+        let json = bench_json("table1", &cli, &records);
+        assert!(json.contains("\"bench\": \"table1\""));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"episodes\": 9"));
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\\\"DDGN\\\""), "quotes must be escaped");
+        assert!(json.contains("\"epochs\": 6"));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the offline env).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Timed evaluation of dispatchers on instances.
 
 use dpdp_net::Instance;
-use dpdp_sim::{Dispatcher, Simulator};
+use dpdp_pool::ThreadPool;
+use dpdp_sim::{Dispatcher, EventCounter, Simulator};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One row of a comparison table: a dispatcher's metrics on one instance.
@@ -23,15 +25,44 @@ pub struct EvalRow {
     /// Wall-clock seconds for the whole episode (all dispatch decisions
     /// plus simulation bookkeeping) — the analogue of Table I's wall time.
     pub wall_secs: f64,
+    /// Decision epochs the episode went through (batched dispatch calls).
+    pub epochs: usize,
 }
 
-/// Runs one episode and times it.
+/// Runs one episode single-threaded and times it.
 pub fn evaluate(dispatcher: &mut dyn Dispatcher, instance: &Instance) -> EvalRow {
+    evaluate_threads(dispatcher, instance, 1)
+}
+
+/// Runs one episode on a scoring pool of `num_threads` threads and times
+/// it. Metrics are identical for every thread count (see
+/// [`dpdp_sim::SimulatorBuilder::num_threads`]); only `wall_secs` moves.
+pub fn evaluate_threads(
+    dispatcher: &mut dyn Dispatcher,
+    instance: &Instance,
+    num_threads: usize,
+) -> EvalRow {
+    evaluate_pooled(
+        dispatcher,
+        instance,
+        &Arc::new(ThreadPool::new(num_threads)),
+    )
+}
+
+/// Runs one episode on a caller-owned pool (reused across episodes so the
+/// workers outlive each one) and times it.
+pub fn evaluate_pooled(
+    dispatcher: &mut dyn Dispatcher,
+    instance: &Instance,
+    pool: &Arc<ThreadPool>,
+) -> EvalRow {
+    let mut counter = EventCounter::default();
     let start = Instant::now();
     let result = Simulator::builder(instance)
+        .thread_pool(Arc::clone(pool))
         .build()
         .unwrap()
-        .run(dispatcher);
+        .run_observed(dispatcher, &mut [&mut counter]);
     let wall_secs = start.elapsed().as_secs_f64();
     let m = result.metrics;
     EvalRow {
@@ -42,20 +73,35 @@ pub fn evaluate(dispatcher: &mut dyn Dispatcher, instance: &Instance) -> EvalRow
         served: m.served,
         rejected: m.rejected,
         wall_secs,
+        epochs: counter.epochs,
     }
 }
 
-/// Evaluates a dispatcher across several instances, returning one row per
-/// instance (in order).
+/// Evaluates a dispatcher across several instances single-threaded,
+/// returning one row per instance (in order).
 pub fn evaluate_many(dispatcher: &mut dyn Dispatcher, instances: &[Instance]) -> Vec<EvalRow> {
+    evaluate_many_threads(dispatcher, instances, 1)
+}
+
+/// Evaluates a dispatcher across several instances, each episode scored on
+/// a pool of `num_threads` threads, returning one row per instance (in
+/// order).
+pub fn evaluate_many_threads(
+    dispatcher: &mut dyn Dispatcher,
+    instances: &[Instance],
+    num_threads: usize,
+) -> Vec<EvalRow> {
+    // One pool for the whole sweep: episodes share the workers instead of
+    // paying thread spawn/teardown per instance.
+    let pool = Arc::new(ThreadPool::new(num_threads));
     instances
         .iter()
-        .map(|inst| evaluate(dispatcher, inst))
+        .map(|inst| evaluate_pooled(dispatcher, inst, &pool))
         .collect()
 }
 
 /// Averages rows (same algorithm, many instances) into a summary row; wall
-/// time is summed.
+/// time and epoch counts are summed (totals), the other metrics are means.
 pub fn mean_row(rows: &[EvalRow]) -> Option<EvalRow> {
     if rows.is_empty() {
         return None;
@@ -69,6 +115,7 @@ pub fn mean_row(rows: &[EvalRow]) -> Option<EvalRow> {
         served: rows.iter().map(|r| r.served).sum::<usize>() / rows.len(),
         rejected: rows.iter().map(|r| r.rejected).sum::<usize>() / rows.len(),
         wall_secs: rows.iter().map(|r| r.wall_secs).sum::<f64>(),
+        epochs: rows.iter().map(|r| r.epochs).sum::<usize>(),
     })
 }
 
@@ -147,6 +194,20 @@ mod tests {
         assert_eq!(row.served + row.rejected, 6);
         assert!(row.wall_secs >= 0.0);
         assert!(row.total_cost > 0.0);
+        assert!(row.epochs >= 1 && row.epochs <= 6);
+    }
+
+    #[test]
+    fn evaluate_threads_reports_identical_metrics() {
+        let p = Presets::quick();
+        let inst = p.tiny_instance(6, 7);
+        let serial = evaluate(&mut *models::baseline1(), &inst);
+        let parallel = evaluate_threads(&mut *models::baseline1(), &inst, 4);
+        assert_eq!(serial.nuv, parallel.nuv);
+        assert_eq!(serial.total_cost, parallel.total_cost);
+        assert_eq!(serial.ttl, parallel.ttl);
+        assert_eq!(serial.served, parallel.served);
+        assert_eq!(serial.epochs, parallel.epochs);
     }
 
     #[test]
@@ -180,6 +241,7 @@ mod tests {
                 served: 5,
                 rejected: 0,
                 wall_secs: 0.5,
+                epochs: 5,
             },
             EvalRow {
                 algo: "X".into(),
@@ -189,6 +251,7 @@ mod tests {
                 served: 5,
                 rejected: 0,
                 wall_secs: 0.5,
+                epochs: 5,
             },
         ];
         let m = mean_row(&rows).unwrap();

@@ -61,13 +61,17 @@ pub mod models;
 pub mod presets;
 pub mod report;
 
-pub use experiment::{evaluate, evaluate_many, EvalRow};
+pub use experiment::{
+    evaluate, evaluate_many, evaluate_many_threads, evaluate_pooled, evaluate_threads, EvalRow,
+};
 pub use models::ModelSpec;
 pub use presets::Presets;
 
 /// Commonly used re-exports for downstream binaries and examples.
 pub mod prelude {
-    pub use crate::experiment::{evaluate, evaluate_many, EvalRow};
+    pub use crate::experiment::{
+        evaluate, evaluate_many, evaluate_many_threads, evaluate_pooled, evaluate_threads, EvalRow,
+    };
     pub use crate::models::{self, ModelSpec};
     pub use crate::presets::Presets;
     pub use crate::report;

@@ -78,6 +78,7 @@ mod tests {
             served: 150,
             rejected: 0,
             wall_secs: 0.42,
+            epochs: 150,
         }
     }
 

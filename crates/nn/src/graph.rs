@@ -7,6 +7,8 @@
 
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
+use dpdp_pool::ThreadPool;
+use std::sync::Arc;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,12 +48,24 @@ struct Node {
 pub struct Graph {
     nodes: Vec<Node>,
     bindings: Vec<(ParamId, usize)>,
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl Graph {
     /// An empty tape.
     pub fn new() -> Self {
         Graph::default()
+    }
+
+    /// An empty tape whose forward matmuls are chunked across `pool`'s
+    /// threads ([`Tensor::matmul_pooled`]). Values are bit-identical to a
+    /// pool-less graph — the pool only changes wall time — so inference
+    /// batches can opt in freely without perturbing training parity.
+    pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
+        Graph {
+            pool: Some(pool),
+            ..Graph::default()
+        }
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
@@ -104,7 +118,10 @@ impl Graph {
 
     /// Matrix product `a @ b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
+        let value = match &self.pool {
+            Some(pool) => self.value(a).matmul_pooled(self.value(b), pool),
+            None => self.value(a).matmul(self.value(b)),
+        };
         self.push(value, Op::MatMul(a, b))
     }
 
@@ -814,5 +831,32 @@ mod tests {
         let mut g = Graph::new();
         let x = g.constant(test_input());
         g.backward_graph_only(x);
+    }
+
+    #[test]
+    fn pooled_graph_matches_serial_graph_bit_for_bit() {
+        let x_data = Tensor::from_vec(
+            64,
+            8,
+            (0..64 * 8).map(|i| ((i as f64) * 0.11).sin()).collect(),
+        );
+        let w_data = Tensor::from_vec(
+            8,
+            4,
+            (0..8 * 4).map(|i| ((i as f64) * 0.29).cos()).collect(),
+        );
+        let forward = |g: &mut Graph| {
+            let x = g.constant(x_data.clone());
+            let w = g.constant(w_data.clone());
+            let y = g.matmul(x, w);
+            let r = g.relu(y);
+            g.sum_all(r)
+        };
+        let mut serial = Graph::new();
+        let ls = forward(&mut serial);
+        let pool = std::sync::Arc::new(dpdp_pool::ThreadPool::new(4));
+        let mut pooled = Graph::with_pool(pool);
+        let lp = forward(&mut pooled);
+        assert!(serial.value(ls).data() == pooled.value(lp).data());
     }
 }

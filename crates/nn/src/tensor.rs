@@ -1,5 +1,6 @@
 //! Dense row-major 2-D tensors.
 
+use dpdp_pool::ThreadPool;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -130,6 +131,28 @@ impl Tensor {
         self.data[0]
     }
 
+    /// The matmul kernel for output rows `[r0, r1)`, written into `block`
+    /// (a zeroed `(r1 - r0) x other.cols` slice). The **single** source of
+    /// the accumulation order: both [`Tensor::matmul`] and
+    /// [`Tensor::matmul_pooled`] delegate here, so the serial and
+    /// chunk-parallel products cannot drift apart bitwise.
+    fn matmul_rows(&self, other: &Tensor, r0: usize, r1: usize, block: &mut [f64]) {
+        let n = other.cols;
+        for i in r0..r1 {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let row_b = &other.data[k * n..(k + 1) * n];
+                let row_o = &mut block[(i - r0) * n..(i - r0 + 1) * n];
+                for (o, b) in row_o.iter_mut().zip(row_b) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
     /// Matrix product `self @ other`.
     ///
     /// # Panics
@@ -143,19 +166,43 @@ impl Tensor {
             other.shape()
         );
         let mut out = Tensor::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let row_b = &other.data[k * other.cols..(k + 1) * other.cols];
-                let row_o = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, b) in row_o.iter_mut().zip(row_b) {
-                    *o += a * b;
-                }
-            }
+        self.matmul_rows(other, 0, self.rows, &mut out.data);
+        out
+    }
+
+    /// Matrix product `self @ other`, evaluated across `pool`'s threads in
+    /// row chunks. Every chunk runs the very same row kernel as
+    /// [`Tensor::matmul`] (the private `matmul_rows` is shared), so the
+    /// result is **bit-identical to the serial product for any thread
+    /// count**. Falls back to the serial kernel on a width-1 pool or a
+    /// small left-hand side.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_pooled(&self, other: &Tensor, pool: &ThreadPool) -> Tensor {
+        const MIN_PARALLEL_ROWS: usize = 16;
+        if !pool.is_parallel() || self.rows < MIN_PARALLEL_ROWS {
+            return self.matmul(other);
         }
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch: {:?} @ {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let n = other.cols;
+        let chunk = self.rows.div_ceil((pool.threads() * 4).min(self.rows));
+        let mut out = Tensor::zeros(self.rows, n);
+        // Each task writes its disjoint row range of the output in place —
+        // no per-chunk buffers or final copy.
+        pool.scope(|s| {
+            for (ci, block) in out.data.chunks_mut(chunk * n).enumerate() {
+                let r0 = ci * chunk;
+                let r1 = (r0 + chunk).min(self.rows);
+                s.spawn(move || self.matmul_rows(other, r0, r1, block));
+            }
+        });
         out
     }
 
@@ -266,6 +313,36 @@ mod tests {
         let r = Tensor::from_rows(&[&[1.0, 0.0, 2.0]]);
         let s = Tensor::from_rows(&[&[1.0], &[1.0], &[1.0]]);
         assert_eq!(r.matmul(&s).item(), 3.0);
+    }
+
+    #[test]
+    fn matmul_pooled_is_bit_identical_to_serial() {
+        // Awkward sizes around the chunk boundaries, values whose products
+        // are not exactly representable — the parallel kernel must still
+        // agree bit for bit because each row keeps the serial loop order.
+        let a = Tensor::from_vec(
+            37,
+            19,
+            (0..37 * 19)
+                .map(|i| ((i as f64) * 0.37).sin() / 3.0)
+                .collect(),
+        );
+        let b = Tensor::from_vec(
+            19,
+            23,
+            (0..19 * 23)
+                .map(|i| ((i as f64) * 0.73).cos() / 7.0)
+                .collect(),
+        );
+        let serial = a.matmul(&b);
+        for threads in [1, 2, 4] {
+            let pool = dpdp_pool::ThreadPool::new(threads);
+            let pooled = a.matmul_pooled(&b, &pool);
+            assert!(
+                serial.data() == pooled.data(),
+                "pooled matmul diverged at width {threads}"
+            );
+        }
     }
 
     #[test]

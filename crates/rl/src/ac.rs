@@ -139,11 +139,16 @@ impl ActorCriticAgent {
     }
 
     /// Actor logits for many joint states in one forward pass (the actor is
-    /// a per-vehicle MLP, so stacking rows is exact). Returns one logit per
-    /// vehicle per snapshot.
-    fn logits_batch(&self, snaps: &[StateSnapshot]) -> Vec<Vec<f64>> {
+    /// a per-vehicle MLP, so stacking rows is exact; the pool chunks its
+    /// matmuls row-wise, which cannot change the values). Returns one logit
+    /// per vehicle per snapshot.
+    fn logits_batch(
+        &self,
+        snaps: &[StateSnapshot],
+        pool: &std::sync::Arc<dpdp_pool::ThreadPool>,
+    ) -> Vec<Vec<f64>> {
         let (features, offsets) = crate::batch_dispatch::stack_features(snaps);
-        let mut g = Graph::new();
+        let mut g = Graph::with_pool(std::sync::Arc::clone(pool));
         let x = g.constant(features);
         let logits = self.actor.forward(&mut g, &self.actor_params, x);
         let values = g.value(logits);
@@ -304,8 +309,12 @@ impl crate::batch_dispatch::BatchScoredPolicy for ActorCriticAgent {
         self.state_builder.build(ctx)
     }
 
-    fn score_batch(&self, snaps: &[StateSnapshot]) -> Vec<Vec<f64>> {
-        self.logits_batch(snaps)
+    fn score_batch(
+        &self,
+        snaps: &[StateSnapshot],
+        pool: &std::sync::Arc<dpdp_pool::ThreadPool>,
+    ) -> Vec<Vec<f64>> {
+        self.logits_batch(snaps, pool)
     }
 
     fn decide(

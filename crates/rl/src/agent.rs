@@ -391,8 +391,12 @@ impl crate::batch_dispatch::BatchScoredPolicy for DqnAgent {
         self.state_builder.build(ctx)
     }
 
-    fn score_batch(&self, snaps: &[StateSnapshot]) -> Vec<Vec<f64>> {
-        self.qnet.q_values_batch(&self.online, snaps)
+    fn score_batch(
+        &self,
+        snaps: &[StateSnapshot],
+        pool: &std::sync::Arc<dpdp_pool::ThreadPool>,
+    ) -> Vec<Vec<f64>> {
+        self.qnet.q_values_batch(&self.online, snaps, pool)
     }
 
     fn decide(

@@ -14,7 +14,9 @@
 use crate::state::{StateSnapshot, STATE_DIM};
 use dpdp_net::VehicleId;
 use dpdp_nn::Tensor;
+use dpdp_pool::ThreadPool;
 use dpdp_sim::{Decision, DecisionBatch, DispatchContext};
+use std::sync::Arc;
 
 /// Stacks snapshot feature matrices into one `(sum K_i) x STATE_DIM`
 /// tensor, returning each snapshot's starting row. Shared by every batched
@@ -45,9 +47,10 @@ pub(crate) trait BatchScoredPolicy {
     /// Builds the joint state for one order's context.
     fn build_snapshot(&self, ctx: &DispatchContext<'_>) -> StateSnapshot;
 
-    /// Scores every snapshot in a single network forward pass. Must be
-    /// bit-identical to scoring each snapshot alone.
-    fn score_batch(&self, snaps: &[StateSnapshot]) -> Vec<Self::Scores>;
+    /// Scores every snapshot in a single network forward pass, optionally
+    /// spreading chunked forward work across `pool`. Must be bit-identical
+    /// to scoring each snapshot alone, for any pool width.
+    fn score_batch(&self, snaps: &[StateSnapshot], pool: &Arc<ThreadPool>) -> Vec<Self::Scores>;
 
     /// The per-order decision body (choice, reward accounting, trajectory
     /// bookkeeping). `precomputed`, when given, holds `snap`'s scores from
@@ -61,14 +64,20 @@ pub(crate) trait BatchScoredPolicy {
 }
 
 /// Drives one decision epoch for a [`BatchScoredPolicy`].
-pub(crate) fn dispatch_batch_scored<P: BatchScoredPolicy>(
+///
+/// The pre-commit phase is parallel: every order's joint state is built
+/// against the shared epoch snapshot across the batch's thread pool
+/// ([`DecisionBatch::map_contexts`]), then scored in one (pool-chunked)
+/// network forward. The commit phase stays sequential by construction —
+/// that is what keeps the decision stream bit-identical to the legacy
+/// per-order path.
+pub(crate) fn dispatch_batch_scored<P: BatchScoredPolicy + Sync>(
     policy: &mut P,
     batch: &DecisionBatch<'_>,
 ) -> Vec<Decision> {
-    let built: Vec<StateSnapshot> = (0..batch.len())
-        .map(|i| batch.with_context(i, |ctx| policy.build_snapshot(ctx)))
-        .collect();
-    let scores = policy.score_batch(&built);
+    let shared = &*policy;
+    let built: Vec<StateSnapshot> = batch.map_contexts(|_, ctx| shared.build_snapshot(ctx));
+    let scores = policy.score_batch(&built, batch.pool());
     let mut snaps: Vec<Option<StateSnapshot>> = built.into_iter().map(Some).collect();
     let mut stale = false;
     (0..batch.len())

@@ -9,7 +9,9 @@
 
 use crate::state::{StateSnapshot, STATE_DIM};
 use dpdp_nn::{Graph, Mlp, MultiHeadAttention, ParamStore, Var};
+use dpdp_pool::ThreadPool;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Q-network architecture parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -146,14 +148,22 @@ impl QNetwork {
     /// With the graph pathway enabled the stacked attention is dense over
     /// all `sum K_i` rows, which grows quadratically; to bound that, wide
     /// batches are split into chunks of at most
-    /// [`QNetwork::MAX_ATTENTION_ROWS`] rows (chunking cannot change the
-    /// results — blocks never interact).
-    pub fn q_values_batch(&self, store: &ParamStore, snaps: &[StateSnapshot]) -> Vec<Vec<f64>> {
+    /// [`QNetwork::MAX_ATTENTION_ROWS`] rows. Blocks never interact, so the
+    /// chunks are independent forwards — they are evaluated concurrently
+    /// across `pool` and written back in snapshot order, which cannot
+    /// change the results. A single chunk instead hands `pool` to the graph
+    /// itself for row-parallel matmuls ([`Graph::with_pool`]).
+    pub fn q_values_batch(
+        &self,
+        store: &ParamStore,
+        snaps: &[StateSnapshot],
+        pool: &Arc<ThreadPool>,
+    ) -> Vec<Vec<f64>> {
         if !self.config.graph {
             // Row-wise MLPs only: stacking cost is linear, no need to chunk.
-            return self.q_values_stacked(store, snaps);
+            return self.q_values_stacked(store, snaps, pool);
         }
-        let mut out = Vec::with_capacity(snaps.len());
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
         let mut start = 0;
         while start < snaps.len() {
             let mut rows = snaps[start].num_vehicles();
@@ -163,17 +173,33 @@ impl QNetwork {
                 rows += snaps[end].num_vehicles();
                 end += 1;
             }
-            out.extend(self.q_values_stacked(store, &snaps[start..end]));
+            ranges.push((start, end));
             start = end;
         }
-        out
+        if ranges.len() <= 1 {
+            return self.q_values_stacked(store, snaps, pool);
+        }
+        let chunks = pool.par_map(ranges.len(), |c| {
+            let (lo, hi) = ranges[c];
+            // Inner graphs keep the pool: nested par_map is supported (the
+            // joiner drains the shared queue) and stays bit-identical, so
+            // when there are fewer chunks than threads the spare width
+            // still helps with each chunk's matmuls.
+            self.q_values_stacked(store, &snaps[lo..hi], pool)
+        });
+        chunks.into_iter().flatten().collect()
     }
 
     /// Upper bound on the stacked-attention width per forward pass (rows of
     /// the block-diagonal mask).
     pub const MAX_ATTENTION_ROWS: usize = 256;
 
-    fn q_values_stacked(&self, store: &ParamStore, snaps: &[StateSnapshot]) -> Vec<Vec<f64>> {
+    fn q_values_stacked(
+        &self,
+        store: &ParamStore,
+        snaps: &[StateSnapshot],
+        pool: &Arc<ThreadPool>,
+    ) -> Vec<Vec<f64>> {
         match snaps.len() {
             0 => return Vec::new(),
             1 => return vec![self.q_values(store, &snaps[0])],
@@ -181,7 +207,7 @@ impl QNetwork {
         }
         let total: usize = snaps.iter().map(StateSnapshot::num_vehicles).sum();
         let (features, offsets) = crate::batch_dispatch::stack_features(snaps);
-        let mut g = Graph::new();
+        let mut g = Graph::with_pool(Arc::clone(pool));
         let x = g.constant(features);
         let h0 = self.initial.forward(&mut g, store, x);
         let top = if self.config.graph {

@@ -21,9 +21,11 @@
 use crate::dispatcher::DispatchContext;
 use crate::state::VehicleState;
 use dpdp_net::{FleetConfig, Order, OrderId, RoadNetwork, TimePoint, VehicleId};
+use dpdp_pool::ThreadPool;
 use dpdp_routing::{PlannerOutput, RoutePlanner, VehicleView};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Why a [`Decision`] turned out the way it did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -103,6 +105,22 @@ pub(crate) struct CommitAssignment {
     pub(crate) vehicle_was_used: bool,
 }
 
+/// Evaluates `f(i, k)` for every cell of a `rows x k` matrix across the
+/// pool and regroups the flat results into rows. The single source of the
+/// flat-index layout shared by the initial `B x K` sweep and
+/// [`DecisionBatch::map_plans`], so the two cannot drift apart.
+fn par_map_matrix<T: Send>(
+    pool: &ThreadPool,
+    rows: usize,
+    k: usize,
+    f: impl Fn(usize, usize) -> T + Sync,
+) -> Vec<Vec<T>> {
+    let mut flat = pool
+        .par_map(rows * k, |idx| f(idx / k, idx % k))
+        .into_iter();
+    (0..rows).map(|_| flat.by_ref().take(k).collect()).collect()
+}
+
 /// Interior state of a batch: evolves as decisions are committed.
 #[derive(Debug)]
 struct BatchInner {
@@ -139,12 +157,17 @@ pub struct DecisionBatch<'a> {
     fleet: &'a FleetConfig,
     orders: &'a [Order],
     epoch_orders: Vec<OrderId>,
+    pool: Arc<ThreadPool>,
     inner: RefCell<BatchInner>,
 }
 
 impl<'a> DecisionBatch<'a> {
     /// Builds a batch over the given epoch orders from the simulator's
-    /// current vehicle states (cloned as scratch space).
+    /// current vehicle states (cloned as scratch space). The initial
+    /// `B x K` Algorithm 2 sweep is evaluated across `pool`'s threads, each
+    /// `(order, vehicle)` plan landing in its pre-indexed matrix slot —
+    /// bit-identical to the serial sweep for any thread count.
+    #[allow(clippy::too_many_arguments)] // crate-private; mirrors the fields
     pub(crate) fn new(
         now: TimePoint,
         interval: usize,
@@ -153,16 +176,15 @@ impl<'a> DecisionBatch<'a> {
         orders: &'a [Order],
         epoch_orders: Vec<OrderId>,
         states: Vec<VehicleState>,
+        pool: Arc<ThreadPool>,
     ) -> Self {
         let views: Vec<VehicleView> = states.iter().map(|s| s.view.clone()).collect();
         let planner = RoutePlanner::new(net, fleet, orders);
-        let plans = epoch_orders
-            .iter()
-            .map(|&oid| {
-                let order = &orders[oid.index()];
-                views.iter().map(|v| planner.plan(v, order)).collect()
-            })
-            .collect();
+        let epoch = &epoch_orders;
+        let views_ref = &views;
+        let plans = par_map_matrix(&pool, epoch_orders.len(), views.len(), |i, k| {
+            planner.plan(&views_ref[k], &orders[epoch[i].index()])
+        });
         let decided = vec![false; epoch_orders.len()];
         let commits = (0..epoch_orders.len()).map(|_| None).collect();
         DecisionBatch {
@@ -172,6 +194,7 @@ impl<'a> DecisionBatch<'a> {
             fleet,
             orders,
             epoch_orders,
+            pool,
             inner: RefCell::new(BatchInner {
                 states,
                 views,
@@ -180,6 +203,66 @@ impl<'a> DecisionBatch<'a> {
                 commits,
             }),
         }
+    }
+
+    /// The thread pool decisions of this epoch may score on. Width 1 means
+    /// strictly serial execution; any width yields identical results (see
+    /// [`dpdp_pool::ThreadPool::par_map`]).
+    #[inline]
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// Applies `f` to every `(order, vehicle)` plan of the **current**
+    /// snapshot across the batch's thread pool, returning one row per epoch
+    /// order (`result[i][k]` = `f(i, k, plan)`), exactly as the serial
+    /// nested loop would.
+    ///
+    /// This is the whole-epoch scoring primitive batch-native policies use:
+    /// plans are read under one shared borrow, so it must not be called
+    /// while [`DecisionBatch::resolve`] is on the stack.
+    pub fn map_plans<T: Send>(
+        &self,
+        f: impl Fn(usize, usize, &PlannerOutput) -> T + Sync,
+    ) -> Vec<Vec<T>> {
+        let inner = self.inner.borrow();
+        let plans = &inner.plans;
+        par_map_matrix(&self.pool, plans.len(), inner.views.len(), |i, k| {
+            f(i, k, &plans[i][k])
+        })
+    }
+
+    /// Runs `f` over every order's [`DispatchContext`] — all built from the
+    /// batch's **current** shared snapshot — across the thread pool, and
+    /// returns the results in batch order.
+    ///
+    /// Equivalent to calling [`DecisionBatch::with_context`] for each `i`
+    /// before any decision commits (the precompute step of batch-native
+    /// policies). Like `with_context`, the snapshot is borrowed for the
+    /// duration, so `f` must not touch `resolve`.
+    pub fn map_contexts<T: Send>(
+        &self,
+        f: impl Fn(usize, &DispatchContext<'_>) -> T + Sync,
+    ) -> Vec<T> {
+        let inner = self.inner.borrow();
+        let views = &inner.views;
+        let plans = &inner.plans;
+        let (now, interval) = (self.now, self.interval);
+        let (net, fleet, orders) = (self.net, self.fleet, self.orders);
+        let epoch = &self.epoch_orders;
+        self.pool.par_map(epoch.len(), |i| {
+            let ctx = DispatchContext {
+                order: &orders[epoch[i].index()],
+                now,
+                interval,
+                views,
+                plans: &plans[i],
+                net,
+                fleet,
+                orders,
+            };
+            f(i, &ctx)
+        })
     }
 
     /// Tears the batch down into its per-order commit records and scratch
@@ -334,12 +417,20 @@ impl<'a> DecisionBatch<'a> {
         state.accept(best.candidate.route.clone());
         state.advance_to(batch.now, batch.net, batch.fleet, batch.orders);
         views[k.index()] = state.view.clone();
+        // The plan delta: only the accepting vehicle's column changes, and
+        // only for the still-undecided orders — replanned in parallel, each
+        // result landing back in its own row.
         let planner = RoutePlanner::new(batch.net, batch.fleet, batch.orders);
-        for (j, plan_row) in plans.iter_mut().enumerate() {
-            if !decided[j] {
-                let order = &batch.orders[batch.epoch_orders[j].index()];
-                plan_row[k.index()] = planner.plan(&views[k.index()], order);
-            }
+        let undecided: Vec<usize> = (0..plans.len()).filter(|&j| !decided[j]).collect();
+        let view = &views[k.index()];
+        let orders = batch.orders;
+        let epoch = &batch.epoch_orders;
+        let js = &undecided;
+        let fresh = batch.pool.par_map(undecided.len(), |u| {
+            planner.plan(view, &orders[epoch[js[u]].index()])
+        });
+        for (&j, plan) in undecided.iter().zip(fresh) {
+            plans[j][k.index()] = plan;
         }
         (
             Decision::assigned(oid, k),
@@ -412,6 +503,7 @@ mod tests {
             inst.orders(),
             vec![OrderId(0), OrderId(1)],
             states,
+            Arc::new(ThreadPool::serial()),
         )
     }
 

@@ -19,9 +19,21 @@
 //! order.
 //!
 //! Simulators are configured through [`SimulatorBuilder`] (buffering,
-//! horizon, metrics materialisation, seed), and episodes can be watched
-//! through [`SimObserver`] hooks — the seam that experience recording and
-//! metrics pipelines plug into.
+//! horizon, metrics materialisation, seed, scoring threads), and episodes
+//! can be watched through [`SimObserver`] hooks — the seam that experience
+//! recording and metrics pipelines plug into.
+//!
+//! # Parallel epoch scoring
+//!
+//! [`SimulatorBuilder::num_threads`] hands every [`DecisionBatch`] a
+//! [`dpdp_pool::ThreadPool`]: the initial `B x K` Algorithm 2 sweep, the
+//! per-commit plan deltas, and policy-side scoring
+//! ([`DecisionBatch::map_plans`] / [`DecisionBatch::map_contexts`]) all
+//! fan out across it, with every result written to a pre-indexed slot.
+//! Episode results are therefore **bit-identical for every thread count**
+//! — `num_threads(1)` (the default) is exact legacy behaviour, and the
+//! parity suite in `tests/batch_parity.rs` asserts the invariance for all
+//! built-in policies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,7 +7,9 @@ use crate::metrics::{AssignmentRecord, EpisodeResult, MetricsAccumulator, Metric
 use crate::observer::{DecisionRecord, EpochInfo, SimObserver};
 use crate::state::VehicleState;
 use dpdp_net::{Instance, TimeDelta, TimePoint};
+use dpdp_pool::ThreadPool;
 use dpdp_routing::{PlannerOutput, RoutePlanner, VehicleView};
+use std::sync::Arc;
 
 /// When dispatch decisions are made relative to order creation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +37,8 @@ pub enum SimBuildError {
         /// The offending period, in seconds.
         seconds: f64,
     },
+    /// [`SimulatorBuilder::num_threads`] needs at least one thread.
+    ZeroThreads,
 }
 
 impl std::fmt::Display for SimBuildError {
@@ -44,6 +48,9 @@ impl std::fmt::Display for SimBuildError {
                 f,
                 "fixed-interval buffering period must be positive, got {seconds} s"
             ),
+            SimBuildError::ZeroThreads => {
+                write!(f, "num_threads must be at least 1 (1 = serial)")
+            }
         }
     }
 }
@@ -75,11 +82,13 @@ pub struct SimulatorBuilder<'a> {
     horizon: Option<TimePoint>,
     metrics: MetricsOptions,
     seed: u64,
+    num_threads: usize,
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl<'a> SimulatorBuilder<'a> {
     /// Starts from the defaults: immediate service, no horizon, full
-    /// metrics, seed 0.
+    /// metrics, seed 0, single-threaded scoring.
     pub fn new(instance: &'a Instance) -> Self {
         SimulatorBuilder {
             instance,
@@ -87,6 +96,8 @@ impl<'a> SimulatorBuilder<'a> {
             horizon: None,
             metrics: MetricsOptions::default(),
             seed: 0,
+            num_threads: 1,
+            pool: None,
         }
     }
 
@@ -125,11 +136,41 @@ impl<'a> SimulatorBuilder<'a> {
         self
     }
 
+    /// Number of threads decision epochs are scored with (via an in-repo
+    /// [`dpdp_pool::ThreadPool`] handed to every [`DecisionBatch`]).
+    ///
+    /// The default of 1 runs everything inline on the caller — bit-exact
+    /// legacy behaviour with zero synchronisation. Any `n > 1` spawns
+    /// `n - 1` workers, and because every parallel loop writes to
+    /// pre-indexed slots, **episode results are identical for every thread
+    /// count** (the parity suite in `tests/batch_parity.rs` asserts this
+    /// for all built-in policies).
+    ///
+    /// [`DecisionBatch`]: crate::batch::DecisionBatch
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self.pool = None;
+        self
+    }
+
+    /// Shares an existing pool instead of spawning a fresh one in
+    /// [`SimulatorBuilder::build`] — the cheap path when many simulators
+    /// (e.g. one per evaluation episode) should reuse the same workers
+    /// rather than pay thread spawn/teardown per episode. Overrides any
+    /// previous [`SimulatorBuilder::num_threads`]; the pool's own width
+    /// applies.
+    pub fn thread_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.num_threads = pool.threads();
+        self.pool = Some(pool);
+        self
+    }
+
     /// Validates the configuration and builds the simulator.
     ///
     /// # Errors
     /// [`SimBuildError::NonPositivePeriod`] when fixed-interval buffering
-    /// was requested with a period `<= 0`.
+    /// was requested with a period `<= 0`;
+    /// [`SimBuildError::ZeroThreads`] when `num_threads(0)` was requested.
     pub fn build(self) -> Result<Simulator<'a>, SimBuildError> {
         if let BufferingMode::FixedInterval(period) = self.buffering {
             let seconds = period.seconds();
@@ -137,12 +178,19 @@ impl<'a> SimulatorBuilder<'a> {
                 return Err(SimBuildError::NonPositivePeriod { seconds });
             }
         }
+        if self.num_threads == 0 {
+            return Err(SimBuildError::ZeroThreads);
+        }
+        let pool = self
+            .pool
+            .unwrap_or_else(|| Arc::new(ThreadPool::new(self.num_threads)));
         Ok(Simulator {
             instance: self.instance,
             buffering: self.buffering,
             horizon: self.horizon,
             metrics: self.metrics,
             seed: self.seed,
+            pool,
         })
     }
 }
@@ -213,6 +261,7 @@ pub struct Simulator<'a> {
     horizon: Option<TimePoint>,
     metrics: MetricsOptions,
     seed: u64,
+    pool: Arc<ThreadPool>,
 }
 
 impl<'a> Simulator<'a> {
@@ -234,6 +283,12 @@ impl<'a> Simulator<'a> {
     /// The simulator's seed (see [`SimulatorBuilder::seed`]).
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Width of the scoring thread pool (see
+    /// [`SimulatorBuilder::num_threads`]).
+    pub fn num_threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// The wall-clock time at which an order created at `created` is
@@ -344,6 +399,7 @@ impl<'a> Simulator<'a> {
                 orders,
                 epoch_orders.iter().map(|o| o.id).collect(),
                 states.clone(),
+                Arc::clone(&self.pool),
             );
             sink.epoch(&EpochInfo {
                 index: epoch_index,
@@ -783,5 +839,44 @@ mod tests {
         let inst = instance(1, vec![]);
         let s = Simulator::builder(&inst).seed(99).build().unwrap();
         assert_eq!(s.seed(), 99);
+    }
+
+    #[test]
+    fn zero_threads_is_a_build_error() {
+        let inst = instance(1, vec![]);
+        let err = Simulator::builder(&inst)
+            .num_threads(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SimBuildError::ZeroThreads);
+        assert!(err.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn episode_results_are_thread_count_invariant() {
+        // Multi-order epochs (shared creation instants) exercise the
+        // parallel B x K sweep and the per-commit plan delta.
+        let inst = instance(
+            3,
+            vec![
+                order(0, 1, 2, 9.0, 8.0, 8.34),
+                order(1, 1, 2, 9.0, 8.0, 8.34),
+                order(2, 2, 3, 4.0, 9.0, 20.0),
+                order(3, 3, 1, 4.0, 9.0, 20.0),
+            ],
+        );
+        let serial = Simulator::builder(&inst)
+            .build()
+            .unwrap()
+            .run(&mut FirstFeasible);
+        for threads in [2, 4] {
+            let s = Simulator::builder(&inst)
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            assert_eq!(s.num_threads(), threads);
+            let parallel = s.run(&mut FirstFeasible);
+            assert_eq!(serial, parallel, "{threads} threads diverged from serial");
+        }
     }
 }

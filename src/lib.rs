@@ -14,6 +14,7 @@ pub use dpdp_core as core;
 pub use dpdp_data as data;
 pub use dpdp_net as net;
 pub use dpdp_nn as nn;
+pub use dpdp_pool as pool;
 pub use dpdp_rl as rl;
 pub use dpdp_routing as routing;
 pub use dpdp_sim as sim;

@@ -3,6 +3,13 @@
 //! `dispatch_batch` adapter, forced via `PerOrder`) and through its native
 //! `dispatch_batch`, on quick-preset instances under both immediate service
 //! and fixed-interval buffering (where real multi-order batches form).
+//!
+//! The same suite also proves the **thread-count invariance** the parallel
+//! epoch scoring guarantees: running any policy on a
+//! `SimulatorBuilder::num_threads(n)` pool yields decisions and metrics
+//! bit-identical to `num_threads(1)`. The parallel width defaults to 4 and
+//! can be overridden through the `DPDP_TEST_THREADS` env var (the CI test
+//! matrix runs 1 and 4).
 
 use dpdp_core::prelude::*;
 use dpdp_net::TimeDelta;
@@ -15,15 +22,34 @@ fn presets() -> Presets {
     Presets::with_config(cfg)
 }
 
+/// Parallel width for the thread-parity runs: `DPDP_TEST_THREADS`, or 4.
+fn parallel_threads() -> usize {
+    std::env::var("DPDP_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
+}
+
 fn run(
     instance: &Instance,
     buffering: BufferingMode,
     dispatcher: &mut dyn Dispatcher,
 ) -> EpisodeResult {
+    run_threads(instance, buffering, dispatcher, 1)
+}
+
+fn run_threads(
+    instance: &Instance,
+    buffering: BufferingMode,
+    dispatcher: &mut dyn Dispatcher,
+    num_threads: usize,
+) -> EpisodeResult {
     Simulator::builder(instance)
         .buffering(buffering)
+        .num_threads(num_threads)
         .build()
-        .expect("positive period")
+        .expect("valid configuration")
         .run(dispatcher)
 }
 
@@ -104,6 +130,56 @@ fn dqn_agent_matches_through_both_paths() {
                  per-order dispatch under {mode:?}"
             );
         }
+    }
+}
+
+/// Every policy of the evaluation lineup — Baselines 1-3, DQN, AC — must
+/// produce identical decisions (assignment log included) and metrics on a
+/// multi-threaded scoring pool, under both immediate service and coarse
+/// buffering (where the parallel `B x K` sweep sees real multi-order
+/// epochs).
+#[test]
+fn every_policy_is_bit_identical_across_thread_counts() {
+    let presets = presets();
+    let threads = parallel_threads();
+    let instance = presets.dataset().sampled_instance(0..3, 30, 8, 21);
+    let rl_instance = presets.dataset().sampled_instance(0..3, 20, 6, 9);
+    for mode in modes() {
+        // Heuristics are stateless across runs (Baseline3 resets per
+        // episode), so one value can serve both thread counts.
+        type MakeDispatcher = fn() -> Box<dyn Dispatcher>;
+        let heuristics: [(&str, MakeDispatcher); 3] = [
+            ("Baseline1", || Box::new(Baseline1)),
+            ("Baseline2", || Box::new(Baseline2)),
+            ("Baseline3", || Box::<Baseline3>::default()),
+        ];
+        for (name, make) in heuristics {
+            let serial = run_threads(&instance, mode, &mut *make(), 1);
+            let parallel = run_threads(&instance, mode, &mut *make(), threads);
+            assert_eq!(
+                serial, parallel,
+                "{name} diverged at {threads} threads under {mode:?}"
+            );
+            assert_eq!(serial.assignments.len(), instance.num_orders());
+        }
+
+        // Learned agents: identical seeds, training mode (exploration RNG
+        // included) — the whole episode must match decision for decision.
+        let mut dqn_serial = models::dqn_agent(ModelKind::Dgn, presets.dataset(), 5);
+        let mut dqn_parallel = models::dqn_agent(ModelKind::Dgn, presets.dataset(), 5);
+        let a = run_threads(&rl_instance, mode, &mut dqn_serial, 1);
+        let b = run_threads(&rl_instance, mode, &mut dqn_parallel, threads);
+        assert_eq!(a, b, "DQN diverged at {threads} threads under {mode:?}");
+
+        let cfg = ActorCriticConfig {
+            seed: 3,
+            ..ActorCriticConfig::default()
+        };
+        let mut ac_serial = ActorCriticAgent::new(cfg.clone(), 144);
+        let mut ac_parallel = ActorCriticAgent::new(cfg, 144);
+        let a = run_threads(&rl_instance, mode, &mut ac_serial, 1);
+        let b = run_threads(&rl_instance, mode, &mut ac_parallel, threads);
+        assert_eq!(a, b, "AC diverged at {threads} threads under {mode:?}");
     }
 }
 
