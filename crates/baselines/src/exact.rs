@@ -17,7 +17,9 @@
 //!   incumbent when the budget runs out.
 
 use dpdp_net::{Instance, TimePoint, VehicleId};
-use dpdp_routing::{enumerate_insertions, Route, RoutePlanner, VehicleView};
+use dpdp_routing::{
+    enumerate_insertions, sweep_insertions, Route, RoutePlanner, ScheduleCache, Stop, VehicleView,
+};
 use std::time::{Duration, Instant};
 
 /// Solver limits.
@@ -222,6 +224,16 @@ impl Search<'_> {
         let order = &orders[order_idx];
 
         // Collect all (vehicle, candidate route, resulting bound) branches.
+        // Candidates come from the incremental sweep — one schedule cache
+        // per view, every position pair scored allocation-free, only the
+        // branched routes materialized — instead of per-candidate
+        // re-simulation (the naive path remains as the fallback oracle for
+        // infeasible bases, which search states never produce).
+        let fleet = &self.instance.fleet;
+        let net = &self.instance.network;
+        let pickup_stop = Stop::pickup(order.pickup, order.id);
+        let delivery_stop = Stop::delivery(order.delivery, order.id);
+        let partial = self.partial_cost(views);
         let mut branches: Vec<(usize, Route, f64)> = Vec::new();
         let mut seen_empty_depot: Vec<dpdp_net::NodeId> = Vec::new();
         for (k, view) in views.iter().enumerate() {
@@ -233,29 +245,44 @@ impl Search<'_> {
                 }
                 seen_empty_depot.push(view.depot);
             }
-            let candidates = enumerate_insertions(
-                view,
-                order,
-                &self.instance.network,
-                &self.instance.fleet,
-                orders,
-            );
-            for cand in candidates {
-                // Bound after this insertion: other routes unchanged.
-                let others: f64 = self.partial_cost(views)
-                    - if view.route.is_empty() {
-                        0.0
-                    } else {
-                        self.instance.fleet.fixed_cost
-                            + self.instance.fleet.unit_cost * route_length(self.instance, view)
-                    };
-                let this = self.instance.fleet.fixed_cost
-                    + self.instance.fleet.unit_cost * cand.schedule.total_length;
-                branches.push((k, cand.route, others + this));
+            // Bound after an insertion: other routes unchanged.
+            let others: f64 = partial
+                - if view.route.is_empty() {
+                    0.0
+                } else {
+                    fleet.fixed_cost + fleet.unit_cost * route_length(self.instance, view)
+                };
+            let cache = ScheduleCache::build(view, net, fleet, orders);
+            if cache.is_feasible() {
+                let anchor = view.anchor_node;
+                let depot = view.depot;
+                sweep_insertions(&cache, view, order, net, fleet, orders, |cand| {
+                    let route = view.route.with_insertion(
+                        pickup_stop,
+                        cand.pickup_pos,
+                        delivery_stop,
+                        cand.delivery_pos,
+                    );
+                    // Bound on the exact left-to-right length fold (not the
+                    // delta-approximate `cand.length`): it is the same sum
+                    // `partial_cost` computes at the child, so the bound
+                    // stays admissible down to the last ulp, and the naive
+                    // fallback branches below are ranked on equal footing.
+                    let this =
+                        fleet.fixed_cost + fleet.unit_cost * route.length(net, anchor, depot);
+                    branches.push((k, route, others + this));
+                });
+            } else {
+                for cand in enumerate_insertions(view, order, net, fleet, orders) {
+                    let this = fleet.fixed_cost + fleet.unit_cost * cand.schedule.total_length;
+                    branches.push((k, cand.route, others + this));
+                }
             }
         }
-        // Best-first child ordering tightens the incumbent early.
-        branches.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite costs"));
+        // Best-first child ordering tightens the incumbent early; total_cmp
+        // keeps the order deterministic even for pathological non-finite
+        // bounds.
+        branches.sort_by(|a, b| a.2.total_cmp(&b.2));
 
         for (k, route, bound) in branches {
             if bound >= self.best_cost {

@@ -11,7 +11,7 @@
 
 use crate::exact::evaluate_routes;
 use dpdp_net::{Instance, OrderId, TimePoint, VehicleId};
-use dpdp_routing::{best_insertion, Route, StopAction, VehicleView};
+use dpdp_routing::{Route, RoutePlanner, ScheduleCache, StopAction, VehicleView};
 
 /// Outcome of a local-search improvement run.
 #[derive(Debug, Clone)]
@@ -79,7 +79,7 @@ fn orders_of(route: &Route) -> Vec<OrderId> {
 /// The input routes must form a complete feasible static solution (every
 /// order served once); the output preserves that invariant — every applied
 /// move reinserts the relocated order through the feasibility-checked
-/// [`best_insertion`].
+/// [`dpdp_routing::best_insertion`].
 pub fn relocate_improvement(
     instance: &Instance,
     routes: Vec<Route>,
@@ -89,12 +89,23 @@ pub fn relocate_improvement(
     let mut routes = routes;
     let mut moves = 0;
     let fleet = &instance.fleet;
+    let planner = RoutePlanner::new(&instance.network, fleet, instance.orders());
 
     'outer: loop {
         if moves >= max_moves {
             break;
         }
         let (_, _, current) = evaluate_routes(instance, &routes);
+        // Destination views and their prefix/suffix schedule caches are
+        // built once per pass (routes only change between passes), so the
+        // (order x destination) scan below reinserts through O(n²)
+        // cache-backed sweeps instead of rebuilding per pair.
+        let dst_views: Vec<VehicleView> = routes
+            .iter()
+            .enumerate()
+            .map(|(k, r)| fresh_view(instance, k, r.clone()))
+            .collect();
+        let dst_caches: Vec<ScheduleCache> = dst_views.iter().map(|v| planner.cache(v)).collect();
         // Try every (order, target vehicle) relocate; apply the best
         // strictly-improving one (steepest descent).
         let mut best: Option<(f64, usize, usize, Route, Route)> = None;
@@ -103,15 +114,14 @@ pub fn relocate_improvement(
                 let pruned = without_order(&routes[src], order_id);
                 let order = instance.order(order_id);
                 for dst in 0..routes.len() {
-                    let dst_route = if dst == src {
-                        pruned.clone()
+                    let plan = if dst == src {
+                        // Removing the order changed this route: plan
+                        // against a fresh view of the pruned route.
+                        planner.plan(&fresh_view(instance, dst, pruned.clone()), order)
                     } else {
-                        routes[dst].clone()
+                        planner.plan_cached(&dst_caches[dst], &dst_views[dst], order)
                     };
-                    let view = fresh_view(instance, dst, dst_route);
-                    let Some(ins) =
-                        best_insertion(&view, order, &instance.network, fleet, instance.orders())
-                    else {
+                    let Some(ins) = plan.best else {
                         continue;
                     };
                     // Cost delta: recompute affected routes only.
@@ -152,7 +162,7 @@ mod tests {
     use dpdp_net::{
         FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta,
     };
-    use dpdp_routing::Stop;
+    use dpdp_routing::{best_insertion, Stop};
     use dpdp_sim::Simulator;
 
     fn instance() -> Instance {

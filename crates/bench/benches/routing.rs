@@ -1,9 +1,11 @@
-//! Route-planner microbenchmarks: insertion enumeration (Algorithm 2)
-//! throughput as a function of route length.
+//! Route-planner microbenchmarks: insertion evaluation (Algorithm 2)
+//! throughput as a function of route length, naive O(n³) reference vs the
+//! incremental O(n²) prefix/suffix-cached evaluator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpdp_bench::insertion_fixture;
 use dpdp_core::prelude::*;
-use dpdp_routing::{RoutePlanner, VehicleView};
+use dpdp_routing::{PlannerMode, RoutePlanner, VehicleView};
 use dpdp_sim::Simulator;
 
 /// Builds a view whose route already carries `orders_on_route` orders by
@@ -39,6 +41,34 @@ fn bench_insertion(c: &mut Criterion) {
     group.finish();
 }
 
+/// Head-to-head: the naive enumerate-and-resimulate reference vs the
+/// incremental evaluator on the same loose ring fixture, route lengths
+/// n = 4, 8, 16 and 32 stops. The acceptance bar for this PR is >= 3x at
+/// n = 16 (the real gap grows with n; the CI bench-smoke job gates on the
+/// wall times archived by the `table1` binary).
+fn bench_naive_vs_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insertion_sweep");
+    for &orders_on_route in &[2usize, 4, 8, 16] {
+        let (instance, view) = insertion_fixture(orders_on_route);
+        let probe = instance.orders().last().unwrap();
+        let n = 2 * orders_on_route;
+        let incremental = RoutePlanner::new(&instance.network, &instance.fleet, instance.orders());
+        let naive = RoutePlanner::with_mode(
+            &instance.network,
+            &instance.fleet,
+            instance.orders(),
+            PlannerMode::Naive,
+        );
+        group.bench_with_input(BenchmarkId::new("incremental", n), &view, |b, view| {
+            b.iter(|| std::hint::black_box(incremental.plan(view, probe)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &view, |b, view| {
+            b.iter(|| std::hint::black_box(naive.plan(view, probe)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_episode_planning(c: &mut Criterion) {
     let presets = Presets::quick();
     let instance = presets.tiny_instance(10, 3);
@@ -50,5 +80,10 @@ fn bench_episode_planning(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_insertion, bench_episode_planning);
+criterion_group!(
+    benches,
+    bench_insertion,
+    bench_naive_vs_incremental,
+    bench_episode_planning
+);
 criterion_main!(benches);

@@ -8,16 +8,91 @@
 //!
 //! Besides the printed table and `table1.csv`, the run is archived as
 //! machine-readable `target/experiments/BENCH_table1.json` (wall time per
-//! policy, thread count, epoch counts) so the perf trajectory across PRs is
-//! recorded; the CI bench-smoke job uploads it and fails on any panic or
-//! non-finite metric.
+//! policy, thread count, epoch counts, plus `sweep_n8`/`sweep_n16` rows
+//! timing the naive vs incremental Algorithm 2 insertion sweep) so the perf
+//! trajectory across PRs is recorded; the CI bench-smoke job uploads it and
+//! fails on any panic, any non-finite metric, or an incremental sweep
+//! slower than the naive reference at n >= 8 stops.
 
-use dpdp_bench::{bench_json, build_and_train, check_finite, write_artifact, BenchRecord, Cli};
+use dpdp_bench::{
+    bench_json, build_and_train, check_finite, insertion_fixture, write_artifact, BenchRecord, Cli,
+};
 use dpdp_core::experiment::evaluate_pooled;
 use dpdp_core::models::ModelSpec;
 use dpdp_core::prelude::*;
 use dpdp_rl::ModelKind;
+use dpdp_routing::{PlannerMode, RoutePlanner};
 use std::time::{Duration, Instant};
+
+/// Best-of-`reps` wall time (seconds) of one call to `f`, each sample
+/// averaging `inner` back-to-back calls to defeat timer granularity.
+fn best_wall_secs(reps: usize, inner: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / inner as f64);
+    }
+    best
+}
+
+/// Times the Algorithm 2 insertion sweep — naive reference vs incremental
+/// evaluator — on the loose ring fixture at route lengths n = 8 and 16
+/// stops, appending one archived record per (n, evaluator).
+///
+/// This is the CI perf gate for the O(n³) -> O(n²) rewrite: the run exits
+/// with status 1 if the incremental path is slower than the naive path at
+/// any n >= 8 (the measured gap is several-fold, so a genuine regression —
+/// not timer noise — is required to trip it).
+fn sweep_walltime(records: &mut Vec<BenchRecord>) {
+    println!("\n== insertion sweep: naive vs incremental ==");
+    println!("{:<10} {:>24} {:>14}", "stops", "algo", "wall(us)");
+    for &orders_on_route in &[4usize, 8] {
+        let (instance, view) = insertion_fixture(orders_on_route);
+        let probe = instance.orders().last().expect("fixture has orders");
+        let n = 2 * orders_on_route;
+        let incremental = RoutePlanner::new(&instance.network, &instance.fleet, instance.orders());
+        let naive = RoutePlanner::with_mode(
+            &instance.network,
+            &instance.fleet,
+            instance.orders(),
+            PlannerMode::Naive,
+        );
+        let wall_incremental = best_wall_secs(30, 20, || {
+            std::hint::black_box(incremental.plan(&view, probe));
+        });
+        let wall_naive = best_wall_secs(30, 20, || {
+            std::hint::black_box(naive.plan(&view, probe));
+        });
+        for (algo, wall) in [
+            ("insertion_naive", wall_naive),
+            ("insertion_incremental", wall_incremental),
+        ] {
+            let record = BenchRecord {
+                instance: format!("sweep_n{n}"),
+                algo: algo.to_string(),
+                nuv: 0,
+                total_cost: 0.0,
+                wall_secs: wall,
+                epochs: 0,
+            };
+            check_finite(&record);
+            println!("{:<10} {:>24} {:>14.3}", n, algo, wall * 1e6);
+            records.push(record);
+        }
+        if n >= 8 && wall_incremental > wall_naive {
+            eprintln!(
+                "error: incremental insertion sweep slower than naive at \
+                 n = {n} stops ({:.3} us vs {:.3} us)",
+                wall_incremental * 1e6,
+                wall_naive * 1e6
+            );
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let cli = Cli::parse(60, 1);
@@ -99,6 +174,10 @@ fn main() {
             }
         }
     }
+    // Insertion-sweep wall times ride along in the same artifact (and gate
+    // the incremental evaluator against the naive reference).
+    sweep_walltime(&mut records);
+
     if let Some(path) = write_artifact("table1.csv", &csv) {
         println!("\nwrote {}", path.display());
     }

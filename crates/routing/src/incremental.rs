@@ -1,0 +1,803 @@
+//! Incremental O(n²) insertion evaluation: prefix/suffix schedule caching.
+//!
+//! The naive Algorithm 2 sweep ([`crate::enumerate_insertions`]) clones the
+//! route and re-simulates it from scratch for every one of the
+//! `(n+1)(n+2)/2` pickup/delivery position pairs — O(n) work and two heap
+//! allocations per candidate, O(n³) per `(order, vehicle)` pair. This module
+//! removes the per-candidate re-simulation:
+//!
+//! 1. **Forward pass** ([`ScheduleCache::build`], once per view): walks the
+//!    base route exactly like [`crate::simulate_schedule`], recording per
+//!    stop the arrival/departure times, the load after the stop, the wait
+//!    absorbed at the stop and the cumulative route length. O(n).
+//! 2. **Backward pass** (same call): per-position *deadline slack* — the
+//!    largest delay that can be injected into the arrival at position `p`
+//!    without violating any downstream delivery deadline. Waits at pickups
+//!    absorb delay, so the recurrence is `slack[p] = slack[p+1] + wait_p`
+//!    for pickups and `slack[p] = min(deadline_p - arrival_p, slack[p+1])`
+//!    for deliveries (`slack[n] = ∞`: the depot return is unconstrained).
+//!    O(n).
+//! 3. **Sweep** ([`sweep_insertions`]): for each pickup position `i` the
+//!    evaluator re-walks the route *once*, pushing the pickup's detour delay
+//!    and extra load through stops `i..j`, so extending the delivery
+//!    position `j` by one costs O(1): the delivery candidate is checked
+//!    against the new order's own deadline, and everything *after* `j` is
+//!    checked with a single comparison against the cached `slack[j]`.
+//!    Position pairs that provably violate the LIFO stack discipline are
+//!    pruned without evaluation: a base delivery reached while the new
+//!    cargo is on top of the stack kills every later `j` for that `i`.
+//!
+//! Total: O(n²) per `(order, vehicle)` pair with O(n) allocations — down
+//! from O(n³) with O(n²) allocations — and the cache is reusable across
+//! every order of a decision epoch (see `dpdp_sim::DecisionBatch`).
+//!
+//! # Determinism and parity with the naive enumerator
+//!
+//! The sweep is *bit-deterministic* (pure f64 arithmetic in a fixed order,
+//! independent of thread count) and is kept in lockstep with the naive
+//! reference path:
+//!
+//! * the prefix quantities (arrivals, departures, loads, cumulative length)
+//!   are accumulated in exactly the order [`crate::simulate_schedule`] uses,
+//!   so they are bit-identical to the naive walk;
+//! * in-segment checks (capacity with the extra load, deadlines under the
+//!   pickup detour delay, LIFO depth) re-walk the touched stops with the
+//!   same operations the simulator performs, so they are bit-identical too.
+//!   The one step that is mathematically equivalent but *not* bitwise
+//!   equal to re-simulation is the suffix check: a single
+//!   `delay <= slack[j]` comparison stands in for re-deriving every
+//!   downstream arrival, so on a knife-edge instance where a downstream
+//!   arrival lands within an ulp of its deadline (or a downstream load
+//!   within an ulp of the capacity fuzz) the two paths can classify that
+//!   candidate differently. A wrongful *accept* can only surface through
+//!   the winner and is caught by the oracle fallback below; a wrongful
+//!   *reject* is the one theoretical gap in the feasibility-set parity —
+//!   never observed across the randomized suites, and impossible on
+//!   instances whose arrivals do not graze deadlines at ulp precision;
+//! * candidates are ranked by the classic detour delta
+//!   `d(a,p) + d(p,b) − d(a,b)`; near-ties within a 1e-9 relative band —
+//!   far above any f64 summation error, so outside the band delta order
+//!   provably equals length order — are re-ranked on lazily computed exact
+//!   length folds that are bit-identical to the naive candidate lengths,
+//!   with first-wins tie-breaking in enumeration order. The selected
+//!   winner is therefore **exactly** the one the naive
+//!   `min_by(total_cmp)` picks, degenerate zero-detour ties included;
+//! * only the winner materializes a [`crate::Route`] and
+//!   [`crate::Schedule`], through one final [`crate::simulate_schedule`]
+//!   call — the simulator stays the authoritative oracle, and the winning
+//!   length is bit-identical to the naive path's by construction. In the
+//!   (never observed) event the oracle rejects the sweep's winner,
+//!   [`best_insertion_cached`] falls back to the naive reference wholesale.
+//!
+//! The randomized parity suite (`tests/incremental_parity.rs`) asserts
+//! agreement on feasibility sets, winning positions and lengths across
+//! hundreds of random routes, including in-service vehicles with non-empty
+//! onboard stacks.
+
+use crate::insertion::{best_insertion_naive, BestInsertion, InsertionCandidate};
+use crate::schedule::simulate_schedule;
+use crate::stop::{Stop, StopAction};
+use crate::view::VehicleView;
+use dpdp_net::{FleetConfig, NodeId, Order, OrderId, RoadNetwork, TimePoint};
+
+/// Per-stop data recorded by the forward and backward passes.
+#[derive(Debug, Clone, Copy)]
+struct CachedStop {
+    /// The stop's node.
+    node: NodeId,
+    /// Whether the stop is a pickup (false: delivery).
+    is_pickup: bool,
+    /// Quantity moved at the stop (the order's quantity).
+    quantity: f64,
+    /// The order's creation time (pickups wait for it).
+    created: TimePoint,
+    /// The order's delivery deadline (checked at deliveries).
+    deadline: TimePoint,
+    /// Arrival time at the stop in the base schedule.
+    arrival: TimePoint,
+    /// Departure time from the stop in the base schedule.
+    departure: TimePoint,
+    /// Load on board after the stop's action.
+    load_after: f64,
+    /// Backward-pass deadline slack: the maximum delay (seconds) injectable
+    /// into the arrival at this stop without violating any delivery
+    /// deadline from this stop onward.
+    slack: f64,
+}
+
+/// Cached forward/backward passes over a vehicle's base route.
+///
+/// Built once per [`VehicleView`] (O(n)); every insertion sweep for that
+/// view — one per order in a decision epoch — then runs in O(n²) without
+/// touching [`crate::simulate_schedule`] except to materialize the winner.
+///
+/// The cache is plain data (`Send + Sync`), so one instance can be shared
+/// across the scoring threads of a parallel epoch sweep.
+#[derive(Debug, Clone)]
+pub struct ScheduleCache {
+    stops: Vec<CachedStop>,
+    /// Whether the base route itself simulates feasibly. When false the
+    /// cached passes are meaningless and callers must fall back to the
+    /// naive reference path.
+    feasible: bool,
+    /// Total base route length (anchor through all stops, home to depot),
+    /// bit-identical to [`crate::Route::length`].
+    base_length: f64,
+    /// Load on board at the anchor (sum of the onboard stack).
+    initial_load: f64,
+}
+
+impl ScheduleCache {
+    /// Runs the forward and backward passes over `view`'s base route.
+    ///
+    /// Mirrors [`crate::simulate_schedule`] operation for operation, so the
+    /// cached prefix quantities are bit-identical to the naive walk. A base
+    /// route that does not simulate feasibly (which committed routes never
+    /// are) yields a cache with [`ScheduleCache::is_feasible`] `== false`.
+    pub fn build(
+        view: &VehicleView,
+        net: &RoadNetwork,
+        fleet: &FleetConfig,
+        orders: &[Order],
+    ) -> ScheduleCache {
+        let initial_load: f64 = view.onboard.iter().map(|(_, q)| q).sum();
+        let n = view.route.len();
+        let mut cache = ScheduleCache {
+            stops: Vec::with_capacity(n),
+            feasible: false,
+            base_length: 0.0,
+            initial_load,
+        };
+
+        // Forward pass: the exact walk of `simulate_schedule`.
+        let mut node = view.anchor_node;
+        let mut time = view.anchor_time;
+        let mut stack: Vec<(OrderId, f64)> = view.onboard.clone();
+        let mut load = initial_load;
+        let mut total_length = 0.0;
+        for &stop in view.route.stops() {
+            let leg = net.distance(node, stop.node);
+            total_length += leg;
+            time += fleet.travel_time(leg);
+            node = stop.node;
+            let arrival = time;
+            let Some(order) = lookup(orders, stop.action.order()) else {
+                return cache; // UnknownOrder: base infeasible.
+            };
+            let (service_start, is_pickup) = match stop.action {
+                StopAction::Pickup(id) => {
+                    let start = arrival.max(order.created);
+                    let new_load = load + order.quantity;
+                    if new_load > fleet.capacity + 1e-9 {
+                        return cache; // Capacity: base infeasible.
+                    }
+                    stack.push((id, order.quantity));
+                    load = new_load;
+                    (start, true)
+                }
+                StopAction::Delivery(id) => {
+                    if arrival > order.deadline {
+                        return cache; // TimeWindow: base infeasible.
+                    }
+                    match stack.last() {
+                        Some(&(top, qty)) if top == id => {
+                            stack.pop();
+                            load -= qty;
+                        }
+                        _ => return cache, // LIFO: base infeasible.
+                    }
+                    (arrival, false)
+                }
+            };
+            time = service_start + fleet.service_time;
+            cache.stops.push(CachedStop {
+                node,
+                is_pickup,
+                quantity: order.quantity,
+                created: order.created,
+                deadline: order.deadline,
+                arrival,
+                departure: time,
+                load_after: load,
+                slack: f64::INFINITY,
+            });
+        }
+        if !stack.is_empty() {
+            return cache; // IncompleteRoute: base infeasible.
+        }
+        total_length += net.distance(node, view.depot);
+        cache.base_length = total_length;
+
+        // Backward pass: deadline slack per position. Waits at pickups
+        // absorb injected delay, deliveries cap it by their own deadline.
+        let mut slack = f64::INFINITY;
+        for s in cache.stops.iter_mut().rev() {
+            if s.is_pickup {
+                let wait = (s.departure - fleet.service_time - s.arrival).seconds();
+                slack += wait; // ∞ + wait = ∞
+            } else {
+                slack = slack.min((s.deadline - s.arrival).seconds());
+            }
+            s.slack = slack;
+        }
+
+        cache.feasible = true;
+        cache
+    }
+
+    /// Whether the base route simulates feasibly. When false every cached
+    /// quantity is meaningless and insertion evaluation must go through the
+    /// naive reference path (see [`best_insertion_cached`]).
+    #[inline]
+    pub fn is_feasible(&self) -> bool {
+        self.feasible
+    }
+
+    /// Total base route length `d_{t,k}` (km, anchor through all stops and
+    /// home to the depot), bit-identical to [`crate::Route::length`]. Only
+    /// meaningful when [`ScheduleCache::is_feasible`] holds.
+    #[inline]
+    pub fn base_length(&self) -> f64 {
+        self.base_length
+    }
+
+    /// Number of stops of the cached base route.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// Whether the cached base route has no stops.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stops.is_empty()
+    }
+}
+
+/// One feasible insertion position pair found by [`sweep_insertions`],
+/// scored without materializing the route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredInsertion {
+    /// Index (in the base stop list) where the pickup is inserted.
+    pub pickup_pos: usize,
+    /// Index (in the base stop list) before which the delivery is inserted;
+    /// `>= pickup_pos`.
+    pub delivery_pos: usize,
+    /// Resulting route length: base length plus the detour delta
+    /// `d(a,p) + d(p,b) − d(a,b)`. Mathematically equal to the simulated
+    /// candidate length; may differ from it by floating-point rounding, so
+    /// the winner's authoritative length comes from the final
+    /// [`crate::simulate_schedule`] call.
+    pub length: f64,
+}
+
+/// Outcome of an incremental insertion sweep (see [`sweep_best`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsertionSweep {
+    /// The shortest feasible insertion under [`f64::total_cmp`] with
+    /// first-wins tie-breaking in enumeration order, if any.
+    pub best: Option<ScoredInsertion>,
+    /// Number of feasible position pairs.
+    pub num_feasible: usize,
+    /// Number of enumerated position pairs, `(n+1)(n+2)/2`.
+    pub num_enumerated: usize,
+}
+
+/// Looks up an order in a dense-by-id order slice (the exact check
+/// `simulate_schedule` performs; a miss makes every candidate infeasible).
+fn lookup(orders: &[Order], id: OrderId) -> Option<&Order> {
+    orders.get(id.index()).filter(|o| o.id == id)
+}
+
+/// Evaluates every pickup/delivery position pair of `order` in `view`'s
+/// base route from the cached passes, calling `on_feasible` for each
+/// feasible pair in enumeration order (pickup position outer, delivery
+/// position inner) and returning the number of feasible pairs.
+///
+/// This is the allocation-free O(n²) core of the incremental evaluator;
+/// [`sweep_best`] layers argmin selection on top and
+/// [`best_insertion_cached`] materializes the winner.
+///
+/// `cache` must have been built from the same `view` (and the same
+/// network/fleet/orders) and be feasible; see
+/// [`ScheduleCache::is_feasible`].
+///
+/// # Panics
+/// May panic (index out of range) if `cache` was built from a different
+/// route than `view`'s.
+pub fn sweep_insertions(
+    cache: &ScheduleCache,
+    view: &VehicleView,
+    order: &Order,
+    net: &RoadNetwork,
+    fleet: &FleetConfig,
+    orders: &[Order],
+    mut on_feasible: impl FnMut(ScoredInsertion),
+) -> usize {
+    debug_assert!(cache.feasible, "sweep over an infeasible base route");
+    debug_assert_eq!(cache.len(), view.route.len(), "cache/view mismatch");
+    // The naive walk resolves every stop through the dense order table, the
+    // inserted pair included: replicate the lookup (node positions come
+    // from the argument, quantities and times from the table) and reject
+    // everything on a miss, exactly like the per-candidate `UnknownOrder`.
+    let Some(probe) = lookup(orders, order.id) else {
+        return 0;
+    };
+    let pickup_node = order.pickup;
+    let delivery_node = order.delivery;
+    let n = cache.stops.len();
+    let cap = fleet.capacity + 1e-9;
+    let mut num_feasible = 0;
+
+    for i in 0..=n {
+        // State at the insertion point, straight from the prefix cache.
+        let (prev_node, prev_dep, load_before) = if i > 0 {
+            let s = &cache.stops[i - 1];
+            (s.node, s.departure, s.load_after)
+        } else {
+            (view.anchor_node, view.anchor_time, cache.initial_load)
+        };
+        let new_load = load_before + probe.quantity;
+        if new_load > cap {
+            // The pickup itself violates capacity: every `j` for this `i`
+            // is infeasible.
+            continue;
+        }
+        let arr_p = prev_dep + fleet.travel_time(net.distance(prev_node, pickup_node));
+        let dep_p = arr_p.max(probe.created) + fleet.service_time;
+        let next_i = if i < n {
+            cache.stops[i].node
+        } else {
+            view.depot
+        };
+
+        // Candidate (i, i): the delivery immediately follows the pickup.
+        // Feasible iff NOT(arrival > deadline), the naive reject condition;
+        // times are finite (TimePoint asserts it), so `<=` is equivalent.
+        let arr_d = dep_p + fleet.travel_time(net.distance(pickup_node, delivery_node));
+        if arr_d <= probe.deadline {
+            let suffix_ok = i == n || {
+                let dep_d = arr_d + fleet.service_time;
+                let arr_next = dep_d + fleet.travel_time(net.distance(delivery_node, next_i));
+                (arr_next - cache.stops[i].arrival).seconds() <= cache.stops[i].slack
+            };
+            if suffix_ok {
+                let delta = net.distance(prev_node, pickup_node)
+                    + net.distance(pickup_node, delivery_node)
+                    + net.distance(delivery_node, next_i)
+                    - net.distance(prev_node, next_i);
+                num_feasible += 1;
+                on_feasible(ScoredInsertion {
+                    pickup_pos: i,
+                    delivery_pos: i,
+                    length: cache.base_length + delta,
+                });
+            }
+        }
+        if i == n {
+            continue;
+        }
+
+        // Candidates (i, j > i): walk the segment once, advancing the
+        // exact running state (time, load, LIFO depth) one stop per `j`.
+        let delta_pickup = net.distance(prev_node, pickup_node) + net.distance(pickup_node, next_i)
+            - net.distance(prev_node, next_i);
+        let mut cur_node = pickup_node;
+        let mut cur_dep = dep_p;
+        let mut load = new_load;
+        // Number of base cargo items stacked on top of the new order's
+        // cargo: the delivery can only be placed while this is zero.
+        let mut depth: usize = 0;
+        for j in (i + 1)..=n {
+            // Advance through base stop j-1 under the injected detour.
+            let s = &cache.stops[j - 1];
+            let arr = cur_dep + fleet.travel_time(net.distance(cur_node, s.node));
+            let service_start = if s.is_pickup {
+                let segment_load = load + s.quantity;
+                if segment_load > cap {
+                    // This stop's pickup overloads for every j beyond it.
+                    break;
+                }
+                load = segment_load;
+                depth += 1;
+                arr.max(s.created)
+            } else {
+                if arr > s.deadline {
+                    // The detour makes this delivery late for every j
+                    // beyond it.
+                    break;
+                }
+                if depth == 0 {
+                    // LIFO prune: the base delivery would pop the new
+                    // order's cargo — provably infeasible for every j
+                    // beyond this stop.
+                    break;
+                }
+                depth -= 1;
+                load -= s.quantity;
+                arr
+            };
+            cur_dep = service_start + fleet.service_time;
+            cur_node = s.node;
+
+            if depth != 0 {
+                // A base item sits on top of the new cargo: delivering
+                // here would violate LIFO. Later j may still be feasible.
+                continue;
+            }
+            // Candidate (i, j): insert the delivery after base stop j-1.
+            let arr_d = cur_dep + fleet.travel_time(net.distance(cur_node, delivery_node));
+            if arr_d > probe.deadline {
+                continue;
+            }
+            let next_j = if j < n {
+                cache.stops[j].node
+            } else {
+                view.depot
+            };
+            let suffix_ok = j == n || {
+                let dep_d = arr_d + fleet.service_time;
+                let arr_next = dep_d + fleet.travel_time(net.distance(delivery_node, next_j));
+                (arr_next - cache.stops[j].arrival).seconds() <= cache.stops[j].slack
+            };
+            if suffix_ok {
+                let delta_delivery = net.distance(cur_node, delivery_node)
+                    + net.distance(delivery_node, next_j)
+                    - net.distance(cur_node, next_j);
+                num_feasible += 1;
+                on_feasible(ScoredInsertion {
+                    pickup_pos: i,
+                    delivery_pos: j,
+                    length: cache.base_length + (delta_pickup + delta_delivery),
+                });
+            }
+        }
+    }
+    num_feasible
+}
+
+/// The candidate's route length computed as the exact naive fold: the leg
+/// distances of `anchor -> stops[..i] -> pickup -> stops[i..j] -> delivery
+/// -> stops[j..] -> depot` accumulated left to right, which is
+/// operation-for-operation the sum [`crate::simulate_schedule`] builds —
+/// bit-identical to the naive candidate's `total_length`. O(n); used only
+/// to resolve ranking near-ties.
+fn exact_candidate_length(
+    view: &VehicleView,
+    pickup: NodeId,
+    delivery: NodeId,
+    net: &RoadNetwork,
+    i: usize,
+    j: usize,
+) -> f64 {
+    let stops = view.route.stops();
+    let mut prev = view.anchor_node;
+    let mut total = 0.0;
+    let leg = |next: NodeId, total: &mut f64, prev: &mut NodeId| {
+        *total += net.distance(*prev, next);
+        *prev = next;
+    };
+    for s in &stops[..i] {
+        leg(s.node, &mut total, &mut prev);
+    }
+    leg(pickup, &mut total, &mut prev);
+    for s in &stops[i..j] {
+        leg(s.node, &mut total, &mut prev);
+    }
+    leg(delivery, &mut total, &mut prev);
+    for s in &stops[j..] {
+        leg(s.node, &mut total, &mut prev);
+    }
+    leg(view.depot, &mut total, &mut prev);
+    total
+}
+
+/// Runs [`sweep_insertions`] and keeps the shortest feasible candidate,
+/// selecting **exactly** the winner the naive `min_by(total_cmp)` over the
+/// full enumeration picks (first-wins on ties in enumeration order).
+///
+/// Ranking is two-tier: candidates whose detour-delta scores differ by more
+/// than a 1e-9 relative band — orders of magnitude above any f64 summation
+/// error, so delta order provably equals exact-length order there — are
+/// compared on the O(1) scores; candidates inside the band (genuine ties,
+/// e.g. zero-detour insertions at coincident nodes, whose delta roundings
+/// can disagree by an ulp) are re-ranked on lazily computed
+/// exact naive-order length folds, which are bit-identical to the naive
+/// lengths. The streaming strict-less comparison then reproduces the naive
+/// argmin decision for every pair.
+pub fn sweep_best(
+    cache: &ScheduleCache,
+    view: &VehicleView,
+    order: &Order,
+    net: &RoadNetwork,
+    fleet: &FleetConfig,
+    orders: &[Order],
+) -> InsertionSweep {
+    let n = view.route.len();
+    // Running winner plus its lazily materialized exact length.
+    let mut best: Option<(ScoredInsertion, Option<f64>)> = None;
+    let num_feasible = sweep_insertions(cache, view, order, net, fleet, orders, |cand| {
+        let Some((winner, winner_exact)) = &mut best else {
+            best = Some((cand, None));
+            return;
+        };
+        let eps = 1e-9 * winner.length.abs().max(1.0);
+        let (replace, cand_exact) = if cand.length < winner.length - eps {
+            (true, None)
+        } else if cand.length > winner.length + eps {
+            (false, None)
+        } else {
+            // Near tie (or non-finite scores): decide exactly as the naive
+            // reference would, on bit-identical lengths under total_cmp
+            // with first-wins (strict less replaces).
+            let we = *winner_exact.get_or_insert_with(|| {
+                exact_candidate_length(
+                    view,
+                    order.pickup,
+                    order.delivery,
+                    net,
+                    winner.pickup_pos,
+                    winner.delivery_pos,
+                )
+            });
+            let ce = exact_candidate_length(
+                view,
+                order.pickup,
+                order.delivery,
+                net,
+                cand.pickup_pos,
+                cand.delivery_pos,
+            );
+            (ce.total_cmp(&we) == std::cmp::Ordering::Less, Some(ce))
+        };
+        if replace {
+            best = Some((cand, cand_exact));
+        }
+    });
+    InsertionSweep {
+        best: best.map(|(cand, _)| cand),
+        num_feasible,
+        num_enumerated: (n + 1) * (n + 2) / 2,
+    }
+}
+
+/// The incremental engine behind [`crate::best_insertion`]: finds the
+/// shortest feasible insertion from the cached passes and materializes only
+/// the winner (one [`crate::Route`] + one [`crate::simulate_schedule`]
+/// call).
+///
+/// An infeasible `cache`, a probe order whose id already appears in the
+/// route or on board (the LIFO depth pruning assumes distinct ids; Algorithm
+/// 2 never re-inserts a routed order), or the (never observed) event of the
+/// oracle rejecting the sweep's winner all fall back to the naive reference
+/// [`best_insertion_naive`], so the result is always oracle-validated.
+pub fn best_insertion_cached(
+    cache: &ScheduleCache,
+    view: &VehicleView,
+    order: &Order,
+    net: &RoadNetwork,
+    fleet: &FleetConfig,
+    orders: &[Order],
+) -> Option<BestInsertion> {
+    let duplicate = view
+        .route
+        .stops()
+        .iter()
+        .any(|s| s.action.order() == order.id)
+        || view.onboard.iter().any(|&(id, _)| id == order.id);
+    if !cache.feasible || duplicate {
+        return best_insertion_naive(view, order, net, fleet, orders);
+    }
+    let sweep = sweep_best(cache, view, order, net, fleet, orders);
+    let scored = sweep.best?;
+    let pickup = Stop::pickup(order.pickup, order.id);
+    let delivery = Stop::delivery(order.delivery, order.id);
+    let route = view
+        .route
+        .with_insertion(pickup, scored.pickup_pos, delivery, scored.delivery_pos);
+    match simulate_schedule(view, &route, net, fleet, orders) {
+        Ok(schedule) => Some(BestInsertion {
+            candidate: InsertionCandidate {
+                pickup_pos: scored.pickup_pos,
+                delivery_pos: scored.delivery_pos,
+                route,
+                schedule,
+            },
+            num_feasible: sweep.num_feasible,
+            num_enumerated: sweep.num_enumerated,
+        }),
+        // The oracle disagrees with the sweep (only reachable on
+        // pathological float-boundary instances): defer to the reference
+        // implementation wholesale.
+        Err(_) => best_insertion_naive(view, order, net, fleet, orders),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insertion::enumerate_insertions;
+    use crate::route::Route;
+    use dpdp_net::{Node, Point, TimeDelta, VehicleId};
+
+    fn setup() -> (RoadNetwork, FleetConfig) {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(10.0, 0.0)),
+            Node::factory(NodeId(2), Point::new(20.0, 0.0)),
+            Node::factory(NodeId(3), Point::new(30.0, 0.0)),
+        ];
+        let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
+        let fleet = FleetConfig::homogeneous(
+            1,
+            &[NodeId(0)],
+            10.0,
+            500.0,
+            2.0,
+            60.0,
+            TimeDelta::from_minutes(5.0),
+        )
+        .unwrap();
+        (net, fleet)
+    }
+
+    fn order(id: u32, p: u32, d: u32, q: f64, created_h: f64, deadline_h: f64) -> Order {
+        Order::new(
+            OrderId(id),
+            NodeId(p),
+            NodeId(d),
+            q,
+            TimePoint::from_hours(created_h),
+            TimePoint::from_hours(deadline_h),
+        )
+        .unwrap()
+    }
+
+    fn loaded_view(orders: &[Order], net: &RoadNetwork, fleet: &FleetConfig) -> VehicleView {
+        let mut view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        for o in &orders[..orders.len() - 1] {
+            if let Some(best) = best_insertion_naive(&view, o, net, fleet, orders) {
+                view.route = best.candidate.route;
+                view.used = true;
+            }
+        }
+        view
+    }
+
+    /// The sweep agrees with full enumeration on the feasibility set and
+    /// the candidate lengths on a multi-order route.
+    #[test]
+    fn sweep_matches_enumeration() {
+        let (net, fleet) = setup();
+        let orders = vec![
+            order(0, 1, 3, 3.0, 0.0, 10.0),
+            order(1, 2, 3, 3.0, 0.5, 10.0),
+            order(2, 3, 1, 2.0, 1.0, 12.0),
+            order(3, 1, 2, 4.0, 1.5, 12.0),
+        ];
+        let view = loaded_view(&orders, &net, &fleet);
+        assert!(view.route.len() >= 4, "route: {:?}", view.route.stops());
+        let probe = orders.last().unwrap();
+        let naive = enumerate_insertions(&view, probe, &net, &fleet, &orders);
+        let cache = ScheduleCache::build(&view, &net, &fleet, &orders);
+        assert!(cache.is_feasible());
+        let mut swept = Vec::new();
+        sweep_insertions(&cache, &view, probe, &net, &fleet, &orders, |c| {
+            swept.push(c)
+        });
+        assert_eq!(swept.len(), naive.len(), "feasibility sets differ");
+        for (s, c) in swept.iter().zip(&naive) {
+            assert_eq!(
+                (s.pickup_pos, s.delivery_pos),
+                (c.pickup_pos, c.delivery_pos)
+            );
+            assert!(
+                (s.length - c.length()).abs() < 1e-9,
+                "length mismatch at ({}, {}): {} vs {}",
+                s.pickup_pos,
+                s.delivery_pos,
+                s.length,
+                c.length()
+            );
+        }
+    }
+
+    /// In-service vehicle with a non-empty onboard stack: the LIFO pruning
+    /// must agree with the oracle.
+    #[test]
+    fn sweep_respects_onboard_stack() {
+        let (net, fleet) = setup();
+        let orders = vec![
+            order(0, 1, 3, 4.0, 0.0, 10.0),
+            order(1, 2, 3, 4.0, 0.0, 10.0),
+        ];
+        let mut view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        view.anchor_node = NodeId(2);
+        view.anchor_time = TimePoint::from_hours(1.0);
+        view.onboard = vec![(OrderId(0), 4.0)];
+        view.route = Route::from_stops(vec![Stop::delivery(NodeId(3), OrderId(0))]);
+        let probe = &orders[1];
+        let naive = enumerate_insertions(&view, probe, &net, &fleet, &orders);
+        let cache = ScheduleCache::build(&view, &net, &fleet, &orders);
+        assert!(cache.is_feasible());
+        let mut swept = Vec::new();
+        sweep_insertions(&cache, &view, probe, &net, &fleet, &orders, |c| {
+            swept.push(c)
+        });
+        assert_eq!(swept.len(), naive.len());
+        for (s, c) in swept.iter().zip(&naive) {
+            assert_eq!(
+                (s.pickup_pos, s.delivery_pos),
+                (c.pickup_pos, c.delivery_pos)
+            );
+        }
+    }
+
+    /// Base-route infeasibility (here: a stop referencing an unknown order)
+    /// marks the cache infeasible and the cached entry point falls back to
+    /// the naive reference.
+    #[test]
+    fn infeasible_base_falls_back_to_naive() {
+        let (net, fleet) = setup();
+        let orders = vec![order(0, 1, 2, 5.0, 0.0, 10.0)];
+        let mut view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        view.route = Route::from_stops(vec![Stop::pickup(NodeId(1), OrderId(7))]);
+        let cache = ScheduleCache::build(&view, &net, &fleet, &orders);
+        assert!(!cache.is_feasible());
+        let incremental = best_insertion_cached(&cache, &view, &orders[0], &net, &fleet, &orders);
+        let naive = best_insertion_naive(&view, &orders[0], &net, &fleet, &orders);
+        assert_eq!(incremental, naive);
+    }
+
+    /// A probe order missing from the dense table is rejected everywhere,
+    /// exactly like the naive per-candidate `UnknownOrder` violation.
+    #[test]
+    fn unknown_probe_order_has_no_candidates() {
+        let (net, fleet) = setup();
+        let orders = vec![order(0, 1, 2, 5.0, 0.0, 10.0)];
+        let ghost = order(9, 1, 2, 1.0, 0.0, 10.0);
+        let view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        let cache = ScheduleCache::build(&view, &net, &fleet, &orders);
+        let sweep = sweep_best(&cache, &view, &ghost, &net, &fleet, &orders);
+        assert_eq!(sweep.num_feasible, 0);
+        assert!(sweep.best.is_none());
+        assert!(enumerate_insertions(&view, &ghost, &net, &fleet, &orders).is_empty());
+    }
+
+    /// The slack table encodes wait absorption: a pickup that waits for its
+    /// order's creation absorbs injected delay.
+    #[test]
+    fn slack_absorbs_waiting_time() {
+        let (net, fleet) = setup();
+        // Order 0 is created at 2 h; the vehicle arrives at its pickup long
+        // before that and waits, so upstream slack exceeds the raw deadline
+        // margin by the wait.
+        let orders = vec![
+            order(0, 2, 3, 2.0, 2.0, 3.0),
+            order(1, 1, 2, 2.0, 0.0, 24.0),
+        ];
+        let mut view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        view.route = Route::from_stops(vec![
+            Stop::pickup(NodeId(2), OrderId(0)),
+            Stop::delivery(NodeId(3), OrderId(0)),
+        ]);
+        let cache = ScheduleCache::build(&view, &net, &fleet, &orders);
+        assert!(cache.is_feasible());
+        // Delivery slack: deadline 3 h, arrival 2 h + 5 min service +
+        // 10 min drive = 2:15 -> 45 min of raw slack.
+        let delivery_slack = cache.stops[1].slack;
+        assert!((delivery_slack - 2700.0).abs() < 1e-6);
+        // Pickup slack: the same 45 min plus the wait from 20 min (drive)
+        // to 2 h = 100 min of absorption.
+        let pickup_slack = cache.stops[0].slack;
+        assert!((pickup_slack - (2700.0 + 6000.0)).abs() < 1e-6);
+        // And the evaluator exploits it: inserting order 1 entirely before
+        // the waiting pickup is free time-wise.
+        let best = best_insertion_cached(&cache, &view, &orders[1], &net, &fleet, &orders)
+            .expect("feasible");
+        assert_eq!(
+            (best.candidate.pickup_pos, best.candidate.delivery_pos),
+            (0, 0)
+        );
+    }
+}

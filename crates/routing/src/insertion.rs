@@ -3,8 +3,20 @@
 //! Step 2 of the paper's Algorithm 2 constructs "all possible temporary
 //! routes … via inserting the pickup and delivery node of order `o` into
 //! vehicle `k`'s current route in an enumeration way". For a route with `n`
-//! remaining stops there are `(n+1)(n+2)/2` position pairs; each candidate is
-//! validated with [`simulate_schedule`].
+//! remaining stops there are `(n+1)(n+2)/2` position pairs.
+//!
+//! Two implementations coexist:
+//!
+//! * [`enumerate_insertions`] / [`best_insertion_naive`] — the **reference**
+//!   path: every candidate clones the route and re-validates it with
+//!   [`simulate_schedule`] (O(n) work and two allocations per pair, O(n³)
+//!   per call). Kept as the authoritative oracle and the parity baseline.
+//! * [`best_insertion`] — the **production** path: delegates to the
+//!   incremental evaluator in [`crate::incremental`], which scores every
+//!   pair allocation-free from cached prefix/suffix passes (O(n²) per call)
+//!   and materializes only the winner. It returns the identical winning
+//!   position pair and length as the reference (see the parity notes on
+//!   [`crate::incremental`]).
 
 use crate::route::Route;
 use crate::schedule::{simulate_schedule, Schedule};
@@ -85,7 +97,31 @@ pub fn enumerate_insertions(
 
 /// Finds the shortest feasible insertion of `order` into the vehicle's
 /// remaining route, or `None` if no position pair satisfies all constraints.
+///
+/// This is the O(n²) incremental path: one [`crate::ScheduleCache`] build
+/// plus one allocation-free sweep, with only the winner materialized (and
+/// oracle-validated) — see [`crate::incremental`]. Callers evaluating many
+/// orders against the same view should build the cache once and use
+/// [`crate::best_insertion_cached`] directly.
 pub fn best_insertion(
+    view: &VehicleView,
+    order: &Order,
+    net: &RoadNetwork,
+    fleet: &FleetConfig,
+    orders: &[Order],
+) -> Option<BestInsertion> {
+    let cache = crate::incremental::ScheduleCache::build(view, net, fleet, orders);
+    crate::incremental::best_insertion_cached(&cache, view, order, net, fleet, orders)
+}
+
+/// Reference implementation of [`best_insertion`]: full enumeration with a
+/// per-candidate [`simulate_schedule`] (O(n³) per call).
+///
+/// Ties in length are broken towards the earlier enumeration position, and
+/// candidates are ordered with [`f64::total_cmp`] so a pathological
+/// instance producing non-finite lengths degrades deterministically
+/// (non-finite candidates sort last) instead of panicking mid-epoch.
+pub fn best_insertion_naive(
     view: &VehicleView,
     order: &Order,
     net: &RoadNetwork,
@@ -98,11 +134,7 @@ pub fn best_insertion(
     let num_feasible = candidates.len();
     candidates
         .into_iter()
-        .min_by(|a, b| {
-            a.length()
-                .partial_cmp(&b.length())
-                .expect("lengths are finite")
-        })
+        .min_by(|a, b| a.length().total_cmp(&b.length()))
         .map(|candidate| BestInsertion {
             candidate,
             num_feasible,

@@ -1,11 +1,11 @@
-//! Routes, schedules, constraint checks and insertion enumeration.
+//! Routes, schedules, constraint checks and insertion evaluation.
 //!
 //! This crate implements the *route planner* of the paper (Algorithm 2):
-//! given a vehicle's remaining route and a new order, it enumerates every
+//! given a vehicle's remaining route and a new order, it considers every
 //! way of inserting the order's pickup and delivery stops, checks the
-//! time-window, capacity, LIFO and back-to-depot constraints by simulating
-//! the resulting schedule, and returns the shortest feasible route together
-//! with the quantities the MDP state needs (`d_{t,k}`, `d^i_{t,k}`).
+//! time-window, capacity, LIFO and back-to-depot constraints, and returns
+//! the shortest feasible route together with the quantities the MDP state
+//! needs (`d_{t,k}`, `d^i_{t,k}`).
 //!
 //! The central types are:
 //!
@@ -15,11 +15,36 @@
 //!   about a vehicle (anchor position/time, cargo stack, remaining route);
 //! * [`simulate_schedule`] — the feasibility oracle;
 //! * [`RoutePlanner`] — Algorithm 2.
+//!
+//! # Insertion evaluation: O(n²) incremental vs O(n³) reference
+//!
+//! Candidate scoring has two interchangeable engines (selected by
+//! [`PlannerMode`], default incremental):
+//!
+//! * the **incremental evaluator** ([`incremental`]) precomputes one
+//!   forward pass (prefix departure times, loads, cumulative length) and
+//!   one backward pass (per-position deadline slack with wait absorption)
+//!   over the base route, then scores each of the `(n+1)(n+2)/2` position
+//!   pairs allocation-free — O(n²) total per `(order, vehicle)` pair, with
+//!   LIFO-violating pairs pruned before evaluation and only the winner
+//!   materialized through [`simulate_schedule`];
+//! * the **naive reference** ([`enumerate_insertions`],
+//!   [`best_insertion_naive`]) clones and re-simulates every candidate —
+//!   O(n³) per pair — and remains the authoritative oracle.
+//!
+//! Both engines return the identical winning `(pickup_pos, delivery_pos)`
+//! and route length; the winning length always comes from one final
+//! [`simulate_schedule`] call, so it is bit-identical to the reference by
+//! construction, and the determinism guarantees of the parallel epoch
+//! sweep (bit-identical results at any thread count) carry over unchanged.
+//! See [`incremental`] for the invariants and `tests/incremental_parity.rs`
+//! for the randomized proof.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod constraints;
+pub mod incremental;
 pub mod insertion;
 pub mod planner;
 pub mod route;
@@ -28,8 +53,14 @@ pub mod stop;
 pub mod view;
 
 pub use constraints::Violation;
-pub use insertion::{best_insertion, enumerate_insertions, BestInsertion, InsertionCandidate};
-pub use planner::{PlannerOutput, RoutePlanner};
+pub use incremental::{
+    best_insertion_cached, sweep_best, sweep_insertions, InsertionSweep, ScheduleCache,
+    ScoredInsertion,
+};
+pub use insertion::{
+    best_insertion, best_insertion_naive, enumerate_insertions, BestInsertion, InsertionCandidate,
+};
+pub use planner::{PlannerMode, PlannerOutput, RoutePlanner};
 pub use route::Route;
 pub use schedule::{simulate_schedule, Schedule, StopTiming};
 pub use stop::{Stop, StopAction};

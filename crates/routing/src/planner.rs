@@ -1,9 +1,25 @@
 //! The route planner: the paper's Algorithm 2.
 
-use crate::insertion::{best_insertion, BestInsertion};
+use crate::incremental::{best_insertion_cached, ScheduleCache};
+use crate::insertion::{best_insertion_naive, BestInsertion};
 use crate::view::VehicleView;
 use dpdp_net::{FleetConfig, Order, RoadNetwork};
 use serde::{Deserialize, Serialize};
+
+/// Which insertion evaluator a [`RoutePlanner`] scores candidates with.
+///
+/// Both modes return the identical winning `(pickup_pos, delivery_pos)`
+/// and route length (see [`crate::incremental`] for the parity argument and
+/// `tests/incremental_parity.rs` for the randomized proof); `Naive` exists
+/// as the always-available reference for parity testing and debugging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlannerMode {
+    /// The O(n²) prefix/suffix-cached evaluator (the default).
+    #[default]
+    Incremental,
+    /// The O(n³) enumerate-and-resimulate reference implementation.
+    Naive,
+}
 
 /// Output of Algorithm 2 for one `(order, vehicle)` pair.
 ///
@@ -47,20 +63,86 @@ pub struct RoutePlanner<'a> {
     net: &'a RoadNetwork,
     fleet: &'a FleetConfig,
     orders: &'a [Order],
+    mode: PlannerMode,
 }
 
 impl<'a> RoutePlanner<'a> {
-    /// Creates a planner over the given problem data. `orders` must be dense
-    /// by id, as guaranteed by [`dpdp_net::Instance`].
+    /// Creates a planner over the given problem data, scoring with the
+    /// default [`PlannerMode::Incremental`] evaluator. `orders` must be
+    /// dense by id, as guaranteed by [`dpdp_net::Instance`].
     pub fn new(net: &'a RoadNetwork, fleet: &'a FleetConfig, orders: &'a [Order]) -> Self {
-        RoutePlanner { net, fleet, orders }
+        Self::with_mode(net, fleet, orders, PlannerMode::default())
+    }
+
+    /// Creates a planner with an explicit insertion evaluator.
+    pub fn with_mode(
+        net: &'a RoadNetwork,
+        fleet: &'a FleetConfig,
+        orders: &'a [Order],
+        mode: PlannerMode,
+    ) -> Self {
+        RoutePlanner {
+            net,
+            fleet,
+            orders,
+            mode,
+        }
+    }
+
+    /// The insertion evaluator this planner scores with.
+    #[inline]
+    pub fn mode(&self) -> PlannerMode {
+        self.mode
+    }
+
+    /// Builds the reusable prefix/suffix schedule cache for a vehicle view
+    /// (O(n)). One cache serves every [`RoutePlanner::plan_cached`] call
+    /// against the same view — e.g. all orders of a decision epoch — which
+    /// is where the `d_{t,k}` route length and the forward/backward passes
+    /// stop being recomputed per order.
+    pub fn cache(&self, view: &VehicleView) -> ScheduleCache {
+        ScheduleCache::build(view, self.net, self.fleet, self.orders)
     }
 
     /// Runs Algorithm 2: checks whether `view`'s vehicle can take `order`,
     /// and if so finds the shortest feasible temporary route.
     pub fn plan(&self, view: &VehicleView, order: &Order) -> PlannerOutput {
+        match self.mode {
+            PlannerMode::Incremental => {
+                let cache = self.cache(view);
+                self.plan_cached(&cache, view, order)
+            }
+            PlannerMode::Naive => self.plan_naive(view, order),
+        }
+    }
+
+    /// Runs Algorithm 2 against a prebuilt [`ScheduleCache`] for `view`
+    /// (see [`RoutePlanner::cache`]): the vehicle's current route length
+    /// comes from the cache and the candidate sweep is allocation-free.
+    ///
+    /// In [`PlannerMode::Naive`] the cache is ignored and the reference
+    /// path runs instead. An infeasible cache (base route fails the oracle;
+    /// committed routes never do) also falls back to the reference path.
+    pub fn plan_cached(
+        &self,
+        cache: &ScheduleCache,
+        view: &VehicleView,
+        order: &Order,
+    ) -> PlannerOutput {
+        if self.mode == PlannerMode::Naive || !cache.is_feasible() {
+            return self.plan_naive(view, order);
+        }
+        PlannerOutput {
+            current_length: cache.base_length(),
+            best: best_insertion_cached(cache, view, order, self.net, self.fleet, self.orders),
+        }
+    }
+
+    /// The reference Algorithm 2: full enumeration with per-candidate
+    /// re-simulation.
+    fn plan_naive(&self, view: &VehicleView, order: &Order) -> PlannerOutput {
         let current_length = view.route.length(self.net, view.anchor_node, view.depot);
-        let best = best_insertion(view, order, self.net, self.fleet, self.orders);
+        let best = best_insertion_naive(view, order, self.net, self.fleet, self.orders);
         PlannerOutput {
             current_length,
             best,
@@ -138,6 +220,39 @@ mod tests {
         assert!(!out.feasible());
         assert_eq!(out.best_length(), None);
         assert_eq!(out.incremental_length(), None);
+    }
+
+    #[test]
+    fn planner_modes_agree_and_cache_is_reusable() {
+        let (net, fleet, mut orders) = setup();
+        orders.push(
+            Order::new(
+                OrderId(1),
+                NodeId(2),
+                NodeId(1),
+                2.0,
+                TimePoint::ZERO,
+                TimePoint::from_hours(24.0),
+            )
+            .unwrap(),
+        );
+        let incremental = RoutePlanner::new(&net, &fleet, &orders);
+        let naive = RoutePlanner::with_mode(&net, &fleet, &orders, PlannerMode::Naive);
+        assert_eq!(incremental.mode(), PlannerMode::Incremental);
+        let mut view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        view.route = Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+        ]);
+        // One cache serves every order planned against the same view.
+        let cache = incremental.cache(&view);
+        for order in &orders {
+            let a = incremental.plan(&view, order);
+            let b = incremental.plan_cached(&cache, &view, order);
+            let c = naive.plan(&view, order);
+            assert_eq!(a, b);
+            assert_eq!(a, c, "modes diverged for {}", order.id);
+        }
     }
 
     #[test]

@@ -9,10 +9,39 @@ use serde::{Deserialize, Serialize};
 /// [`crate::VehicleView`]) and implicitly ends with a return to the depot —
 /// the back-to-depot constraint is therefore structural and cannot be
 /// violated.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Internally the stops live in a `Vec` behind a consumed-prefix index:
+/// [`Route::pop_front`] — called once per executed leg by the simulator's
+/// advance loop — bumps the index instead of shifting the whole vector, so
+/// advancing is O(1) rather than the O(n) `Vec::remove(0)` shift. Equality
+/// and cloning always operate on the *remaining* stops (a clone trims the
+/// consumed prefix), so the representation is invisible to callers.
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct Route {
     stops: Vec<Stop>,
+    /// Index of the first remaining stop; everything before it has been
+    /// executed and popped.
+    head: usize,
 }
+
+impl Clone for Route {
+    fn clone(&self) -> Route {
+        // Trim the consumed prefix: snapshots (one per vehicle per epoch)
+        // carry only the live tail.
+        Route {
+            stops: self.stops[self.head..].to_vec(),
+            head: 0,
+        }
+    }
+}
+
+impl PartialEq for Route {
+    fn eq(&self, other: &Route) -> bool {
+        self.stops() == other.stops()
+    }
+}
+
+impl Eq for Route {}
 
 impl Route {
     /// An empty route (vehicle idles and returns to its depot).
@@ -22,39 +51,38 @@ impl Route {
 
     /// Builds a route from stops.
     pub fn from_stops(stops: Vec<Stop>) -> Self {
-        Route { stops }
+        Route { stops, head: 0 }
     }
 
     /// The stops in visit order.
     #[inline]
     pub fn stops(&self) -> &[Stop] {
-        &self.stops
+        &self.stops[self.head..]
     }
 
     /// Number of remaining stops.
     #[inline]
     pub fn len(&self) -> usize {
-        self.stops.len()
+        self.stops.len() - self.head
     }
 
     /// True if no stops remain.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.stops.is_empty()
+        self.head == self.stops.len()
     }
 
-    /// Removes and returns the first stop, if any.
+    /// Removes and returns the first stop, if any. O(1): the stop is
+    /// consumed by advancing the front index, not by shifting the vector.
     pub fn pop_front(&mut self) -> Option<Stop> {
-        if self.stops.is_empty() {
-            None
-        } else {
-            Some(self.stops.remove(0))
-        }
+        let stop = self.stops.get(self.head).copied()?;
+        self.head += 1;
+        Some(stop)
     }
 
     /// The first stop, if any.
     pub fn front(&self) -> Option<&Stop> {
-        self.stops.first()
+        self.stops.get(self.head)
     }
 
     /// Returns a new route with `pickup` inserted at `pickup_pos` and
@@ -71,26 +99,24 @@ impl Route {
         delivery: Stop,
         delivery_pos: usize,
     ) -> Route {
-        assert!(pickup_pos <= self.stops.len(), "pickup_pos out of range");
-        assert!(
-            delivery_pos <= self.stops.len(),
-            "delivery_pos out of range"
-        );
+        let live = self.stops();
+        assert!(pickup_pos <= live.len(), "pickup_pos out of range");
+        assert!(delivery_pos <= live.len(), "delivery_pos out of range");
         assert!(delivery_pos >= pickup_pos, "delivery before pickup");
-        let mut stops = Vec::with_capacity(self.stops.len() + 2);
-        stops.extend_from_slice(&self.stops[..pickup_pos]);
+        let mut stops = Vec::with_capacity(live.len() + 2);
+        stops.extend_from_slice(&live[..pickup_pos]);
         stops.push(pickup);
-        stops.extend_from_slice(&self.stops[pickup_pos..delivery_pos]);
+        stops.extend_from_slice(&live[pickup_pos..delivery_pos]);
         stops.push(delivery);
-        stops.extend_from_slice(&self.stops[delivery_pos..]);
-        Route { stops }
+        stops.extend_from_slice(&live[delivery_pos..]);
+        Route { stops, head: 0 }
     }
 
     /// The full node sequence `anchor -> stops... -> depot`.
     pub fn node_sequence(&self, anchor: NodeId, depot: NodeId) -> Vec<NodeId> {
-        let mut seq = Vec::with_capacity(self.stops.len() + 2);
+        let mut seq = Vec::with_capacity(self.len() + 2);
         seq.push(anchor);
-        seq.extend(self.stops.iter().map(|s| s.node));
+        seq.extend(self.stops().iter().map(|s| s.node));
         seq.push(depot);
         seq
     }
@@ -103,7 +129,7 @@ impl Route {
 
     /// Orders with a pickup stop still in this route.
     pub fn pending_pickups(&self) -> Vec<OrderId> {
-        self.stops
+        self.stops()
             .iter()
             .filter_map(|s| match s.action {
                 StopAction::Pickup(o) => Some(o),
@@ -114,7 +140,7 @@ impl Route {
 
     /// Orders with a delivery stop still in this route.
     pub fn pending_deliveries(&self) -> Vec<OrderId> {
-        self.stops
+        self.stops()
             .iter()
             .filter_map(|s| match s.action {
                 StopAction::Delivery(o) => Some(o),
@@ -204,6 +230,43 @@ mod tests {
         ]);
         assert_eq!(r.pending_pickups(), vec![OrderId(0)]);
         assert_eq!(r.pending_deliveries(), vec![OrderId(0), OrderId(9)]);
+    }
+
+    #[test]
+    fn popped_route_behaves_like_fresh_tail() {
+        // The consumed-prefix representation must be invisible: a partly
+        // executed route equals (and clones to) the fresh tail route.
+        let mut r = Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+            Stop::pickup(NodeId(3), OrderId(1)),
+            Stop::delivery(NodeId(1), OrderId(1)),
+        ]);
+        r.pop_front();
+        r.pop_front();
+        let tail = Route::from_stops(vec![
+            Stop::pickup(NodeId(3), OrderId(1)),
+            Stop::delivery(NodeId(1), OrderId(1)),
+        ]);
+        assert_eq!(r, tail);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.stops(), tail.stops());
+        assert_eq!(r.front(), tail.front());
+        let cloned = r.clone();
+        assert_eq!(cloned, tail);
+        // Insertions count positions relative to the remaining stops.
+        let p = Stop::pickup(NodeId(2), OrderId(2));
+        let d = Stop::delivery(NodeId(3), OrderId(2));
+        assert_eq!(
+            r.with_insertion(p, 0, d, 2),
+            tail.with_insertion(p, 0, d, 2)
+        );
+        let net = line_net();
+        assert_eq!(
+            r.length(&net, NodeId(0), NodeId(0)),
+            tail.length(&net, NodeId(0), NodeId(0))
+        );
+        assert_eq!(r.pending_pickups(), vec![OrderId(1)]);
     }
 
     #[test]

@@ -145,6 +145,47 @@ proptest! {
         }
     }
 
+    /// The incremental evaluator agrees with the naive reference on the
+    /// full feasibility set, the candidate lengths and the exact winner
+    /// (positions and bit-identical length) for random fixtures.
+    #[test]
+    fn incremental_sweep_matches_enumeration(fix in arb_fixture()) {
+        let n = fix.orders.len();
+        let view = accumulate(&fix, n.saturating_sub(1));
+        let order = &fix.orders[n - 1];
+        let all = enumerate_insertions(&view, order, &fix.net, &fix.fleet, &fix.orders);
+        let cache = ScheduleCache::build(&view, &fix.net, &fix.fleet, &fix.orders);
+        prop_assert!(cache.is_feasible(), "accumulated routes are feasible");
+        let mut swept = Vec::new();
+        sweep_insertions(&cache, &view, order, &fix.net, &fix.fleet, &fix.orders, |c| {
+            swept.push(c)
+        });
+        prop_assert_eq!(swept.len(), all.len(), "feasibility sets differ");
+        for (s, c) in swept.iter().zip(&all) {
+            prop_assert_eq!((s.pickup_pos, s.delivery_pos), (c.pickup_pos, c.delivery_pos));
+            prop_assert!((s.length - c.length()).abs() < 1e-9);
+        }
+        let fast = best_insertion(&view, order, &fix.net, &fix.fleet, &fix.orders);
+        let slow = best_insertion_naive(&view, order, &fix.net, &fix.fleet, &fix.orders);
+        match (fast, slow) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(
+                    (a.candidate.pickup_pos, a.candidate.delivery_pos),
+                    (b.candidate.pickup_pos, b.candidate.delivery_pos)
+                );
+                prop_assert_eq!(a.length().to_bits(), b.length().to_bits());
+                prop_assert_eq!(a.num_feasible, b.num_feasible);
+            }
+            (a, b) => prop_assert!(
+                false,
+                "winner presence diverged: incremental={:?} naive={:?}",
+                a.map(|x| x.length()),
+                b.map(|x| x.length())
+            ),
+        }
+    }
+
     /// Schedules are temporally coherent: arrivals never precede the
     /// previous departure, service never starts before arrival, the load
     /// stays within [0, Q], and the LIFO stack discipline holds throughout.

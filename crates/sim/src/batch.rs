@@ -22,7 +22,7 @@ use crate::dispatcher::DispatchContext;
 use crate::state::VehicleState;
 use dpdp_net::{FleetConfig, Order, OrderId, RoadNetwork, TimePoint, VehicleId};
 use dpdp_pool::ThreadPool;
-use dpdp_routing::{PlannerOutput, RoutePlanner, VehicleView};
+use dpdp_routing::{PlannerMode, PlannerOutput, RoutePlanner, ScheduleCache, VehicleView};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -158,6 +158,7 @@ pub struct DecisionBatch<'a> {
     orders: &'a [Order],
     epoch_orders: Vec<OrderId>,
     pool: Arc<ThreadPool>,
+    mode: PlannerMode,
     inner: RefCell<BatchInner>,
 }
 
@@ -167,6 +168,12 @@ impl<'a> DecisionBatch<'a> {
     /// `B x K` Algorithm 2 sweep is evaluated across `pool`'s threads, each
     /// `(order, vehicle)` plan landing in its pre-indexed matrix slot —
     /// bit-identical to the serial sweep for any thread count.
+    ///
+    /// Each vehicle's [`ScheduleCache`] — prefix/suffix schedule passes and
+    /// the current route length `d_{t,k}` — is built **once** here and
+    /// shared by every order of the batch, instead of being recomputed per
+    /// `(order, vehicle)` cell: the sweep costs `K` cache builds plus
+    /// `B x K` O(n²) incremental evaluations.
     #[allow(clippy::too_many_arguments)] // crate-private; mirrors the fields
     pub(crate) fn new(
         now: TimePoint,
@@ -177,14 +184,25 @@ impl<'a> DecisionBatch<'a> {
         epoch_orders: Vec<OrderId>,
         states: Vec<VehicleState>,
         pool: Arc<ThreadPool>,
+        mode: PlannerMode,
     ) -> Self {
         let views: Vec<VehicleView> = states.iter().map(|s| s.view.clone()).collect();
-        let planner = RoutePlanner::new(net, fleet, orders);
+        let planner = RoutePlanner::with_mode(net, fleet, orders, mode);
         let epoch = &epoch_orders;
         let views_ref = &views;
-        let plans = par_map_matrix(&pool, epoch_orders.len(), views.len(), |i, k| {
-            planner.plan(&views_ref[k], &orders[epoch[i].index()])
-        });
+        let plans = if mode == PlannerMode::Naive {
+            // The reference path never reads a cache; don't build them.
+            par_map_matrix(&pool, epoch_orders.len(), views.len(), |i, k| {
+                planner.plan(&views_ref[k], &orders[epoch[i].index()])
+            })
+        } else {
+            let caches: Vec<ScheduleCache> =
+                pool.par_map(views.len(), |k| planner.cache(&views_ref[k]));
+            let caches_ref = &caches;
+            par_map_matrix(&pool, epoch_orders.len(), views.len(), |i, k| {
+                planner.plan_cached(&caches_ref[k], &views_ref[k], &orders[epoch[i].index()])
+            })
+        };
         let decided = vec![false; epoch_orders.len()];
         let commits = (0..epoch_orders.len()).map(|_| None).collect();
         DecisionBatch {
@@ -195,6 +213,7 @@ impl<'a> DecisionBatch<'a> {
             orders,
             epoch_orders,
             pool,
+            mode,
             inner: RefCell::new(BatchInner {
                 states,
                 views,
@@ -419,15 +438,23 @@ impl<'a> DecisionBatch<'a> {
         views[k.index()] = state.view.clone();
         // The plan delta: only the accepting vehicle's column changes, and
         // only for the still-undecided orders — replanned in parallel, each
-        // result landing back in its own row.
-        let planner = RoutePlanner::new(batch.net, batch.fleet, batch.orders);
+        // result landing back in its own row, all sharing one fresh
+        // schedule cache for the vehicle's new route.
+        let planner = RoutePlanner::with_mode(batch.net, batch.fleet, batch.orders, batch.mode);
         let undecided: Vec<usize> = (0..plans.len()).filter(|&j| !decided[j]).collect();
         let view = &views[k.index()];
+        // The reference mode never reads a cache; don't build one.
+        let cache = (batch.mode != PlannerMode::Naive).then(|| planner.cache(view));
+        let cache_ref = cache.as_ref();
         let orders = batch.orders;
         let epoch = &batch.epoch_orders;
         let js = &undecided;
         let fresh = batch.pool.par_map(undecided.len(), |u| {
-            planner.plan(view, &orders[epoch[js[u]].index()])
+            let order = &orders[epoch[js[u]].index()];
+            match cache_ref {
+                Some(cache) => planner.plan_cached(cache, view, order),
+                None => planner.plan(view, order),
+            }
         });
         for (&j, plan) in undecided.iter().zip(fresh) {
             plans[j][k.index()] = plan;
@@ -504,6 +531,7 @@ mod tests {
             vec![OrderId(0), OrderId(1)],
             states,
             Arc::new(ThreadPool::serial()),
+            PlannerMode::default(),
         )
     }
 

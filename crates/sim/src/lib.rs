@@ -47,6 +47,7 @@ pub mod state;
 
 pub use batch::{Decision, DecisionBatch, DecisionReason};
 pub use dispatcher::{DispatchContext, Dispatcher, FirstFeasible, PerOrder};
+pub use dpdp_routing::PlannerMode;
 pub use metrics::{AssignmentRecord, EpisodeMetrics, EpisodeResult, MetricsOptions, VehicleStats};
 pub use observer::{DecisionRecord, EpochInfo, EventCounter, SimObserver};
 pub use simulator::{BufferingMode, SimBuildError, Simulator, SimulatorBuilder};

@@ -8,7 +8,7 @@ use crate::observer::{DecisionRecord, EpochInfo, SimObserver};
 use crate::state::VehicleState;
 use dpdp_net::{Instance, TimeDelta, TimePoint};
 use dpdp_pool::ThreadPool;
-use dpdp_routing::{PlannerOutput, RoutePlanner, VehicleView};
+use dpdp_routing::{PlannerMode, PlannerOutput, RoutePlanner, VehicleView};
 use std::sync::Arc;
 
 /// When dispatch decisions are made relative to order creation.
@@ -84,11 +84,13 @@ pub struct SimulatorBuilder<'a> {
     seed: u64,
     num_threads: usize,
     pool: Option<Arc<ThreadPool>>,
+    planner_mode: PlannerMode,
 }
 
 impl<'a> SimulatorBuilder<'a> {
     /// Starts from the defaults: immediate service, no horizon, full
-    /// metrics, seed 0, single-threaded scoring.
+    /// metrics, seed 0, single-threaded scoring, incremental insertion
+    /// evaluation.
     pub fn new(instance: &'a Instance) -> Self {
         SimulatorBuilder {
             instance,
@@ -98,6 +100,7 @@ impl<'a> SimulatorBuilder<'a> {
             seed: 0,
             num_threads: 1,
             pool: None,
+            planner_mode: PlannerMode::default(),
         }
     }
 
@@ -165,6 +168,19 @@ impl<'a> SimulatorBuilder<'a> {
         self
     }
 
+    /// Selects the insertion evaluator every Algorithm 2 sweep of this
+    /// simulator uses. The default [`PlannerMode::Incremental`] scores
+    /// candidates through the O(n²) prefix/suffix-cached evaluator;
+    /// [`PlannerMode::Naive`] forces the O(n³) enumerate-and-resimulate
+    /// reference. Both modes produce bit-identical episodes (the parity
+    /// suite in `tests/batch_parity.rs` asserts it for every built-in
+    /// policy), so this switch exists for parity testing and debugging,
+    /// not behaviour.
+    pub fn planner_mode(mut self, mode: PlannerMode) -> Self {
+        self.planner_mode = mode;
+        self
+    }
+
     /// Validates the configuration and builds the simulator.
     ///
     /// # Errors
@@ -191,6 +207,7 @@ impl<'a> SimulatorBuilder<'a> {
             metrics: self.metrics,
             seed: self.seed,
             pool,
+            planner_mode: self.planner_mode,
         })
     }
 }
@@ -262,6 +279,7 @@ pub struct Simulator<'a> {
     metrics: MetricsOptions,
     seed: u64,
     pool: Arc<ThreadPool>,
+    planner_mode: PlannerMode,
 }
 
 impl<'a> Simulator<'a> {
@@ -289,6 +307,12 @@ impl<'a> Simulator<'a> {
     /// [`SimulatorBuilder::num_threads`]).
     pub fn num_threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// The insertion evaluator in effect (see
+    /// [`SimulatorBuilder::planner_mode`]).
+    pub fn planner_mode(&self) -> PlannerMode {
+        self.planner_mode
     }
 
     /// The wall-clock time at which an order created at `created` is
@@ -400,6 +424,7 @@ impl<'a> Simulator<'a> {
                 epoch_orders.iter().map(|o| o.id).collect(),
                 states.clone(),
                 Arc::clone(&self.pool),
+                self.planner_mode,
             );
             sink.epoch(&EpochInfo {
                 index: epoch_index,
@@ -464,7 +489,7 @@ impl<'a> Simulator<'a> {
                 }
                 states = scratch_states;
             } else {
-                let planner = RoutePlanner::new(net, fleet, orders);
+                let planner = RoutePlanner::with_mode(net, fleet, orders, self.planner_mode);
                 for (order, decision) in epoch_orders.iter().zip(&decisions) {
                     assert_eq!(
                         decision.order,

@@ -14,7 +14,7 @@
 use dpdp_core::prelude::*;
 use dpdp_net::TimeDelta;
 use dpdp_rl::ActorCriticConfig;
-use dpdp_sim::{BufferingMode, EpisodeResult, PerOrder};
+use dpdp_sim::{BufferingMode, EpisodeResult, PerOrder, PlannerMode};
 
 fn presets() -> Presets {
     let mut cfg = DatasetConfig::default();
@@ -108,6 +108,76 @@ fn buffered_baseline1_actually_forms_multi_order_batches() {
         "expected at least one multi-order flush epoch, largest was {}",
         probe.0
     );
+}
+
+/// The incremental O(n²) insertion evaluator must reproduce the naive
+/// enumerate-and-resimulate reference **bit-identically** over whole
+/// episodes: for every policy of the lineup and every buffering mode, the
+/// full `EpisodeResult` — assignment log with per-pair winning routes and
+/// lengths included — matches between `PlannerMode::Incremental` (the
+/// default) and `PlannerMode::Naive`, at 1 thread and at the parallel
+/// width. This is the end-to-end form of the per-pair parity asserted in
+/// `crates/routing/tests/incremental_parity.rs`.
+#[test]
+fn incremental_planner_matches_naive_reference_end_to_end() {
+    let presets = presets();
+    let threads = parallel_threads();
+    let instance = presets.dataset().sampled_instance(0..3, 30, 8, 21);
+    let rl_instance = presets.dataset().sampled_instance(0..3, 20, 6, 9);
+    let run_mode = |instance: &Instance,
+                    buffering: BufferingMode,
+                    dispatcher: &mut dyn Dispatcher,
+                    mode: PlannerMode,
+                    num_threads: usize| {
+        Simulator::builder(instance)
+            .buffering(buffering)
+            .planner_mode(mode)
+            .num_threads(num_threads)
+            .build()
+            .expect("valid configuration")
+            .run(dispatcher)
+    };
+    for mode in modes() {
+        for &width in &[1usize, threads] {
+            type MakeDispatcher = fn() -> Box<dyn Dispatcher>;
+            let heuristics: [(&str, MakeDispatcher); 3] = [
+                ("Baseline1", || Box::new(Baseline1)),
+                ("Baseline2", || Box::new(Baseline2)),
+                ("Baseline3", || Box::<Baseline3>::default()),
+            ];
+            for (name, make) in heuristics {
+                let fast = run_mode(
+                    &instance,
+                    mode,
+                    &mut *make(),
+                    PlannerMode::Incremental,
+                    width,
+                );
+                let slow = run_mode(&instance, mode, &mut *make(), PlannerMode::Naive, width);
+                assert_eq!(
+                    fast, slow,
+                    "{name} diverged between incremental and naive planner \
+                     under {mode:?} at {width} thread(s)"
+                );
+            }
+        }
+        // One learned policy episode (seeded identically) for coverage of
+        // the RL joint-state path; width 1 keeps the suite fast.
+        let mut dqn_fast = models::dqn_agent(ModelKind::Dgn, presets.dataset(), 5);
+        let mut dqn_slow = models::dqn_agent(ModelKind::Dgn, presets.dataset(), 5);
+        let a = run_mode(
+            &rl_instance,
+            mode,
+            &mut dqn_fast,
+            PlannerMode::Incremental,
+            1,
+        );
+        let b = run_mode(&rl_instance, mode, &mut dqn_slow, PlannerMode::Naive, 1);
+        assert_eq!(
+            a, b,
+            "DQN diverged between incremental and naive planner under {mode:?}"
+        );
+    }
 }
 
 #[test]
