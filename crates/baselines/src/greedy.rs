@@ -9,6 +9,16 @@
 //! any thread count — the parity tests below and in `tests/batch_parity.rs`
 //! run both and compare `EpisodeResult`s — but does the scoring work once
 //! per epoch instead of once per order.
+//!
+//! Under region-sharded dispatch (`SimulatorBuilder::num_shards`) the plan
+//! matrix these policies read through `map_plans` is assembled as a merge
+//! of shard-local sweeps: cross-shard pairs that the exact geometric bound
+//! proves infeasible arrive as `best: None` without ever running the
+//! insertion sweep. Because a pruned pair is bit-identical to its full
+//! evaluation, the baselines consume per-shard candidate sets completely
+//! transparently — same argmins, same episodes, at a fraction of the
+//! scoring work (`tests/batch_parity.rs` asserts the shard-count
+//! invariance for all three).
 
 use dpdp_net::{Instance, VehicleId};
 use dpdp_routing::PlannerOutput;

@@ -2,6 +2,12 @@
 //! ST-DDGN / Baselines 1–3 on large-scale instances (50 vehicles, 150
 //! orders).
 //!
+//! Observer-based: every evaluation episode streams its counts (epochs,
+//! decisions, per-reason rejection breakdown) through `dpdp-core`'s
+//! [`dpdp_core::experiment::EvalProbe`] in one pass, with the
+//! simulator's per-order and per-vehicle logs switched off — no post-hoc
+//! `EpisodeResult` scraping.
+//!
 //! ```text
 //! cargo run -p dpdp-bench --release --bin fig6 [--quick] [--episodes N] [--instances N]
 //! ```
@@ -32,8 +38,18 @@ fn main() {
         let rows = evaluate_many_threads(model.dispatcher(), &eval_instances, cli.threads);
         if let Some(mean) = mean_row(&rows) {
             println!(
-                "  {:<10} NUV {:>5}  TC {:>10.1}  TTL {:>8.1} km  served {:>4}",
-                mean.algo, mean.nuv, mean.total_cost, mean.ttl, mean.served
+                "  {:<10} NUV {:>5}  TC {:>10.1}  TTL {:>8.1} km  served {:>4}  \
+                 rejected {:>3} (no-feasible {}, policy {}, commit {}, horizon {})",
+                mean.algo,
+                mean.nuv,
+                mean.total_cost,
+                mean.ttl,
+                mean.served,
+                mean.rejected,
+                mean.rejections.no_feasible_vehicle,
+                mean.rejections.policy_rejected,
+                mean.rejections.infeasible_choice,
+                mean.rejections.horizon_exceeded,
             );
             all_rows.push(mean);
         }

@@ -9,10 +9,12 @@
 //! Besides the printed table and `table1.csv`, the run is archived as
 //! machine-readable `target/experiments/BENCH_table1.json` (wall time per
 //! policy, thread count, epoch counts, plus `sweep_n8`/`sweep_n16` rows
-//! timing the naive vs incremental Algorithm 2 insertion sweep) so the perf
-//! trajectory across PRs is recorded; the CI bench-smoke job uploads it and
-//! fails on any panic, any non-finite metric, or an incremental sweep
-//! slower than the naive reference at n >= 8 stops.
+//! timing the naive vs incremental Algorithm 2 insertion sweep, plus
+//! `metro_k*` rows timing region-sharded dispatch at every `--shards`
+//! count) so the perf trajectory across PRs is recorded; the CI bench-smoke
+//! job uploads it and fails on any panic, any non-finite metric, an
+//! incremental sweep slower than the naive reference at n >= 8 stops, or a
+//! `shards=4` metro episode slower than `shards=1`.
 
 use dpdp_bench::{
     bench_json, build_and_train, check_finite, insertion_fixture, write_artifact, BenchRecord, Cli,
@@ -20,8 +22,10 @@ use dpdp_bench::{
 use dpdp_core::experiment::evaluate_pooled;
 use dpdp_core::models::ModelSpec;
 use dpdp_core::prelude::*;
+use dpdp_net::TimeDelta;
 use dpdp_rl::ModelKind;
 use dpdp_routing::{PlannerMode, RoutePlanner};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Best-of-`reps` wall time (seconds) of one call to `f`, each sample
@@ -88,6 +92,104 @@ fn sweep_walltime(records: &mut Vec<BenchRecord>) {
                  n = {n} stops ({:.3} us vs {:.3} us)",
                 wall_incremental * 1e6,
                 wall_naive * 1e6
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Region-sharded dispatch on the metro preset: one Baseline-1 episode per
+/// `--shards` count (industry-scale fleet of 256 ≥ the gate's 32-vehicle
+/// floor, 10-minute buffered epochs so the `B x K` sweep dominates),
+/// interleaved best-of-`reps` to defeat load drift, metrics asserted
+/// bit-identical across shard counts, wall times archived.
+///
+/// This is the CI perf gate for the partition → score → merge pipeline:
+/// the run exits with status 1 if metrics diverge between shard counts, or
+/// if `shards=4` is slower than `shards=1` (when both were requested).
+fn metro_shard_walltime(
+    records: &mut Vec<BenchRecord>,
+    cli: &Cli,
+    pool: &Arc<dpdp_pool::ThreadPool>,
+) {
+    const FLEET: usize = 256;
+    const ORDERS: usize = 1600;
+    const REPS: usize = 5;
+    println!("\n== region-sharded dispatch: metro preset, {FLEET} vehicles ==");
+    println!(
+        "{:<14} {:>8} {:>12} {:>14}",
+        "shards", "NUV", "TC", "wall(ms)"
+    );
+    let metro = Presets::metro(cli.seed);
+    let instance = metro.metro_instance(ORDERS, FLEET, 1);
+    let mut walls: Vec<f64> = vec![f64::INFINITY; cli.shards.len()];
+    let mut results: Vec<Option<EpisodeResult>> = vec![None; cli.shards.len()];
+    for _ in 0..REPS {
+        // Interleave the shard counts inside each rep so slow drift in
+        // machine load cannot bias one configuration.
+        for (slot, &shards) in cli.shards.iter().enumerate() {
+            let sim = Simulator::builder(&instance)
+                .buffering(BufferingMode::FixedInterval(TimeDelta::from_minutes(10.0)))
+                .num_shards(shards)
+                .thread_pool(Arc::clone(pool))
+                .build()
+                .expect("valid metro configuration");
+            let mut b1 = Baseline1;
+            let start = Instant::now();
+            let result = sim.run(&mut b1);
+            walls[slot] = walls[slot].min(start.elapsed().as_secs_f64());
+            match &results[slot] {
+                None => results[slot] = Some(result),
+                Some(prev) => assert_eq!(
+                    *prev, result,
+                    "episode diverged across repetitions at {shards} shards"
+                ),
+            }
+        }
+    }
+    for ((&shards, &wall), result) in cli.shards.iter().zip(&walls).zip(&results) {
+        let result = result.as_ref().expect("at least one rep ran");
+        if let Some(reference) = &results[0] {
+            if *result != *reference {
+                eprintln!(
+                    "error: metro episode at shards={shards} diverged from shards={}",
+                    cli.shards[0]
+                );
+                std::process::exit(1);
+            }
+        }
+        let record = BenchRecord {
+            instance: format!("metro_k{FLEET}_b10"),
+            algo: format!("shards{shards}"),
+            nuv: result.metrics.nuv,
+            total_cost: result.metrics.total_cost,
+            wall_secs: wall,
+            epochs: 0,
+        };
+        check_finite(&record);
+        println!(
+            "{:<14} {:>8} {:>12.1} {:>14.3}",
+            format!("shards{shards}"),
+            result.metrics.nuv,
+            result.metrics.total_cost,
+            wall * 1e3
+        );
+        records.push(record);
+    }
+    let wall_of = |count: usize| {
+        cli.shards
+            .iter()
+            .position(|&s| s == count)
+            .map(|slot| walls[slot])
+    };
+    if let (Some(w1), Some(w4)) = (wall_of(1), wall_of(4)) {
+        if w4 > w1 {
+            eprintln!(
+                "error: sharded dispatch slower than the flat scan on the metro \
+                 preset at {FLEET} vehicles ({:.3} ms at shards=4 vs {:.3} ms at \
+                 shards=1)",
+                w4 * 1e3,
+                w1 * 1e3
             );
             std::process::exit(1);
         }
@@ -177,6 +279,9 @@ fn main() {
     // Insertion-sweep wall times ride along in the same artifact (and gate
     // the incremental evaluator against the naive reference).
     sweep_walltime(&mut records);
+    // Region-sharded dispatch wall times per `--shards` count (and the
+    // shards=4 vs shards=1 gate on the metro preset).
+    metro_shard_walltime(&mut records, &cli, &pool);
 
     if let Some(path) = write_artifact("table1.csv", &csv) {
         println!("\nwrote {}", path.display());

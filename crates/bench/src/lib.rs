@@ -14,7 +14,7 @@ use dpdp_rl::{EpisodePoint, TrainerConfig};
 use std::path::PathBuf;
 
 /// Minimal CLI: `--episodes N`, `--instances N`, `--quick` (smaller
-/// dataset), `--seed N`, `--threads N`.
+/// dataset), `--seed N`, `--threads N`, `--shards LIST`.
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Training episodes for learned models.
@@ -28,6 +28,10 @@ pub struct Cli {
     /// Scoring pool width for evaluation episodes (1 = serial; results are
     /// identical for every width, only wall time moves).
     pub threads: usize,
+    /// Shard counts the shard-sweep measurements run at (comma-separated
+    /// `--shards 1,4`; results are identical for every count, only wall
+    /// time moves). Consumed by `table1`'s metro shard sweep.
+    pub shards: Vec<usize>,
 }
 
 /// Why a command line was rejected (see [`Cli::parse_from`]).
@@ -70,6 +74,8 @@ options:
   --instances N   number of evaluation instances
   --seed N        master seed
   --threads N     scoring pool width (1 = serial; results are identical)
+  --shards LIST   comma-separated shard counts for the shard sweep
+                  (e.g. 1,4; results are identical, only wall time moves)
   --quick         use the reduced-volume dataset
   -h, --help      print this help";
 
@@ -111,6 +117,7 @@ impl Cli {
             quick: false,
             seed: 7,
             threads: 1,
+            shards: vec![1],
         };
         fn numeric<T: std::str::FromStr>(
             flag: &'static str,
@@ -144,6 +151,23 @@ impl Cli {
                             flag: "--threads",
                             value: "0".to_string(),
                         });
+                    }
+                    i += 1;
+                }
+                "--shards" => {
+                    let value = args.get(i + 1).ok_or(CliError::MissingValue("--shards"))?;
+                    let parsed: Result<Vec<usize>, _> =
+                        value.split(',').map(str::parse::<usize>).collect();
+                    match parsed {
+                        Ok(list) if !list.is_empty() && list.iter().all(|&s| s >= 1) => {
+                            cli.shards = list;
+                        }
+                        _ => {
+                            return Err(CliError::InvalidValue {
+                                flag: "--shards",
+                                value: value.clone(),
+                            })
+                        }
                     }
                     i += 1;
                 }
@@ -333,11 +357,13 @@ pub fn bench_json(bench: &str, cli: &Cli, records: &[BenchRecord]) -> String {
             )
         })
         .collect();
+    let shards: Vec<String> = cli.shards.iter().map(|s| s.to_string()).collect();
     format!(
-        "{{\n  \"bench\": \"{}\",\n  \"threads\": {},\n  \"episodes\": {},\n  \
-         \"seed\": {},\n  \"quick\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"{}\",\n  \"threads\": {},\n  \"shards\": [{}],\n  \
+         \"episodes\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         esc(bench),
         cli.threads,
+        shards.join(", "),
         cli.episodes,
         cli.seed,
         cli.quick,
@@ -475,6 +501,29 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn cli_parses_shard_lists() {
+        let cli = Cli::parse_from(&argv(&["--shards", "1,4,8"]), 60, 3).unwrap();
+        assert_eq!(cli.shards, vec![1, 4, 8]);
+        let cli = Cli::parse_from(&[], 60, 3).unwrap();
+        assert_eq!(cli.shards, vec![1]);
+        for bad in ["", "0", "1,x", "1,,4"] {
+            let err = Cli::parse_from(&argv(&["--shards", bad]), 60, 3).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CliError::InvalidValue {
+                        flag: "--shards",
+                        ..
+                    }
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+        let err = Cli::parse_from(&argv(&["--shards"]), 60, 3).unwrap_err();
+        assert_eq!(err, CliError::MissingValue("--shards"));
     }
 
     #[test]

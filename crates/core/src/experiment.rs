@@ -1,8 +1,17 @@
 //! Timed evaluation of dispatchers on instances.
+//!
+//! Evaluation is **observer-based**: one [`EvalProbe`] streams every count
+//! an [`EvalRow`] needs straight from the episode's epoch/decision events,
+//! and the simulator runs with the per-order and per-vehicle logs switched
+//! off — one pass, no post-hoc scraping of materialized `EpisodeResult`
+//! vectors (only the end-of-episode aggregates, which the simulator always
+//! computes, are read at the end).
 
 use dpdp_net::Instance;
 use dpdp_pool::ThreadPool;
-use dpdp_sim::{Dispatcher, EventCounter, Simulator};
+use dpdp_sim::{
+    DecisionRecord, Dispatcher, EpochInfo, MetricsOptions, RejectionCounts, SimObserver, Simulator,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -22,11 +31,44 @@ pub struct EvalRow {
     pub served: usize,
     /// Orders rejected.
     pub rejected: usize,
+    /// Rejections broken down by decision reason (streamed by the
+    /// evaluation probe; `rejections.total() == rejected`).
+    pub rejections: RejectionCounts,
     /// Wall-clock seconds for the whole episode (all dispatch decisions
     /// plus simulation bookkeeping) — the analogue of Table I's wall time.
     pub wall_secs: f64,
     /// Decision epochs the episode went through (batched dispatch calls).
     pub epochs: usize,
+}
+
+/// Streaming evaluation observer: accumulates epoch and decision counts —
+/// including the per-reason rejection breakdown — from the episode's event
+/// stream, so evaluation needs no materialized assignment log.
+#[derive(Debug, Default, Clone)]
+pub struct EvalProbe {
+    /// Decision epochs (batched dispatch calls) seen.
+    pub epochs: usize,
+    /// Orders assigned.
+    pub served: usize,
+    /// Orders rejected.
+    pub rejected: usize,
+    /// Rejections by reason.
+    pub rejections: RejectionCounts,
+}
+
+impl SimObserver for EvalProbe {
+    fn on_epoch(&mut self, _epoch: &EpochInfo) {
+        self.epochs += 1;
+    }
+
+    fn on_decision(&mut self, record: &DecisionRecord<'_>) {
+        if record.decision.is_assigned() {
+            self.served += 1;
+        } else {
+            self.rejected += 1;
+            self.rejections.record(record.decision.reason);
+        }
+    }
 }
 
 /// Runs one episode single-threaded and times it.
@@ -50,30 +92,38 @@ pub fn evaluate_threads(
 }
 
 /// Runs one episode on a caller-owned pool (reused across episodes so the
-/// workers outlive each one) and times it.
+/// workers outlive each one) and times it. Counts stream through an
+/// [`EvalProbe`] and the per-order/per-vehicle logs are never materialized.
 pub fn evaluate_pooled(
     dispatcher: &mut dyn Dispatcher,
     instance: &Instance,
     pool: &Arc<ThreadPool>,
 ) -> EvalRow {
-    let mut counter = EventCounter::default();
+    let mut probe = EvalProbe::default();
     let start = Instant::now();
     let result = Simulator::builder(instance)
         .thread_pool(Arc::clone(pool))
+        .metrics(MetricsOptions {
+            record_assignments: false,
+            record_vehicle_stats: false,
+        })
         .build()
         .unwrap()
-        .run_observed(dispatcher, &mut [&mut counter]);
+        .run_observed(dispatcher, &mut [&mut probe]);
     let wall_secs = start.elapsed().as_secs_f64();
     let m = result.metrics;
+    debug_assert_eq!(m.served, probe.served, "probe diverged from aggregates");
+    debug_assert_eq!(m.rejections, probe.rejections);
     EvalRow {
         algo: dispatcher.name().to_string(),
         nuv: m.nuv,
         total_cost: m.total_cost,
         ttl: m.ttl,
-        served: m.served,
-        rejected: m.rejected,
+        served: probe.served,
+        rejected: probe.rejected,
+        rejections: probe.rejections,
         wall_secs,
-        epochs: counter.epochs,
+        epochs: probe.epochs,
     }
 }
 
@@ -102,18 +152,31 @@ pub fn evaluate_many_threads(
 
 /// Averages rows (same algorithm, many instances) into a summary row; wall
 /// time and epoch counts are summed (totals), the other metrics are means.
+/// The rejection breakdown is averaged per reason (floor division) and the
+/// summary's `rejected` is its total, so `rejections.total() == rejected`
+/// holds on the mean row just as on per-instance rows.
 pub fn mean_row(rows: &[EvalRow]) -> Option<EvalRow> {
     if rows.is_empty() {
         return None;
     }
     let n = rows.len() as f64;
+    let mean_count = |field: fn(&RejectionCounts) -> usize| {
+        rows.iter().map(|r| field(&r.rejections)).sum::<usize>() / rows.len()
+    };
+    let rejections = RejectionCounts {
+        no_feasible_vehicle: mean_count(|r| r.no_feasible_vehicle),
+        policy_rejected: mean_count(|r| r.policy_rejected),
+        infeasible_choice: mean_count(|r| r.infeasible_choice),
+        horizon_exceeded: mean_count(|r| r.horizon_exceeded),
+    };
     Some(EvalRow {
         algo: rows[0].algo.clone(),
         nuv: (rows.iter().map(|r| r.nuv).sum::<usize>() as f64 / n).round() as usize,
         total_cost: rows.iter().map(|r| r.total_cost).sum::<f64>() / n,
         ttl: rows.iter().map(|r| r.ttl).sum::<f64>() / n,
         served: rows.iter().map(|r| r.served).sum::<usize>() / rows.len(),
-        rejected: rows.iter().map(|r| r.rejected).sum::<usize>() / rows.len(),
+        rejected: rejections.total(),
+        rejections,
         wall_secs: rows.iter().map(|r| r.wall_secs).sum::<f64>(),
         epochs: rows.iter().map(|r| r.epochs).sum::<usize>(),
     })
@@ -240,6 +303,7 @@ mod tests {
                 ttl: 10.0,
                 served: 5,
                 rejected: 0,
+                rejections: RejectionCounts::default(),
                 wall_secs: 0.5,
                 epochs: 5,
             },
@@ -249,7 +313,11 @@ mod tests {
                 total_cost: 200.0,
                 ttl: 30.0,
                 served: 5,
-                rejected: 0,
+                rejected: 2,
+                rejections: RejectionCounts {
+                    no_feasible_vehicle: 2,
+                    ..RejectionCounts::default()
+                },
                 wall_secs: 0.5,
                 epochs: 5,
             },
@@ -259,6 +327,17 @@ mod tests {
         assert!((m.total_cost - 150.0).abs() < 1e-12);
         assert!((m.ttl - 20.0).abs() < 1e-12);
         assert!((m.wall_secs - 1.0).abs() < 1e-12);
+        assert_eq!(m.rejections.no_feasible_vehicle, 1);
+        assert_eq!(m.rejected, m.rejections.total());
         assert!(mean_row(&[]).is_none());
+    }
+
+    #[test]
+    fn evaluate_streams_rejection_breakdown() {
+        let p = Presets::quick();
+        let inst = p.tiny_instance(6, 7);
+        let row = evaluate(&mut *models::baseline1(), &inst);
+        assert_eq!(row.rejections.total(), row.rejected);
+        assert_eq!(row.served + row.rejected, 6);
     }
 }

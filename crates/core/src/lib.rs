@@ -59,21 +59,26 @@
 pub mod experiment;
 pub mod models;
 pub mod presets;
+pub mod probes;
 pub mod report;
 
 pub use experiment::{
-    evaluate, evaluate_many, evaluate_many_threads, evaluate_pooled, evaluate_threads, EvalRow,
+    evaluate, evaluate_many, evaluate_many_threads, evaluate_pooled, evaluate_threads, EvalProbe,
+    EvalRow,
 };
 pub use models::ModelSpec;
 pub use presets::Presets;
+pub use probes::DemandRecorder;
 
 /// Commonly used re-exports for downstream binaries and examples.
 pub mod prelude {
     pub use crate::experiment::{
-        evaluate, evaluate_many, evaluate_many_threads, evaluate_pooled, evaluate_threads, EvalRow,
+        evaluate, evaluate_many, evaluate_many_threads, evaluate_pooled, evaluate_threads,
+        EvalProbe, EvalRow,
     };
     pub use crate::models::{self, ModelSpec};
     pub use crate::presets::Presets;
+    pub use crate::probes::DemandRecorder;
     pub use crate::report;
     pub use dpdp_baselines::{Baseline1, Baseline2, Baseline3, ExactSolver};
     pub use dpdp_data::{Dataset, DatasetConfig, StScorer, StdMatrix};

@@ -1,7 +1,8 @@
-//! Instance presets matching the three scales of the paper's evaluation.
+//! Instance presets matching the three scales of the paper's evaluation,
+//! plus the metro multi-cluster scenario for region-sharded dispatch.
 
 use dpdp_data::{Dataset, DatasetConfig, StdMatrix};
-use dpdp_net::Instance;
+use dpdp_net::{Instance, TimeDelta};
 
 /// Builds the paper's instance families from one shared synthetic dataset.
 ///
@@ -9,7 +10,11 @@ use dpdp_net::Instance;
 /// * **large** — 50 vehicles serving 150 orders, sampled from the train-day
 ///   pool (Fig. 6, 8, 9, 10);
 /// * **industry** — a full generated test day with 150 vehicles and 600+
-///   orders (Fig. 7).
+///   orders (Fig. 7);
+/// * **metro** ([`Presets::metro`]) — a city-scale multi-hotspot scenario
+///   with distinct per-hotspot order-rate profiles, region-local demand
+///   and deadlines tight enough that cross-region service is usually
+///   hopeless — the workload `SimulatorBuilder::num_shards` is built for.
 #[derive(Debug, Clone)]
 pub struct Presets {
     dataset: Dataset,
@@ -38,6 +43,38 @@ impl Presets {
         Presets {
             dataset: Dataset::new(cfg),
         }
+    }
+
+    /// The metro scenario: four spatial hotspots on a 100 km city, one
+    /// depot and seven factories per hotspot, staggered per-hotspot demand
+    /// peaks, 85% of deliveries staying in their pickup's hotspot, and
+    /// 40–90 minute deadline slack — at 40 km/h the ≥ 60 road-km between
+    /// hotspots exceeds even the loosest deadline, so nearly every
+    /// cross-region `(order, vehicle)` pair is provably infeasible: the
+    /// workload the region-sharded dispatch pipeline prunes.
+    pub fn metro(seed: u64) -> Self {
+        let mut cfg = DatasetConfig::default();
+        cfg.campus.num_depots = 4;
+        cfg.campus.num_factories = 28;
+        cfg.campus.area_km = 100.0;
+        cfg.campus.hotspots = 4;
+        cfg.campus.hotspot_spread_km = 1.5;
+        cfg.campus.seed = seed ^ 0x6D65_7472; // "metr"
+        cfg.generator.orders_per_day = 400;
+        cfg.generator.min_slack = TimeDelta::from_minutes(40.0);
+        cfg.generator.max_slack = TimeDelta::from_minutes(90.0);
+        cfg.generator.intra_cluster_bias = 0.85;
+        cfg.generator.seed = seed;
+        Presets::with_config(cfg)
+    }
+
+    /// A metro-scale instance: `num_orders` orders sampled from the train
+    /// pool over `num_vehicles` vehicles (round-robin across the four
+    /// hotspot depots). Use with [`Presets::metro`].
+    pub fn metro_instance(&self, num_orders: usize, num_vehicles: usize, seed: u64) -> Instance {
+        let days = self.dataset.config().train_days.clone();
+        self.dataset
+            .sampled_instance(days.start..days.start + 5, num_orders, num_vehicles, seed)
     }
 
     /// The underlying dataset.
@@ -131,6 +168,19 @@ mod tests {
         assert!(m.total() > 0.0);
         let t = p.test_prediction(0, 4);
         assert!(t.total() > 0.0);
+    }
+
+    #[test]
+    fn metro_instance_is_cluster_local_and_shardable() {
+        let p = Presets::metro(7);
+        let inst = p.metro_instance(120, 32, 1);
+        assert_eq!(inst.num_orders(), 120);
+        assert_eq!(inst.num_vehicles(), 32);
+        assert!(inst.network.is_metric(), "sharding needs the metric bound");
+        // Vehicles spread across all four hotspot depots.
+        let depots: std::collections::BTreeSet<_> =
+            inst.fleet.vehicles.iter().map(|v| v.depot).collect();
+        assert_eq!(depots.len(), 4);
     }
 
     #[test]

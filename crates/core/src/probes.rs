@@ -1,0 +1,106 @@
+//! Streaming simulation probes: [`SimObserver`]s that accumulate
+//! experiment statistics directly from the episode event stream.
+//!
+//! These are the building blocks of the observer-based experiment
+//! pipeline: instead of materializing a full `EpisodeResult` log and
+//! scraping it afterwards, a probe rides along the simulation and owns its
+//! aggregate when the episode ends — one pass, no intermediate vectors.
+//! (The evaluation-row probe lives in [`crate::experiment::EvalProbe`];
+//! `dpdp-rl`'s capacity recorder follows the same pattern.)
+
+use dpdp_data::{FactoryIndex, StdMatrix};
+use dpdp_net::Instance;
+use dpdp_sim::{DecisionRecord, SimObserver};
+
+/// Streams the spatial-temporal demand distribution (the paper's STD
+/// matrix: pickup factory × decision interval) from an episode's decision
+/// stream.
+///
+/// Every order produces exactly one decision record — assigned or rejected
+/// — carrying its decision-interval index, so the accumulated matrix adds
+/// each order's quantity once (the STD matrix is quantity-weighted, like
+/// [`StdMatrix::from_orders`]). Under immediate service the decision
+/// interval equals the creation interval, making the result bit-identical
+/// to `from_orders` over the instance's order table (asserted in this
+/// module's tests); under buffering it shifts demand onto flush instants,
+/// i.e. the demand the *dispatch layer* actually experiences.
+#[derive(Debug, Clone)]
+pub struct DemandRecorder {
+    index: FactoryIndex,
+    num_intervals: usize,
+    /// Pickup node and quantity per order id, captured at episode begin.
+    orders: Vec<(dpdp_net::NodeId, f64)>,
+    matrix: StdMatrix,
+}
+
+impl DemandRecorder {
+    /// A recorder over the given factory row mapping and interval count.
+    pub fn new(index: FactoryIndex, num_intervals: usize) -> Self {
+        let n = index.num_factories();
+        DemandRecorder {
+            index,
+            num_intervals,
+            orders: Vec::new(),
+            matrix: StdMatrix::zeros(n, num_intervals),
+        }
+    }
+
+    /// The accumulated demand matrix (reset at every episode begin).
+    pub fn matrix(&self) -> &StdMatrix {
+        &self.matrix
+    }
+
+    /// Consumes the recorder, returning the accumulated matrix.
+    pub fn into_matrix(self) -> StdMatrix {
+        self.matrix
+    }
+}
+
+impl SimObserver for DemandRecorder {
+    fn on_episode_begin(&mut self, instance: &Instance) {
+        self.orders = instance
+            .orders()
+            .iter()
+            .map(|o| (o.pickup, o.quantity))
+            .collect();
+        self.matrix = StdMatrix::zeros(self.index.num_factories(), self.num_intervals);
+    }
+
+    fn on_decision(&mut self, record: &DecisionRecord<'_>) {
+        let order = record.decision.order;
+        let Some(&(pickup, quantity)) = self.orders.get(order.index()) else {
+            return;
+        };
+        let Some(row) = self.index.row(pickup) else {
+            return;
+        };
+        let col = record.assignment.interval.min(self.num_intervals - 1);
+        *self.matrix.get_mut(row, col) += quantity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Presets;
+    use dpdp_sim::{FirstFeasible, MetricsOptions, Simulator};
+
+    #[test]
+    fn streamed_demand_matches_from_orders_under_immediate_service() {
+        let p = Presets::quick();
+        let ds = p.dataset();
+        let inst = ds.day_instance(2, 8);
+        let mut recorder = DemandRecorder::new(ds.factory_index(), ds.grid().num_intervals());
+        Simulator::builder(&inst)
+            .metrics(MetricsOptions {
+                record_assignments: false,
+                record_vehicle_stats: false,
+            })
+            .build()
+            .unwrap()
+            .run_observed(&mut FirstFeasible, &mut [&mut recorder]);
+        let direct = StdMatrix::from_orders(inst.orders(), &ds.grid(), &ds.factory_index());
+        assert_eq!(recorder.matrix().data(), direct.data());
+        assert!(recorder.matrix().total() > 0.0);
+    }
+}

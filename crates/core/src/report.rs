@@ -21,13 +21,27 @@ pub fn render_table(title: &str, rows: &[EvalRow]) -> String {
     out
 }
 
-/// Renders evaluation rows as CSV with a header.
+/// Renders evaluation rows as CSV with a header (the `rej_*` columns are
+/// the per-reason rejection breakdown streamed by the evaluation probe).
 pub fn rows_to_csv(rows: &[EvalRow]) -> String {
-    let mut out = String::from("algo,nuv,total_cost,ttl_km,served,rejected,wall_secs\n");
+    let mut out = String::from(
+        "algo,nuv,total_cost,ttl_km,served,rejected,\
+         rej_no_feasible,rej_policy,rej_infeasible_choice,rej_horizon,wall_secs\n",
+    );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{:.3},{:.3},{},{},{:.6}\n",
-            r.algo, r.nuv, r.total_cost, r.ttl, r.served, r.rejected, r.wall_secs
+            "{},{},{:.3},{:.3},{},{},{},{},{},{},{:.6}\n",
+            r.algo,
+            r.nuv,
+            r.total_cost,
+            r.ttl,
+            r.served,
+            r.rejected,
+            r.rejections.no_feasible_vehicle,
+            r.rejections.policy_rejected,
+            r.rejections.infeasible_choice,
+            r.rejections.horizon_exceeded,
+            r.wall_secs
         ));
     }
     out
@@ -77,6 +91,7 @@ mod tests {
             ttl: 1540.25,
             served: 150,
             rejected: 0,
+            rejections: dpdp_sim::RejectionCounts::default(),
             wall_secs: 0.42,
             epochs: 150,
         }

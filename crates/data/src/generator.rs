@@ -44,6 +44,13 @@ pub struct DemandProfile {
     pub factory_weights: Vec<f64>,
     /// Unnormalised intensity per hour of day (24 entries). Two-peak shape.
     pub hourly_weights: [f64; 24],
+    /// Optional per-factory hourly profiles (same row order as
+    /// `factory_weights`). When non-empty, an order's creation hour is
+    /// drawn from its pickup factory's own curve instead of the global
+    /// `hourly_weights` — this is how metro hotspots get *distinct*
+    /// order-rate profiles (staggered peaks per cluster). Empty = legacy
+    /// single-profile behaviour.
+    pub factory_hours: Vec<[f64; 24]>,
 }
 
 impl DemandProfile {
@@ -76,6 +83,43 @@ impl DemandProfile {
         DemandProfile {
             factory_weights,
             hourly_weights,
+            factory_hours: Vec::new(),
+        }
+    }
+
+    /// Builds a metro-style profile: the paper-like heavy-tailed factory
+    /// weights, plus a **distinct hourly curve per hotspot** — cluster `c`'s
+    /// working-day peaks shift by `c` hours (cluster 0 peaks 10–12 a.m.,
+    /// cluster 1 at 11–1, …), so demand rolls across the city's regions
+    /// over the day instead of spiking everywhere at once.
+    ///
+    /// `clusters` maps each factory row to its hotspot (see
+    /// [`Campus::factory_cluster`](crate::campus::Campus::factory_cluster)).
+    ///
+    /// # Panics
+    /// Panics if `clusters.len() != num_factories`.
+    pub fn metro_like(num_factories: usize, clusters: &[usize], seed: u64) -> Self {
+        assert_eq!(
+            clusters.len(),
+            num_factories,
+            "cluster labels must cover every factory"
+        );
+        let base = Self::paper_like(num_factories, seed);
+        let factory_hours = clusters
+            .iter()
+            .map(|&c| {
+                let mut hours = [0.0f64; 24];
+                for (h, w) in hours.iter_mut().enumerate() {
+                    // Shift the base curve back by `c` hours (wrapping), so
+                    // cluster c's peaks land `c` hours later in the day.
+                    *w = base.hourly_weights[(h + 24 - (c % 24)) % 24];
+                }
+                hours
+            })
+            .collect();
+        DemandProfile {
+            factory_hours,
+            ..base
         }
     }
 
@@ -118,6 +162,11 @@ pub struct OrderGeneratorConfig {
     pub max_slack: TimeDelta,
     /// AR(1) day-to-day drift magnitude (0 disables drift).
     pub day_drift: f64,
+    /// Probability that an order's delivery factory is drawn from the
+    /// pickup's own hotspot (requires a clustered campus; 0 = legacy
+    /// uniform cross-factory flow). High values make demand mostly
+    /// region-local — the regime where sharded dispatch pays off.
+    pub intra_cluster_bias: f64,
     /// Master seed; combined with the day number for per-day streams.
     pub seed: u64,
 }
@@ -132,6 +181,7 @@ impl Default for OrderGeneratorConfig {
             min_slack: TimeDelta::from_hours(2.0),
             max_slack: TimeDelta::from_hours(6.0),
             day_drift: 0.08,
+            intra_cluster_bias: 0.0,
             seed: 7,
         }
     }
@@ -143,17 +193,40 @@ pub struct OrderGenerator {
     profile: DemandProfile,
     config: OrderGeneratorConfig,
     factories: Vec<NodeId>,
+    /// Hotspot label per factory row; empty on unclustered campuses.
+    clusters: Vec<usize>,
+    /// Factory rows per hotspot, ascending (precomputed for the biased
+    /// delivery draw); empty on unclustered campuses.
+    cluster_rows: Vec<Vec<usize>>,
+    /// Each factory row's position within its hotspot's `cluster_rows`
+    /// list; empty on unclustered campuses.
+    cluster_pos: Vec<usize>,
+}
+
+/// Groups factory rows by hotspot and records each row's position within
+/// its group.
+fn cluster_lookup(clusters: &[usize]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let num_clusters = clusters.iter().map(|&c| c + 1).max().unwrap_or(0);
+    let mut rows = vec![Vec::new(); num_clusters];
+    let mut pos = Vec::with_capacity(clusters.len());
+    for (row, &c) in clusters.iter().enumerate() {
+        pos.push(rows[c].len());
+        rows[c].push(row);
+    }
+    (rows, pos)
 }
 
 impl OrderGenerator {
-    /// Creates a generator for the campus with a paper-like profile.
+    /// Creates a generator for the campus: the paper-like profile on a
+    /// uniform campus, the metro profile (per-hotspot hourly curves) when
+    /// the campus was generated with hotspot clustering.
     pub fn new(campus: &Campus, config: OrderGeneratorConfig) -> Self {
-        let profile = DemandProfile::paper_like(campus.num_factories(), config.seed);
-        OrderGenerator {
-            profile,
-            config,
-            factories: campus.factories.clone(),
-        }
+        let profile = if campus.factory_cluster.is_empty() {
+            DemandProfile::paper_like(campus.num_factories(), config.seed)
+        } else {
+            DemandProfile::metro_like(campus.num_factories(), &campus.factory_cluster, config.seed)
+        };
+        Self::with_profile(campus, profile, config)
     }
 
     /// Creates a generator with an explicit profile.
@@ -167,10 +240,14 @@ impl OrderGenerator {
             campus.num_factories(),
             "profile must cover every campus factory"
         );
+        let (cluster_rows, cluster_pos) = cluster_lookup(&campus.factory_cluster);
         OrderGenerator {
             profile,
             config,
             factories: campus.factories.clone(),
+            clusters: campus.factory_cluster.clone(),
+            cluster_rows,
+            cluster_pos,
         }
     }
 
@@ -192,13 +269,27 @@ impl OrderGenerator {
         let mut orders = Vec::with_capacity(count);
         for i in 0..count {
             let pickup_row = sample_weighted(&mut rng, &weights);
-            // Delivery factory: uniform over the others (cross-factory flow).
-            let mut delivery_row = rng.random_range(0..self.factories.len() - 1);
-            if delivery_row >= pickup_row {
-                delivery_row += 1;
-            }
-            // Creation time: sample an hour by weight, then uniform within.
-            let hour = sample_weighted(&mut rng, &self.profile.hourly_weights);
+            // Delivery factory: biased toward the pickup's own hotspot on
+            // clustered campuses, uniform over the others otherwise. The
+            // extra RNG draw only happens when the bias is active, so
+            // legacy configurations keep their exact order streams.
+            let delivery_row = if cfg.intra_cluster_bias > 0.0
+                && !self.clusters.is_empty()
+                && rng.random_range(0.0..1.0) < cfg.intra_cluster_bias
+            {
+                self.sample_same_cluster(&mut rng, pickup_row)
+            } else {
+                self.sample_other_factory(&mut rng, pickup_row)
+            };
+            // Creation time: sample an hour by weight — the pickup
+            // factory's own curve when per-hotspot profiles are active —
+            // then uniform within the hour.
+            let hours = self
+                .profile
+                .factory_hours
+                .get(pickup_row)
+                .unwrap_or(&self.profile.hourly_weights);
+            let hour = sample_weighted(&mut rng, hours);
             let created = TimePoint::from_hours(hour as f64 + rng.random_range(0.0..1.0));
             // Quantity: log-normal with mean quantity_mean, capped.
             let mu = cfg.quantity_mean.ln() - cfg.quantity_sigma * cfg.quantity_sigma / 2.0;
@@ -233,6 +324,32 @@ impl OrderGenerator {
     /// Generates a range of days.
     pub fn generate_days(&self, days: std::ops::Range<u64>) -> Vec<Vec<Order>> {
         days.map(|d| self.generate_day(d)).collect()
+    }
+
+    /// Uniform delivery factory over everything except the pickup (one
+    /// draw over `n - 1` rows, skipping the pickup's slot).
+    fn sample_other_factory(&self, rng: &mut StdRng, pickup_row: usize) -> usize {
+        let mut row = rng.random_range(0..self.factories.len() - 1);
+        if row >= pickup_row {
+            row += 1;
+        }
+        row
+    }
+
+    /// Uniform delivery factory from the pickup's own hotspot (excluding
+    /// the pickup itself); falls back to the global uniform rule when the
+    /// hotspot has no other factory. One draw either way, over the
+    /// precomputed per-hotspot row lists.
+    fn sample_same_cluster(&self, rng: &mut StdRng, pickup_row: usize) -> usize {
+        let mates = &self.cluster_rows[self.clusters[pickup_row]];
+        if mates.len() <= 1 {
+            return self.sample_other_factory(rng, pickup_row);
+        }
+        let mut idx = rng.random_range(0..mates.len() - 1);
+        if idx >= self.cluster_pos[pickup_row] {
+            idx += 1;
+        }
+        mates[idx]
     }
 }
 
@@ -331,6 +448,89 @@ mod tests {
                 .sqrt()
         };
         assert!(dist(&d0, &d1) < dist(&d0, &d9) * 2.0);
+    }
+
+    fn metro_campus() -> Campus {
+        Campus::generate(&CampusConfig {
+            num_depots: 4,
+            num_factories: 28,
+            area_km: 60.0,
+            hotspots: 4,
+            hotspot_spread_km: 1.5,
+            ..CampusConfig::default()
+        })
+    }
+
+    #[test]
+    fn intra_cluster_bias_keeps_deliveries_local() {
+        let c = metro_campus();
+        let cfg = OrderGeneratorConfig {
+            intra_cluster_bias: 0.9,
+            ..OrderGeneratorConfig::default()
+        };
+        let g = OrderGenerator::new(&c, cfg);
+        let orders = g.generate_day(0);
+        let cluster_of = |node: NodeId| {
+            let row = c.factories.iter().position(|f| *f == node).unwrap();
+            c.factory_cluster[row]
+        };
+        let local = orders
+            .iter()
+            .filter(|o| cluster_of(o.pickup) == cluster_of(o.delivery))
+            .count();
+        // 0.9 bias + the ~1/4 chance a uniform draw stays local anyway.
+        assert!(
+            local as f64 > 0.8 * orders.len() as f64,
+            "only {local}/{} deliveries stayed in-cluster",
+            orders.len()
+        );
+    }
+
+    #[test]
+    fn metro_clusters_have_staggered_peaks() {
+        let c = metro_campus();
+        let g = OrderGenerator::new(&c, OrderGeneratorConfig::default());
+        assert_eq!(g.profile().factory_hours.len(), 28);
+        // Cluster c's curve is the base curve shifted by c hours: compare
+        // a factory from cluster 0 against one from cluster 2.
+        let row0 = c.factory_cluster.iter().position(|&x| x == 0).unwrap();
+        let row2 = c.factory_cluster.iter().position(|&x| x == 2).unwrap();
+        let h0 = g.profile().factory_hours[row0];
+        let h2 = g.profile().factory_hours[row2];
+        for h in 0..24 {
+            assert_eq!(h0[h], h2[(h + 2) % 24], "hour {h} not shifted by 2");
+        }
+        // And the generated day reflects it: the mean creation hour of
+        // cluster-2 pickups trails cluster-0 pickups.
+        let orders = g.generate_day(0);
+        let mean_hour = |cluster: usize| {
+            let hours: Vec<f64> = orders
+                .iter()
+                .filter(|o| {
+                    let row = c.factories.iter().position(|f| *f == o.pickup).unwrap();
+                    c.factory_cluster[row] == cluster
+                })
+                .map(|o| o.created.hours())
+                .collect();
+            hours.iter().sum::<f64>() / hours.len().max(1) as f64
+        };
+        assert!(
+            mean_hour(2) > mean_hour(0) + 0.5,
+            "cluster 2 ({:.2}h) should peak after cluster 0 ({:.2}h)",
+            mean_hour(2),
+            mean_hour(0)
+        );
+    }
+
+    #[test]
+    fn legacy_generation_is_unchanged_by_the_metro_knobs() {
+        // Zero bias + unclustered campus must draw the exact same stream
+        // as before the knobs existed (the extra RNG draw is gated off).
+        let c = campus();
+        let g = OrderGenerator::new(&c, OrderGeneratorConfig::default());
+        let orders = g.generate_day(3);
+        assert!(g.profile().factory_hours.is_empty());
+        assert_eq!(orders, g.generate_day(3));
     }
 
     #[test]

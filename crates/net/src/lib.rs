@@ -25,14 +25,16 @@ pub mod instance;
 pub mod network;
 pub mod node;
 pub mod order;
+pub mod region;
 pub mod time;
 pub mod vehicle;
 
 pub use error::NetError;
 pub use ids::{NodeId, OrderId, VehicleId};
 pub use instance::Instance;
-pub use network::{Point, RoadNetwork};
+pub use network::{Point, RoadNetwork, METRIC_TOLERANCE_KM};
 pub use node::{Node, NodeKind};
 pub use order::Order;
+pub use region::{ShardMap, ShardPolicy};
 pub use time::{IntervalGrid, TimeDelta, TimePoint, TimeWindow};
 pub use vehicle::{FleetConfig, VehicleConfig};

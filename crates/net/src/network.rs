@@ -38,6 +38,31 @@ pub struct RoadNetwork {
     nodes: Vec<Node>,
     /// Row-major `n x n` distance matrix in kilometres.
     dist: Vec<f64>,
+    /// Whether the matrix satisfies the triangle inequality (within
+    /// [`METRIC_TOLERANCE_KM`]); computed once at construction.
+    metric: bool,
+}
+
+/// Slack allowed when classifying a network as metric: a triple may violate
+/// the triangle inequality by at most this many kilometres. Consumers that
+/// prune work based on [`RoadNetwork::is_metric`] must absorb this slack in
+/// their own safety margins (see `dpdp-routing`'s escalation bound).
+pub const METRIC_TOLERANCE_KM: f64 = 1e-9;
+
+/// Triangle-inequality check over all node triples, `O(n³)` — run once at
+/// construction so [`RoadNetwork::is_metric`] is a free lookup afterwards.
+fn matrix_is_metric(dist: &[f64], n: usize) -> bool {
+    for i in 0..n {
+        for k in 0..n {
+            let d_ik = dist[i * n + k];
+            for j in 0..n {
+                if dist[i * n + j] > d_ik + dist[k * n + j] + METRIC_TOLERANCE_KM {
+                    return false;
+                }
+            }
+        }
+    }
+    true
 }
 
 impl RoadNetwork {
@@ -64,7 +89,15 @@ impl RoadNetwork {
                 }
             }
         }
-        Ok(RoadNetwork { nodes, dist })
+        // Euclidean-by-construction distances satisfy the triangle
+        // inequality up to float rounding; record it through the same
+        // checker the matrix path uses so the flag's semantics are uniform.
+        let metric = matrix_is_metric(&dist, n);
+        Ok(RoadNetwork {
+            nodes,
+            dist,
+            metric,
+        })
     }
 
     /// Builds a network from an explicit row-major distance matrix.
@@ -97,7 +130,12 @@ impl RoadNetwork {
                 }
             }
         }
-        Ok(RoadNetwork { nodes, dist })
+        let metric = matrix_is_metric(&dist, n);
+        Ok(RoadNetwork {
+            nodes,
+            dist,
+            metric,
+        })
     }
 
     fn validate_node_ids(nodes: &[Node]) -> Result<(), NetError> {
@@ -177,6 +215,16 @@ impl RoadNetwork {
     pub fn path_length(&self, path: &[NodeId]) -> f64 {
         path.windows(2).map(|w| self.distance(w[0], w[1])).sum()
     }
+
+    /// Whether the distance matrix satisfies the triangle inequality
+    /// (within [`METRIC_TOLERANCE_KM`]). Euclidean-built networks are
+    /// metric; explicit matrices may not be. Geometric shortcut reasoning —
+    /// e.g. the cross-shard infeasibility bound in `dpdp-routing` — is only
+    /// sound on metric networks, so consumers gate on this flag.
+    #[inline]
+    pub fn is_metric(&self) -> bool {
+        self.metric
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +301,43 @@ mod tests {
         assert_eq!(net.depots(), vec![NodeId(0)]);
         assert_eq!(net.factories(), vec![NodeId(1), NodeId(2), NodeId(3)]);
         assert_eq!(net.num_factories(), 3);
+    }
+
+    #[test]
+    fn euclidean_networks_are_metric() {
+        assert!(square_net().is_metric());
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(3.0, 4.0)),
+        ];
+        assert!(RoadNetwork::euclidean(nodes, 1.3).unwrap().is_metric());
+    }
+
+    #[test]
+    fn matrix_networks_report_metric_violations() {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(1.0, 0.0)),
+            Node::factory(NodeId(2), Point::new(2.0, 0.0)),
+        ];
+        // 0 -> 2 direct costs 10 but 0 -> 1 -> 2 costs 2: non-metric.
+        #[rustfmt::skip]
+        let non_metric = vec![
+            0.0, 1.0, 10.0,
+            1.0, 0.0,  1.0,
+            10.0, 1.0, 0.0,
+        ];
+        let net = RoadNetwork::with_matrix(nodes.clone(), non_metric).unwrap();
+        assert!(!net.is_metric());
+        // A consistent shortest-path matrix is metric.
+        #[rustfmt::skip]
+        let metric = vec![
+            0.0, 1.0, 2.0,
+            1.0, 0.0, 1.0,
+            2.0, 1.0, 0.0,
+        ];
+        let net = RoadNetwork::with_matrix(nodes, metric).unwrap();
+        assert!(net.is_metric());
     }
 
     #[test]

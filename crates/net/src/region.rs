@@ -1,0 +1,366 @@
+//! Geographic regions: partitioning a road network's nodes into shards.
+//!
+//! Industry-scale dispatch scores every order of a decision epoch against
+//! every vehicle, even though most `(order, vehicle)` pairs are
+//! geographically hopeless. A [`ShardMap`] carves the network's nodes into
+//! `S` spatial regions so the dispatch layer can evaluate in-shard pairs
+//! concurrently and handle cross-shard pairs through a cheap escalation
+//! rule (see `dpdp-sim`'s partition → score → merge pipeline).
+//!
+//! Two partition policies exist ([`ShardPolicy`]):
+//!
+//! * [`ShardPolicy::Grid`] — a fixed `rows x cols` grid over the node
+//!   bounding box, the predictable "draw lines on the map" baseline;
+//! * [`ShardPolicy::KMeans`] — k-means-style seeded centroids over node
+//!   coordinates (farthest-point initialisation from a seeded start, a
+//!   fixed number of Lloyd refinement rounds), which adapts the regions to
+//!   hotspot geometry.
+//!
+//! Both policies are **deterministic**: the partition is a pure function of
+//! `(nodes, num_shards, policy, seed)`. Ties in nearest-centroid
+//! assignments break toward the lower shard index (first-wins under
+//! [`f64::total_cmp`]), so shard layouts never depend on float ordering
+//! quirks or iteration interleaving.
+
+use crate::ids::NodeId;
+use crate::network::{Point, RoadNetwork};
+use serde::{Deserialize, Serialize};
+
+/// How a [`ShardMap`] assigns nodes to regions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ShardPolicy {
+    /// A fixed grid over the node bounding box: `floor(sqrt(S))` rows and
+    /// `ceil(S / rows)` columns, row-major shard ids, cells clamped to the
+    /// box. Simple, seed-independent, and stable under node churn.
+    Grid,
+    /// K-means-style clustering of node coordinates: the seed picks the
+    /// first centroid, the remaining `S - 1` start farthest-point from the
+    /// already-chosen set, then `iterations` Lloyd rounds refine them.
+    KMeans {
+        /// Number of Lloyd refinement rounds (8 is plenty for campus-scale
+        /// node counts; 0 keeps the farthest-point seeding as-is).
+        iterations: usize,
+    },
+}
+
+impl Default for ShardPolicy {
+    /// Learned-geometry default: [`ShardPolicy::KMeans`] with 8 rounds.
+    fn default() -> Self {
+        ShardPolicy::KMeans { iterations: 8 }
+    }
+}
+
+/// A deterministic partition of a network's nodes into `num_shards`
+/// geographic regions.
+///
+/// The map is built once per simulator (the node set is static) and read
+/// throughout an episode: vehicles belong to the shard of their current
+/// anchor node, orders to the shard of their pickup node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardMap {
+    /// Shard index per node, dense by node id.
+    assignment: Vec<usize>,
+    /// Representative point per shard (grid cell centre / final centroid).
+    centroids: Vec<Point>,
+    /// The policy the map was built with.
+    policy: ShardPolicy,
+    num_shards: usize,
+}
+
+impl ShardMap {
+    /// Partitions `net`'s nodes into `num_shards` regions.
+    ///
+    /// `num_shards` is clamped to at least 1; requesting more shards than
+    /// nodes leaves the surplus shards empty (their centroids collapse onto
+    /// existing nodes), which is harmless — empty shards simply never own a
+    /// vehicle or an order.
+    ///
+    /// # Panics
+    /// Panics if `net` has no nodes.
+    pub fn build(net: &RoadNetwork, num_shards: usize, policy: ShardPolicy, seed: u64) -> ShardMap {
+        let nodes = net.nodes();
+        assert!(!nodes.is_empty(), "cannot shard an empty network");
+        let num_shards = num_shards.max(1);
+        let points: Vec<Point> = nodes.iter().map(|n| n.pos).collect();
+        let (assignment, centroids) = if num_shards == 1 {
+            (vec![0; points.len()], vec![mean_point(&points)])
+        } else {
+            match policy {
+                ShardPolicy::Grid => grid_partition(&points, num_shards),
+                ShardPolicy::KMeans { iterations } => {
+                    kmeans_partition(&points, num_shards, iterations, seed)
+                }
+            }
+        };
+        ShardMap {
+            assignment,
+            centroids,
+            policy,
+            num_shards,
+        }
+    }
+
+    /// Number of shards the map was built for (empty shards included).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The policy the map was built with.
+    #[inline]
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// The shard owning `node`.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range for the map's network.
+    #[inline]
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.assignment[node.index()]
+    }
+
+    /// Representative point of a shard (grid cell centre or final
+    /// centroid).
+    ///
+    /// # Panics
+    /// Panics if `shard >= num_shards()`.
+    #[inline]
+    pub fn centroid(&self, shard: usize) -> Point {
+        self.centroids[shard]
+    }
+
+    /// Number of nodes assigned to each shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_shards];
+        for &s in &self.assignment {
+            sizes[s] += 1;
+        }
+        sizes
+    }
+
+    /// Number of non-empty shards.
+    pub fn occupied_shards(&self) -> usize {
+        self.shard_sizes().iter().filter(|&&n| n > 0).count()
+    }
+}
+
+fn mean_point(points: &[Point]) -> Point {
+    let n = points.len() as f64;
+    Point::new(
+        points.iter().map(|p| p.x).sum::<f64>() / n,
+        points.iter().map(|p| p.y).sum::<f64>() / n,
+    )
+}
+
+/// Fixed `rows x cols` grid over the bounding box, row-major shard ids.
+fn grid_partition(points: &[Point], num_shards: usize) -> (Vec<usize>, Vec<Point>) {
+    let rows = (num_shards as f64).sqrt().floor().max(1.0) as usize;
+    let cols = num_shards.div_ceil(rows);
+    let (min_x, max_x) = min_max(points.iter().map(|p| p.x));
+    let (min_y, max_y) = min_max(points.iter().map(|p| p.y));
+    let span_x = (max_x - min_x).max(f64::MIN_POSITIVE);
+    let span_y = (max_y - min_y).max(f64::MIN_POSITIVE);
+    let assignment = points
+        .iter()
+        .map(|p| {
+            let c = (((p.x - min_x) / span_x) * cols as f64).floor() as usize;
+            let r = (((p.y - min_y) / span_y) * rows as f64).floor() as usize;
+            (r.min(rows - 1) * cols + c.min(cols - 1)).min(num_shards - 1)
+        })
+        .collect();
+    let centroids = (0..num_shards)
+        .map(|s| {
+            let (r, c) = (s / cols, s % cols);
+            Point::new(
+                min_x + (c as f64 + 0.5) / cols as f64 * span_x,
+                min_y + (r as f64 + 0.5) / rows as f64 * span_y,
+            )
+        })
+        .collect();
+    (assignment, centroids)
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+/// Splitmix64: the deterministic seed scrambler used for centroid init.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn dist2(a: Point, b: Point) -> f64 {
+    let dx = a.x - b.x;
+    let dy = a.y - b.y;
+    dx * dx + dy * dy
+}
+
+/// Nearest centroid by squared distance; ties break toward the lower shard
+/// index (strict `<` under `total_cmp` — first wins).
+fn nearest_centroid(p: Point, centroids: &[Point]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = dist2(p, centroids[0]);
+    for (s, c) in centroids.iter().enumerate().skip(1) {
+        let d = dist2(p, *c);
+        if d.total_cmp(&best_d) == std::cmp::Ordering::Less {
+            best = s;
+            best_d = d;
+        }
+    }
+    best
+}
+
+/// Seeded farthest-point initialisation + fixed Lloyd rounds.
+fn kmeans_partition(
+    points: &[Point],
+    num_shards: usize,
+    iterations: usize,
+    seed: u64,
+) -> (Vec<usize>, Vec<Point>) {
+    let k = num_shards.min(points.len());
+    let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+    let first = (splitmix64(&mut state) % points.len() as u64) as usize;
+    let mut centroids = vec![points[first]];
+    // Farthest-point: each next centroid maximises the distance to the
+    // chosen set (ties toward the lower node index — first wins).
+    while centroids.len() < k {
+        let mut best_idx = 0usize;
+        let mut best_d = f64::NEG_INFINITY;
+        for (i, p) in points.iter().enumerate() {
+            let d = centroids
+                .iter()
+                .map(|c| dist2(*p, *c))
+                .fold(f64::INFINITY, f64::min);
+            if d.total_cmp(&best_d) == std::cmp::Ordering::Greater {
+                best_idx = i;
+                best_d = d;
+            }
+        }
+        centroids.push(points[best_idx]);
+    }
+    let mut assignment: Vec<usize> = points
+        .iter()
+        .map(|p| nearest_centroid(*p, &centroids))
+        .collect();
+    for _ in 0..iterations {
+        // Lloyd: move each centroid to the mean of its members (empty
+        // shards keep their centroid), then re-assign.
+        let mut sums = vec![(0.0f64, 0.0f64, 0usize); centroids.len()];
+        for (p, &s) in points.iter().zip(&assignment) {
+            sums[s].0 += p.x;
+            sums[s].1 += p.y;
+            sums[s].2 += 1;
+        }
+        for (c, &(sx, sy, n)) in centroids.iter_mut().zip(&sums) {
+            if n > 0 {
+                *c = Point::new(sx / n as f64, sy / n as f64);
+            }
+        }
+        let next: Vec<usize> = points
+            .iter()
+            .map(|p| nearest_centroid(*p, &centroids))
+            .collect();
+        if next == assignment {
+            break;
+        }
+        assignment = next;
+    }
+    // Surplus shards (k < num_shards) stay empty; park their centroids on
+    // the first real centroid so `centroid()` stays total.
+    while centroids.len() < num_shards {
+        centroids.push(centroids[0]);
+    }
+    (assignment, centroids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+
+    /// Two far-apart clusters of two nodes each.
+    fn clustered_net() -> RoadNetwork {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(1.0, 0.0)),
+            Node::depot(NodeId(2), Point::new(100.0, 100.0)),
+            Node::factory(NodeId(3), Point::new(101.0, 100.0)),
+        ];
+        RoadNetwork::euclidean(nodes, 1.0).unwrap()
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let net = clustered_net();
+        for policy in [ShardPolicy::Grid, ShardPolicy::default()] {
+            let map = ShardMap::build(&net, 1, policy, 7);
+            assert_eq!(map.num_shards(), 1);
+            for n in net.nodes() {
+                assert_eq!(map.shard_of(n.id), 0);
+            }
+            assert_eq!(map.occupied_shards(), 1);
+        }
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_clusters() {
+        let net = clustered_net();
+        let map = ShardMap::build(&net, 2, ShardPolicy::default(), 7);
+        assert_eq!(map.shard_of(NodeId(0)), map.shard_of(NodeId(1)));
+        assert_eq!(map.shard_of(NodeId(2)), map.shard_of(NodeId(3)));
+        assert_ne!(map.shard_of(NodeId(0)), map.shard_of(NodeId(2)));
+        assert_eq!(map.occupied_shards(), 2);
+    }
+
+    #[test]
+    fn grid_separates_obvious_clusters() {
+        let net = clustered_net();
+        let map = ShardMap::build(&net, 4, ShardPolicy::Grid, 0);
+        assert_eq!(map.shard_of(NodeId(0)), map.shard_of(NodeId(1)));
+        assert_eq!(map.shard_of(NodeId(2)), map.shard_of(NodeId(3)));
+        assert_ne!(map.shard_of(NodeId(0)), map.shard_of(NodeId(2)));
+        let sizes = map.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let net = clustered_net();
+        let a = ShardMap::build(&net, 2, ShardPolicy::default(), 42);
+        let b = ShardMap::build(&net, 2, ShardPolicy::default(), 42);
+        for n in net.nodes() {
+            assert_eq!(a.shard_of(n.id), b.shard_of(n.id));
+        }
+    }
+
+    #[test]
+    fn more_shards_than_nodes_leaves_surplus_empty() {
+        let net = clustered_net();
+        let map = ShardMap::build(&net, 9, ShardPolicy::default(), 3);
+        assert_eq!(map.num_shards(), 9);
+        assert!(map.occupied_shards() <= 4);
+        // Every node still gets a valid shard and every shard a centroid.
+        for n in net.nodes() {
+            assert!(map.shard_of(n.id) < 9);
+        }
+        for s in 0..9 {
+            let c = map.centroid(s);
+            assert!(c.x.is_finite() && c.y.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty network")]
+    fn empty_network_panics() {
+        let net = RoadNetwork::euclidean(vec![], 1.0).unwrap();
+        let _ = ShardMap::build(&net, 2, ShardPolicy::Grid, 0);
+    }
+}

@@ -10,6 +10,14 @@
 //! invariants (precomputed scores are valid only until the first
 //! assignment; each prebuilt snapshot is consumed exactly once; `resolve`
 //! runs in batch order) live here, once.
+//!
+//! Region sharding (`SimulatorBuilder::num_shards`) is transparent to this
+//! protocol: the joint states built through [`DecisionBatch::map_contexts`]
+//! read the batch's merged plan matrix, in which cross-shard pairs pruned
+//! by the exact infeasibility bound carry the same `best: None` (and so
+//! the same `-1` sentinel features and feasibility mask) a full evaluation
+//! would have produced — agents see identical states and emit identical
+//! decisions at every shard count (`tests/batch_parity.rs`).
 
 use crate::state::{StateSnapshot, STATE_DIM};
 use dpdp_net::VehicleId;

@@ -60,7 +60,9 @@ pub use incremental::{
 pub use insertion::{
     best_insertion, best_insertion_naive, enumerate_insertions, BestInsertion, InsertionCandidate,
 };
-pub use planner::{PlannerMode, PlannerOutput, RoutePlanner};
+pub use planner::{
+    earliest_delivery_arrival, PlannerMode, PlannerOutput, RoutePlanner, PRUNE_MARGIN_SECS,
+};
 pub use route::Route;
 pub use schedule::{simulate_schedule, Schedule, StopTiming};
 pub use stop::{Stop, StopAction};

@@ -3,8 +3,43 @@
 use crate::incremental::{best_insertion_cached, ScheduleCache};
 use crate::insertion::{best_insertion_naive, BestInsertion};
 use crate::view::VehicleView;
-use dpdp_net::{FleetConfig, Order, RoadNetwork};
+use dpdp_net::{FleetConfig, Order, RoadNetwork, TimePoint};
 use serde::{Deserialize, Serialize};
+
+/// Safety margin (seconds) the geographic infeasibility prune keeps between
+/// its lower bound and an order's deadline. The bound's arithmetic differs
+/// from the schedule simulator's leg-by-leg accumulation only by float
+/// rounding plus the network's metric tolerance
+/// ([`dpdp_net::METRIC_TOLERANCE_KM`] per contracted leg) — both orders of
+/// magnitude below a second — while genuine geographic hopelessness is
+/// minutes to hours, so one second of slack makes the prune exact without
+/// costing it any real pruning power.
+pub const PRUNE_MARGIN_SECS: f64 = 1.0;
+
+/// Lower bound on the arrival time at `order`'s delivery node over **every**
+/// possible insertion of the order into `view`'s remaining route.
+///
+/// The vehicle cannot reach the pickup before
+/// `anchor_time + travel(d(anchor, pickup))` (on a metric network any stop
+/// sequence from the anchor to the pickup drives at least the direct
+/// distance, and intermediate service times only add), cannot start pickup
+/// service before the order exists, and cannot reach the delivery earlier
+/// than one service plus the direct pickup→delivery drive later. Only valid
+/// as a bound when [`RoadNetwork::is_metric`] holds — callers must gate on
+/// it (see [`RoutePlanner::provably_infeasible`]).
+pub fn earliest_delivery_arrival(
+    view: &VehicleView,
+    order: &Order,
+    net: &RoadNetwork,
+    fleet: &FleetConfig,
+) -> TimePoint {
+    let to_pickup =
+        view.anchor_time + fleet.travel_time(net.distance(view.anchor_node, order.pickup));
+    let pickup_service = to_pickup.max(order.created);
+    pickup_service
+        + fleet.service_time
+        + fleet.travel_time(net.distance(order.pickup, order.delivery))
+}
 
 /// Which insertion evaluator a [`RoutePlanner`] scores candidates with.
 ///
@@ -138,6 +173,52 @@ impl<'a> RoutePlanner<'a> {
         }
     }
 
+    /// Whether **every** insertion of `order` into `view`'s route is
+    /// provably infeasible, without running the candidate sweep.
+    ///
+    /// True only when the network is metric and the
+    /// [`earliest_delivery_arrival`] lower bound already misses the order's
+    /// deadline by more than [`PRUNE_MARGIN_SECS`] — in that case the
+    /// schedule simulator would reject every position pair with a
+    /// time-window violation, so the full Algorithm 2 output is known to be
+    /// `best: None` in advance. This is the cross-shard pruning rule of the
+    /// region-sharded dispatch pipeline: skipping a pruned `(order,
+    /// vehicle)` pair is **bit-identical** to evaluating it.
+    ///
+    /// On non-metric networks the bound is unsound, so this always returns
+    /// `false` (every pair gets the full sweep).
+    pub fn provably_infeasible(&self, view: &VehicleView, order: &Order) -> bool {
+        if !self.net.is_metric() {
+            return false;
+        }
+        let bound = earliest_delivery_arrival(view, order, self.net, self.fleet);
+        bound.seconds() > order.deadline.seconds() + PRUNE_MARGIN_SECS
+    }
+
+    /// The [`PlannerOutput`] for a pair pruned by
+    /// [`RoutePlanner::provably_infeasible`]: `best: None` with the
+    /// `current_length` the full evaluation path would have reported —
+    /// `cache.base_length()` on the incremental path, the view's route
+    /// length on the naive path or when the cache fell back (mirroring
+    /// [`RoutePlanner::plan_cached`] exactly, so pruned and evaluated cells
+    /// are indistinguishable).
+    pub fn pruned_output(
+        &self,
+        cache: Option<&ScheduleCache>,
+        view: &VehicleView,
+    ) -> PlannerOutput {
+        let current_length = match cache {
+            Some(cache) if self.mode != PlannerMode::Naive && cache.is_feasible() => {
+                cache.base_length()
+            }
+            _ => view.route.length(self.net, view.anchor_node, view.depot),
+        };
+        PlannerOutput {
+            current_length,
+            best: None,
+        }
+    }
+
     /// The reference Algorithm 2: full enumeration with per-candidate
     /// re-simulation.
     fn plan_naive(&self, view: &VehicleView, order: &Order) -> PlannerOutput {
@@ -253,6 +334,126 @@ mod tests {
             assert_eq!(a, b);
             assert_eq!(a, c, "modes diverged for {}", order.id);
         }
+    }
+
+    #[test]
+    fn provably_infeasible_agrees_with_full_sweep() {
+        let (net, fleet, _) = setup();
+        let planner_orders: Vec<Order> = (0..40u32)
+            .map(|i| {
+                // Deadline slack sweeps from hopeless (under a minute) to
+                // loose (nearly an hour); pickups alternate between near
+                // and far factories.
+                let (p, d) = if i % 2 == 0 { (1, 2) } else { (2, 1) };
+                let created = TimePoint::from_hours(0.1 * (i % 5) as f64);
+                Order::new(
+                    OrderId(i),
+                    NodeId(p),
+                    NodeId(d),
+                    1.0,
+                    created,
+                    created + TimeDelta::from_hours(0.015 * i as f64 + 0.01),
+                )
+                .unwrap()
+            })
+            .collect();
+        let planner = RoutePlanner::new(&net, &fleet, &planner_orders);
+        let mut view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        view.route = Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+        ]);
+        let mut pruned = 0;
+        for order in &planner_orders[1..] {
+            let full = planner.plan(&view, order);
+            if planner.provably_infeasible(&view, order) {
+                pruned += 1;
+                assert!(
+                    !full.feasible(),
+                    "bound pruned a feasible pair for {}",
+                    order.id
+                );
+                let out = planner.pruned_output(Some(&planner.cache(&view)), &view);
+                assert_eq!(out, full, "pruned output diverged for {}", order.id);
+            }
+        }
+        assert!(pruned > 0, "the deadline sweep must exercise the prune");
+    }
+
+    #[test]
+    fn earliest_delivery_bound_matches_direct_insertion() {
+        let (net, fleet, orders) = setup();
+        let view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        // Empty route: the bound equals the one possible candidate's
+        // delivery arrival exactly.
+        let bound = earliest_delivery_arrival(&view, &orders[0], &net, &fleet);
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        let best = planner.plan(&view, &orders[0]).best.unwrap();
+        let arrival = best.candidate.schedule.timings.last().unwrap().arrival;
+        assert!((bound.seconds() - arrival.seconds()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_metric_network_disables_the_prune() {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(1.0, 0.0)),
+            Node::factory(NodeId(2), Point::new(2.0, 0.0)),
+        ];
+        // The direct depot→2 arc is absurdly long while the detour through
+        // node 1 is short: the triangle inequality fails, the
+        // direct-distance bound would over-estimate, and the prune must
+        // stay off.
+        #[rustfmt::skip]
+        let dist = vec![
+            0.0,   1.0, 500.0,
+            1.0,   0.0,   1.0,
+            1.0,   1.0,   0.0,
+        ];
+        let net = RoadNetwork::with_matrix(nodes, dist).unwrap();
+        assert!(!net.is_metric());
+        let fleet =
+            FleetConfig::homogeneous(1, &[NodeId(0)], 10.0, 500.0, 2.0, 60.0, TimeDelta::ZERO)
+                .unwrap();
+        let orders = vec![
+            Order::new(
+                OrderId(0),
+                NodeId(1),
+                NodeId(2),
+                1.0,
+                TimePoint::ZERO,
+                TimePoint::from_hours(1.0),
+            )
+            .unwrap(),
+            Order::new(
+                OrderId(1),
+                NodeId(2),
+                NodeId(1),
+                1.0,
+                TimePoint::ZERO,
+                TimePoint::from_hours(1.0),
+            )
+            .unwrap(),
+        ];
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        // A route already heading through node 1 makes pickup node 2 cheap
+        // to reach even though the direct arc says 500 km: the bound would
+        // wrongly prune order 1, so the metric gate must keep it off.
+        let mut view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        view.route = Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+        ]);
+        let bound = earliest_delivery_arrival(&view, &orders[1], &net, &fleet);
+        assert!(
+            bound.seconds() > orders[1].deadline.seconds() + PRUNE_MARGIN_SECS,
+            "the unsound bound must actually fire for this test to bite"
+        );
+        assert!(
+            planner.plan(&view, &orders[1]).feasible(),
+            "the pair is genuinely feasible through the short detour"
+        );
+        assert!(!planner.provably_infeasible(&view, &orders[1]));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! [`Dispatcher`]: crate::dispatcher::Dispatcher
 
 use crate::dispatcher::DispatchContext;
+use crate::shard::{plan_sweep, ShardContext, ShardStats};
 use crate::state::VehicleState;
 use dpdp_net::{FleetConfig, Order, OrderId, RoadNetwork, TimePoint, VehicleId};
 use dpdp_pool::ThreadPool;
@@ -136,6 +137,9 @@ struct BatchInner {
     decided: Vec<bool>,
     /// Per-order commit records, filled by `resolve`.
     commits: Vec<Option<CommitRecord>>,
+    /// Sharded-sweep work accounting (initial matrix plus commit deltas);
+    /// zero cells when the batch runs unsharded.
+    stats: ShardStats,
 }
 
 /// All orders flushed at one decision epoch, sharing one fleet snapshot.
@@ -147,7 +151,15 @@ struct BatchInner {
 /// every acceptance so later orders in the batch see the committed routes,
 /// exactly as the legacy per-order path did.
 ///
+/// Under [`SimulatorBuilder::num_shards`] the batch is assembled as a
+/// *merge of shard-local batches*: in-shard `(order, vehicle)` pairs run
+/// the full insertion sweep as shard-grouped pool tasks, cross-shard pairs
+/// go through the deterministic escalation/prune rule of [`crate::shard`],
+/// and the resulting plan matrix is **bit-identical** to the unsharded
+/// one — policies cannot tell the difference, only wall time moves.
+///
 /// [`Simulator`]: crate::simulator::Simulator
+/// [`SimulatorBuilder::num_shards`]: crate::simulator::SimulatorBuilder::num_shards
 /// [`Dispatcher::dispatch_batch`]: crate::dispatcher::Dispatcher::dispatch_batch
 #[derive(Debug)]
 pub struct DecisionBatch<'a> {
@@ -159,6 +171,7 @@ pub struct DecisionBatch<'a> {
     epoch_orders: Vec<OrderId>,
     pool: Arc<ThreadPool>,
     mode: PlannerMode,
+    shards: Option<ShardContext>,
     inner: RefCell<BatchInner>,
 }
 
@@ -185,23 +198,85 @@ impl<'a> DecisionBatch<'a> {
         states: Vec<VehicleState>,
         pool: Arc<ThreadPool>,
         mode: PlannerMode,
+        shards: Option<ShardContext>,
     ) -> Self {
         let views: Vec<VehicleView> = states.iter().map(|s| s.view.clone()).collect();
         let planner = RoutePlanner::with_mode(net, fleet, orders, mode);
         let epoch = &epoch_orders;
         let views_ref = &views;
-        let plans = if mode == PlannerMode::Naive {
-            // The reference path never reads a cache; don't build them.
-            par_map_matrix(&pool, epoch_orders.len(), views.len(), |i, k| {
-                planner.plan(&views_ref[k], &orders[epoch[i].index()])
-            })
-        } else {
-            let caches: Vec<ScheduleCache> =
-                pool.par_map(views.len(), |k| planner.cache(&views_ref[k]));
-            let caches_ref = &caches;
-            par_map_matrix(&pool, epoch_orders.len(), views.len(), |i, k| {
-                planner.plan_cached(&caches_ref[k], &views_ref[k], &orders[epoch[i].index()])
-            })
+        let mut stats = ShardStats::default();
+        let plans = match shards.as_ref().filter(|c| c.map.num_shards() > 1) {
+            None => {
+                if mode == PlannerMode::Naive {
+                    // The reference path never reads a cache; don't build
+                    // them.
+                    par_map_matrix(&pool, epoch_orders.len(), views.len(), |i, k| {
+                        planner.plan(&views_ref[k], &orders[epoch[i].index()])
+                    })
+                } else {
+                    let caches: Vec<ScheduleCache> =
+                        pool.par_map(views.len(), |k| planner.cache(&views_ref[k]));
+                    let caches_ref = &caches;
+                    par_map_matrix(&pool, epoch_orders.len(), views.len(), |i, k| {
+                        planner.plan_cached(
+                            &caches_ref[k],
+                            &views_ref[k],
+                            &orders[epoch[i].index()],
+                        )
+                    })
+                }
+            }
+            Some(ctx) => {
+                // Sharded sweep: classify every cell (serial, cheap), run
+                // the surviving cells shard-grouped across the pool, and
+                // merge into the full matrix over a pruned-cell canvas.
+                // Every pruned cell's output is bit-identical to what its
+                // full evaluation would have produced (see crate::shard).
+                let epoch_refs: Vec<&Order> = epoch.iter().map(|id| &orders[id.index()]).collect();
+                let sweep = plan_sweep(ctx, &planner, &views, &epoch_refs);
+                stats = sweep.stats;
+                let work = &sweep.work;
+                // Schedule caches are only needed by vehicles with at
+                // least one surviving cell — a vehicle whose whole column
+                // pruned skips the build entirely (its `d_{t,k}` comes
+                // from `Route::length`, which accumulates the same legs in
+                // the same order as the cache's forward pass, so the
+                // emitted value is bit-identical either way).
+                let caches: Option<Vec<Option<ScheduleCache>>> =
+                    (mode != PlannerMode::Naive).then(|| {
+                        let mut needed = vec![false; views.len()];
+                        for &(_, k) in work.iter() {
+                            needed[k as usize] = true;
+                        }
+                        let needed_ref = &needed;
+                        pool.par_map(views.len(), |k| {
+                            needed_ref[k].then(|| planner.cache(&views_ref[k]))
+                        })
+                    });
+                let caches_ref = caches.as_ref();
+                let outs = pool.par_map(work.len(), |w| {
+                    let (i, k) = (work[w].0 as usize, work[w].1 as usize);
+                    match caches_ref.and_then(|c| c[k].as_ref()) {
+                        Some(cache) => planner.plan_cached(cache, &views_ref[k], epoch_refs[i]),
+                        None => planner.plan(&views_ref[k], epoch_refs[i]),
+                    }
+                });
+                // A pruned cell's output depends only on the vehicle
+                // (`best: None` plus its `d_{t,k}`), so compute it once
+                // per vehicle and clone it across the canvas rows instead
+                // of re-walking `Route::length` per cell.
+                let pruned: Vec<PlannerOutput> = (0..views.len())
+                    .map(|k| {
+                        planner.pruned_output(caches_ref.and_then(|c| c[k].as_ref()), &views_ref[k])
+                    })
+                    .collect();
+                let mut plans: Vec<Vec<PlannerOutput>> =
+                    (0..epoch_refs.len()).map(|_| pruned.clone()).collect();
+                for (&(i, k), out) in work.iter().zip(outs) {
+                    plans[i as usize][k as usize] = out;
+                }
+                plans
+            }
         };
         let decided = vec![false; epoch_orders.len()];
         let commits = (0..epoch_orders.len()).map(|_| None).collect();
@@ -214,12 +289,14 @@ impl<'a> DecisionBatch<'a> {
             epoch_orders,
             pool,
             mode,
+            shards,
             inner: RefCell::new(BatchInner {
                 states,
                 views,
                 plans,
                 decided,
                 commits,
+                stats,
             }),
         }
     }
@@ -320,6 +397,44 @@ impl<'a> DecisionBatch<'a> {
         self.inner.borrow().views.len()
     }
 
+    /// Number of geographic shards the epoch was scored with (1 when
+    /// sharding is off).
+    pub fn num_shards(&self) -> usize {
+        self.shards.as_ref().map_or(1, |ctx| ctx.map.num_shards())
+    }
+
+    /// Work accounting of the sharded sweep so far: the initial `B x K`
+    /// matrix plus every commit delta already applied. All counters are
+    /// zero when the batch runs unsharded. The counters describe *work*
+    /// saved by the partition — decisions are bit-identical regardless.
+    pub fn shard_stats(&self) -> ShardStats {
+        self.inner.borrow().stats
+    }
+
+    /// The shard owning the `i`-th order (its pickup node's region), or 0
+    /// when sharding is off.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn shard_of_order(&self, i: usize) -> usize {
+        self.shards
+            .as_ref()
+            .map_or(0, |ctx| ctx.map.shard_of(self.order(i).pickup))
+    }
+
+    /// The shard a vehicle currently belongs to (its anchor node's region,
+    /// which moves as commits advance the vehicle), or 0 when sharding is
+    /// off.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    pub fn shard_of_vehicle(&self, k: VehicleId) -> usize {
+        self.shards.as_ref().map_or(0, |ctx| {
+            ctx.map
+                .shard_of(self.inner.borrow().views[k.index()].anchor_node)
+        })
+    }
+
     /// Ids of the orders flushed at this epoch, in creation order.
     #[inline]
     pub fn order_ids(&self) -> &[OrderId] {
@@ -418,6 +533,7 @@ impl<'a> DecisionBatch<'a> {
             views,
             plans,
             decided,
+            stats,
             ..
         } = inner;
         let plan = plans[i][k.index()].clone();
@@ -439,7 +555,11 @@ impl<'a> DecisionBatch<'a> {
         // The plan delta: only the accepting vehicle's column changes, and
         // only for the still-undecided orders — replanned in parallel, each
         // result landing back in its own row, all sharing one fresh
-        // schedule cache for the vehicle's new route.
+        // schedule cache for the vehicle's new route. Under sharding the
+        // column gets the same exact prune as the initial sweep (foreign
+        // orders the bound rules out skip the sweep; no m-nearest
+        // escalation here — a single column has no ranking to run), which
+        // is bit-identical to replanning every cell.
         let planner = RoutePlanner::with_mode(batch.net, batch.fleet, batch.orders, batch.mode);
         let undecided: Vec<usize> = (0..plans.len()).filter(|&j| !decided[j]).collect();
         let view = &views[k.index()];
@@ -449,14 +569,38 @@ impl<'a> DecisionBatch<'a> {
         let orders = batch.orders;
         let epoch = &batch.epoch_orders;
         let js = &undecided;
+        let shard_ctx = batch.shards.as_ref().filter(|c| c.map.num_shards() > 1);
+        let vehicle_shard = shard_ctx.map(|c| c.map.shard_of(view.anchor_node));
         let fresh = batch.pool.par_map(undecided.len(), |u| {
             let order = &orders[epoch[js[u]].index()];
-            match cache_ref {
-                Some(cache) => planner.plan_cached(cache, view, order),
-                None => planner.plan(view, order),
+            let foreign = match (shard_ctx, vehicle_shard) {
+                (Some(ctx), Some(vs)) => ctx.map.shard_of(order.pickup) != vs,
+                _ => false,
+            };
+            if foreign && planner.provably_infeasible(view, order) {
+                (planner.pruned_output(cache_ref, view), true, foreign)
+            } else {
+                let plan = match cache_ref {
+                    Some(cache) => planner.plan_cached(cache, view, order),
+                    None => planner.plan(view, order),
+                };
+                (plan, false, foreign)
             }
         });
-        for (&j, plan) in undecided.iter().zip(fresh) {
+        if shard_ctx.is_some() {
+            stats.cells += fresh.len();
+        }
+        for (&j, (plan, pruned, foreign)) in undecided.iter().zip(fresh) {
+            if shard_ctx.is_some() {
+                if pruned {
+                    stats.pruned += 1;
+                } else {
+                    stats.evaluated += 1;
+                    if foreign {
+                        stats.escalated += 1;
+                    }
+                }
+            }
             plans[j][k.index()] = plan;
         }
         (
@@ -532,6 +676,7 @@ mod tests {
             states,
             Arc::new(ThreadPool::serial()),
             PlannerMode::default(),
+            None,
         )
     }
 

@@ -83,6 +83,55 @@ impl AssignmentRecord {
     }
 }
 
+/// Per-[`DecisionReason`] rejection tallies of one episode, so
+/// infeasibility and policy-rejection rates (and, under region sharding,
+/// the escalation outcomes they reflect) are observable without replaying
+/// the assignment log.
+///
+/// Rejection *reasons* are part of the decision stream, so these counts are
+/// bit-identical across thread counts, shard counts and planner modes —
+/// the batch-parity suite compares them as part of [`EpisodeMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectionCounts {
+    /// No vehicle had a feasible insertion
+    /// ([`DecisionReason::NoFeasibleVehicle`]).
+    pub no_feasible_vehicle: usize,
+    /// Feasible vehicles existed but the policy declined them all
+    /// ([`DecisionReason::PolicyRejected`]).
+    pub policy_rejected: usize,
+    /// The policy chose a vehicle whose plan failed commit-time validation
+    /// ([`DecisionReason::InfeasibleChoice`]).
+    pub infeasible_choice: usize,
+    /// The order's decision epoch fell beyond the simulation horizon
+    /// ([`DecisionReason::HorizonExceeded`]).
+    pub horizon_exceeded: usize,
+}
+
+impl RejectionCounts {
+    /// Total rejections across all reasons (equals
+    /// [`EpisodeMetrics::rejected`]).
+    pub fn total(&self) -> usize {
+        self.no_feasible_vehicle
+            + self.policy_rejected
+            + self.infeasible_choice
+            + self.horizon_exceeded
+    }
+
+    /// Tallies one rejection. [`DecisionReason::Assigned`] is not a
+    /// rejection and is ignored. Public so streaming observers (e.g.
+    /// `dpdp-core`'s evaluation probe) can maintain the same breakdown
+    /// from the decision stream.
+    pub fn record(&mut self, reason: DecisionReason) {
+        match reason {
+            DecisionReason::Assigned => {}
+            DecisionReason::NoFeasibleVehicle => self.no_feasible_vehicle += 1,
+            DecisionReason::PolicyRejected => self.policy_rejected += 1,
+            DecisionReason::InfeasibleChoice => self.infeasible_choice += 1,
+            DecisionReason::HorizonExceeded => self.horizon_exceeded += 1,
+        }
+    }
+}
+
 /// Aggregate metrics of one episode.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EpisodeMetrics {
@@ -97,6 +146,9 @@ pub struct EpisodeMetrics {
     pub served: usize,
     /// Orders no vehicle could feasibly take (or the dispatcher declined).
     pub rejected: usize,
+    /// Rejections broken down by [`DecisionReason`]
+    /// (`rejections.total() == rejected`).
+    pub rejections: RejectionCounts,
     /// Mean seconds between an order's creation and its dispatch decision.
     /// Zero under immediate service; positive under buffering (Section IV-D).
     pub avg_response_secs: f64,
@@ -171,6 +223,7 @@ pub(crate) struct MetricsAccumulator {
     assignments: Vec<AssignmentRecord>,
     served: usize,
     rejected: usize,
+    rejections: RejectionCounts,
     response_total: f64,
     responses_counted: usize,
 }
@@ -186,6 +239,7 @@ impl MetricsAccumulator {
             },
             served: 0,
             rejected: 0,
+            rejections: RejectionCounts::default(),
             response_total: 0.0,
             responses_counted: 0,
         }
@@ -199,6 +253,7 @@ impl MetricsAccumulator {
             self.served += 1;
         } else {
             self.rejected += 1;
+            self.rejections.record(record.reason);
         }
         if let Some(secs) = response_secs {
             self.response_total += secs;
@@ -238,6 +293,7 @@ impl MetricsAccumulator {
             total_cost: fleet.total_cost(nuv, ttl),
             served: self.served,
             rejected: self.rejected,
+            rejections: self.rejections,
             avg_response_secs: if self.responses_counted == 0 {
                 0.0
             } else {
@@ -255,6 +311,47 @@ impl MetricsAccumulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rejection_counts_tally_by_reason() {
+        let mut acc = MetricsAccumulator::new(MetricsOptions::default(), 4);
+        let t = TimePoint::ZERO;
+        acc.record(
+            AssignmentRecord::rejected(OrderId(0), DecisionReason::NoFeasibleVehicle, t, 0),
+            Some(0.0),
+        );
+        acc.record(
+            AssignmentRecord::rejected(OrderId(1), DecisionReason::PolicyRejected, t, 0),
+            Some(0.0),
+        );
+        acc.record(
+            AssignmentRecord::rejected(OrderId(2), DecisionReason::HorizonExceeded, t, 0),
+            None,
+        );
+        acc.record(
+            AssignmentRecord::rejected(OrderId(3), DecisionReason::InfeasibleChoice, t, 0),
+            Some(0.0),
+        );
+        let result = acc.finish(&[], &RoadNetwork::euclidean(vec![], 1.0).unwrap(), {
+            // A fleet is only read for total_cost; a minimal one suffices.
+            &FleetConfig::homogeneous(
+                1,
+                &[dpdp_net::NodeId(0)],
+                1.0,
+                1.0,
+                1.0,
+                1.0,
+                dpdp_net::TimeDelta::ZERO,
+            )
+            .unwrap()
+        });
+        let r = result.metrics.rejections;
+        assert_eq!(r.no_feasible_vehicle, 1);
+        assert_eq!(r.policy_rejected, 1);
+        assert_eq!(r.horizon_exceeded, 1);
+        assert_eq!(r.infeasible_choice, 1);
+        assert_eq!(r.total(), result.metrics.rejected);
+    }
 
     #[test]
     fn incremental_length() {

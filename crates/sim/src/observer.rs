@@ -19,6 +19,7 @@
 
 use crate::batch::Decision;
 use crate::metrics::{AssignmentRecord, EpisodeResult};
+use crate::shard::ShardStats;
 use dpdp_net::{FleetConfig, Instance, RoadNetwork, TimePoint};
 use dpdp_routing::{PlannerOutput, VehicleView};
 
@@ -33,6 +34,15 @@ pub struct EpochInfo {
     pub interval: usize,
     /// Number of orders flushed at this epoch.
     pub num_orders: usize,
+    /// Number of geographic shards the epoch is scored with (1 when the
+    /// simulator runs unsharded).
+    pub num_shards: usize,
+    /// Work accounting of the epoch's initial sharded `B x K` sweep (all
+    /// zero when unsharded; commit deltas applied *during* the dispatch
+    /// call are visible through `DecisionBatch::shard_stats` instead).
+    /// These counters vary with the shard configuration while the epoch's
+    /// decisions do not.
+    pub shards: ShardStats,
 }
 
 /// Everything an observer may inspect about one committed decision.

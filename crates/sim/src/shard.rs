@@ -1,0 +1,334 @@
+//! Region sharding of decision epochs: partition → score → merge.
+//!
+//! A monolithic decision epoch scores every epoch order against every
+//! vehicle — `B x K` full Algorithm 2 sweeps — even though most pairs are
+//! geographically hopeless at industry scale. With
+//! [`SimulatorBuilder::num_shards`] the epoch becomes a **merge of
+//! shard-local batches** instead:
+//!
+//! 1. **Partition** — a [`ShardMap`] (built once per simulator from node
+//!    coordinates) assigns every vehicle to the region of its current
+//!    anchor node and every epoch order to the region of its pickup node.
+//! 2. **Score** — in-shard `(order, vehicle)` pairs get the full insertion
+//!    sweep, grouped vehicle-shard-major into `dpdp-pool` tasks so each
+//!    shard's sweep runs concurrently against its own schedule caches.
+//! 3. **Merge** — cross-shard pairs go through the deterministic
+//!    escalation rule: the `m` nearest foreign vehicles per order (ranked
+//!    by anchor→pickup distance under [`f64::total_cmp`], ties first-wins
+//!    toward the lower vehicle id) are always evaluated in full, and every
+//!    remaining foreign pair is evaluated **unless** the exact geometric
+//!    bound ([`RoutePlanner::provably_infeasible`]) proves that no
+//!    insertion can meet the order's deadline, in which case the pair's
+//!    known output (`best: None`, exact `d_{t,k}`) is emitted without the
+//!    sweep.
+//!
+//! **Determinism guarantee.** A pruned pair's output is *bit-identical* to
+//! what the full sweep would have produced (the bound is conservative and
+//! gated on metric networks), every evaluated cell lands in a pre-indexed
+//! slot of the plan matrix, and the classification itself never reads
+//! results — so episodes are bit-identical for **any** shard count, any
+//! escalation width and any thread count. `tests/batch_parity.rs` asserts
+//! this end-to-end for every built-in policy; only wall time moves.
+//!
+//! [`SimulatorBuilder::num_shards`]: crate::simulator::SimulatorBuilder::num_shards
+//! [`RoutePlanner::provably_infeasible`]: dpdp_routing::RoutePlanner::provably_infeasible
+
+use dpdp_net::{Order, ShardMap};
+use dpdp_routing::{RoutePlanner, VehicleView};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Sharding parameters a [`Simulator`](crate::simulator::Simulator) hands
+/// to every [`DecisionBatch`](crate::batch::DecisionBatch).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardContext {
+    /// The node → region partition (built once per simulator).
+    pub(crate) map: Arc<ShardMap>,
+    /// Escalation width `m`: the number of nearest foreign vehicles per
+    /// order that are always evaluated in full.
+    pub(crate) escalation: usize,
+}
+
+/// Work accounting of one epoch's sharded sweep (initial `B x K` matrix
+/// plus any per-commit column deltas), surfaced through
+/// [`EpochInfo`](crate::observer::EpochInfo) and
+/// [`DecisionBatch::shard_stats`](crate::batch::DecisionBatch::shard_stats).
+///
+/// These counters describe *work*, not outcomes: they vary with the shard
+/// count and escalation width while the episode's decisions do not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Total `(order, vehicle)` cells considered.
+    pub cells: usize,
+    /// Cells that ran the full Algorithm 2 insertion sweep.
+    pub evaluated: usize,
+    /// Cross-shard cells skipped through the exact infeasibility bound.
+    pub pruned: usize,
+    /// Cross-shard cells evaluated in full (m-nearest escalation, or the
+    /// bound could not rule them out).
+    pub escalated: usize,
+}
+
+impl ShardStats {
+    /// Fraction of cells pruned (0 when no cells were considered).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.cells == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.cells as f64
+        }
+    }
+}
+
+/// The classified `B x K` sweep of one epoch: which cells need the full
+/// insertion sweep (vehicle-shard-major, pre-indexed) and which are pruned.
+#[derive(Debug)]
+pub(crate) struct SweepPlan {
+    /// `(order_index, vehicle_index)` cells to evaluate in full, grouped
+    /// vehicle-shard-major (all of one region's vehicles are contiguous,
+    /// so pool chunks mostly stay inside one shard's caches).
+    pub(crate) work: Vec<(u32, u32)>,
+    /// Work accounting for the whole matrix.
+    pub(crate) stats: ShardStats,
+}
+
+/// Classifies every `(order, vehicle)` cell of an epoch.
+///
+/// Runs serially before the parallel sweep (distance lookups only, no
+/// planning); the result depends solely on the epoch snapshot and the
+/// shard configuration, never on thread scheduling.
+pub(crate) fn plan_sweep(
+    ctx: &ShardContext,
+    planner: &RoutePlanner<'_>,
+    views: &[VehicleView],
+    epoch_orders: &[&Order],
+) -> SweepPlan {
+    let map = &*ctx.map;
+    let net = planner.network();
+    let k_n = views.len();
+    let b = epoch_orders.len();
+    let vehicle_shard: Vec<u32> = views
+        .iter()
+        .map(|v| map.shard_of(v.anchor_node) as u32)
+        .collect();
+    let order_shard: Vec<u32> = epoch_orders
+        .iter()
+        .map(|o| map.shard_of(o.pickup) as u32)
+        .collect();
+
+    // Escalation marks: per order, the m nearest foreign vehicles by
+    // anchor→pickup distance (total_cmp, ties first-wins on the lower
+    // vehicle id). `m` is small, so a running top-m scan beats sorting —
+    // `esc[i * m ..]` holds order `i`'s escalated vehicle ids.
+    let m = ctx.escalation.min(k_n);
+    let mut esc: Vec<u32> = vec![u32::MAX; b * m];
+    if m > 0 {
+        let mut best: Vec<(f64, u32)> = Vec::with_capacity(m);
+        for (i, order) in epoch_orders.iter().enumerate() {
+            best.clear();
+            for (k, view) in views.iter().enumerate() {
+                if vehicle_shard[k] == order_shard[i] {
+                    continue;
+                }
+                let d = net.distance(view.anchor_node, order.pickup);
+                // Insert into the small sorted top-m buffer; strict
+                // ordering by (distance, id) keeps ties first-wins.
+                let pos = best
+                    .iter()
+                    .position(|&(bd, bk)| d.total_cmp(&bd).then((k as u32).cmp(&bk)).is_lt())
+                    .unwrap_or(best.len());
+                if pos < m {
+                    if best.len() == m {
+                        best.pop();
+                    }
+                    best.insert(pos, (d, k as u32));
+                }
+            }
+            for (slot, &(_, k)) in best.iter().enumerate() {
+                esc[i * m + slot] = k;
+            }
+        }
+    }
+
+    let mut stats = ShardStats {
+        cells: b * k_n,
+        ..ShardStats::default()
+    };
+    // Vehicle-shard-major work list: regions become contiguous runs of the
+    // flat list, so the pool's chunked tasks are (mostly) shard-local.
+    // Bucketed counting sort — shard counts are tiny and vehicle order
+    // within a shard stays ascending (deterministic).
+    let num_shards = map.num_shards();
+    let mut vehicles_by_shard: Vec<u32> = Vec::with_capacity(k_n);
+    let mut buckets = vec![0u32; num_shards + 1];
+    for &s in &vehicle_shard {
+        buckets[s as usize + 1] += 1;
+    }
+    for s in 0..num_shards {
+        buckets[s + 1] += buckets[s];
+    }
+    vehicles_by_shard.resize(k_n, 0);
+    let mut cursor = buckets;
+    for (k, &s) in vehicle_shard.iter().enumerate() {
+        vehicles_by_shard[cursor[s as usize] as usize] = k as u32;
+        cursor[s as usize] += 1;
+    }
+    let mut work = Vec::with_capacity(b * k_n);
+    for &k in &vehicles_by_shard {
+        let ku = k as usize;
+        for (i, order) in epoch_orders.iter().enumerate() {
+            if vehicle_shard[ku] == order_shard[i] {
+                stats.evaluated += 1;
+            } else if esc[i * m..(i + 1) * m].contains(&k)
+                || !planner.provably_infeasible(&views[ku], order)
+            {
+                stats.evaluated += 1;
+                stats.escalated += 1;
+            } else {
+                stats.pruned += 1;
+                continue;
+            }
+            work.push((i as u32, k));
+        }
+    }
+    SweepPlan { work, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdp_net::{
+        FleetConfig, Node, NodeId, Order, OrderId, Point, RoadNetwork, ShardPolicy, TimeDelta,
+        TimePoint,
+    };
+
+    /// Two clusters 200 km apart; deadlines allow in-cluster service only.
+    fn setup() -> (RoadNetwork, FleetConfig, Vec<Order>) {
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(5.0, 0.0)),
+            Node::factory(NodeId(2), Point::new(10.0, 0.0)),
+            Node::depot(NodeId(3), Point::new(200.0, 0.0)),
+            Node::factory(NodeId(4), Point::new(205.0, 0.0)),
+            Node::factory(NodeId(5), Point::new(210.0, 0.0)),
+        ];
+        let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
+        let fleet = FleetConfig::homogeneous(
+            2,
+            &[NodeId(0), NodeId(3)],
+            10.0,
+            500.0,
+            2.0,
+            60.0,
+            TimeDelta::ZERO,
+        )
+        .unwrap();
+        // One order per cluster, one hour of slack: served locally in
+        // minutes, unreachable from the other cluster (200 km ≈ 3.3 h).
+        let orders = vec![
+            Order::new(
+                OrderId(0),
+                NodeId(1),
+                NodeId(2),
+                1.0,
+                TimePoint::from_hours(8.0),
+                TimePoint::from_hours(9.0),
+            )
+            .unwrap(),
+            Order::new(
+                OrderId(1),
+                NodeId(4),
+                NodeId(5),
+                1.0,
+                TimePoint::from_hours(8.0),
+                TimePoint::from_hours(9.0),
+            )
+            .unwrap(),
+        ];
+        (net, fleet, orders)
+    }
+
+    /// Epoch-time views: the simulator advances every vehicle to the
+    /// decision instant before a batch forms, so anchor times sit at `now`
+    /// (a vehicle anchored in the past could pre-position and the bound
+    /// would rightly not prune it).
+    fn views_at(fleet: &FleetConfig, now: TimePoint) -> Vec<VehicleView> {
+        fleet
+            .vehicles
+            .iter()
+            .map(|v| {
+                let mut view = VehicleView::idle_at_depot(v.id, v.depot);
+                view.anchor_time = now;
+                view
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cross_cluster_cells_prune_and_escalation_overrides() {
+        let (net, fleet, orders) = setup();
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        let views = views_at(&fleet, TimePoint::from_hours(8.0));
+        let map = Arc::new(ShardMap::build(&net, 2, ShardPolicy::default(), 7));
+        let epoch: Vec<&Order> = orders.iter().collect();
+
+        // No escalation: both cross-cluster cells prune.
+        let ctx = ShardContext {
+            map: Arc::clone(&map),
+            escalation: 0,
+        };
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch);
+        assert_eq!(sweep.stats.cells, 4);
+        assert_eq!(sweep.stats.pruned, 2);
+        assert_eq!(sweep.stats.evaluated, 2);
+        assert_eq!(sweep.stats.escalated, 0);
+        assert_eq!(sweep.work.len(), 2);
+        // Exactly the in-shard diagonal survives.
+        assert!(sweep.work.contains(&(0, 0)));
+        assert!(sweep.work.contains(&(1, 1)));
+
+        // Escalation m = 1 forces the nearest foreign vehicle back in.
+        let ctx = ShardContext { map, escalation: 1 };
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch);
+        assert_eq!(sweep.stats.pruned, 0);
+        assert_eq!(sweep.stats.escalated, 2);
+        assert_eq!(sweep.work.len(), 4);
+    }
+
+    #[test]
+    fn loose_deadlines_keep_every_cell_evaluated() {
+        let (net, fleet, mut orders) = setup();
+        for o in &mut orders {
+            o.deadline = TimePoint::from_hours(48.0);
+        }
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        let views = views_at(&fleet, TimePoint::from_hours(8.0));
+        let map = Arc::new(ShardMap::build(&net, 2, ShardPolicy::default(), 7));
+        let ctx = ShardContext { map, escalation: 0 };
+        let epoch: Vec<&Order> = orders.iter().collect();
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch);
+        assert_eq!(sweep.stats.pruned, 0);
+        assert_eq!(sweep.stats.evaluated, 4);
+        assert_eq!(sweep.stats.escalated, 2);
+        assert_eq!(sweep.stats.pruned_fraction(), 0.0);
+    }
+
+    #[test]
+    fn work_list_is_vehicle_shard_major() {
+        let (net, fleet, orders) = setup();
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        let views = views_at(&fleet, TimePoint::from_hours(8.0));
+        let map = Arc::new(ShardMap::build(&net, 2, ShardPolicy::default(), 7));
+        let shard_of = |k: u32| map.shard_of(views[k as usize].anchor_node);
+        let ctx = ShardContext {
+            map: Arc::clone(&map),
+            escalation: 2,
+        };
+        let epoch: Vec<&Order> = orders.iter().collect();
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch);
+        let shards: Vec<usize> = sweep.work.iter().map(|&(_, k)| shard_of(k)).collect();
+        let mut sorted = shards.clone();
+        sorted.sort_unstable();
+        assert_eq!(shards, sorted, "work must group by vehicle shard");
+    }
+}

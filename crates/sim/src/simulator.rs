@@ -5,8 +5,9 @@ use crate::batch::{Decision, DecisionBatch, DecisionReason};
 use crate::dispatcher::Dispatcher;
 use crate::metrics::{AssignmentRecord, EpisodeResult, MetricsAccumulator, MetricsOptions};
 use crate::observer::{DecisionRecord, EpochInfo, SimObserver};
+use crate::shard::ShardContext;
 use crate::state::VehicleState;
-use dpdp_net::{Instance, TimeDelta, TimePoint};
+use dpdp_net::{Instance, ShardMap, ShardPolicy, TimeDelta, TimePoint};
 use dpdp_pool::ThreadPool;
 use dpdp_routing::{PlannerMode, PlannerOutput, RoutePlanner, VehicleView};
 use std::sync::Arc;
@@ -39,6 +40,8 @@ pub enum SimBuildError {
     },
     /// [`SimulatorBuilder::num_threads`] needs at least one thread.
     ZeroThreads,
+    /// [`SimulatorBuilder::num_shards`] needs at least one shard.
+    ZeroShards,
 }
 
 impl std::fmt::Display for SimBuildError {
@@ -50,6 +53,9 @@ impl std::fmt::Display for SimBuildError {
             ),
             SimBuildError::ZeroThreads => {
                 write!(f, "num_threads must be at least 1 (1 = serial)")
+            }
+            SimBuildError::ZeroShards => {
+                write!(f, "num_shards must be at least 1 (1 = unsharded)")
             }
         }
     }
@@ -85,12 +91,15 @@ pub struct SimulatorBuilder<'a> {
     num_threads: usize,
     pool: Option<Arc<ThreadPool>>,
     planner_mode: PlannerMode,
+    num_shards: usize,
+    shard_policy: ShardPolicy,
+    shard_escalation: usize,
 }
 
 impl<'a> SimulatorBuilder<'a> {
     /// Starts from the defaults: immediate service, no horizon, full
     /// metrics, seed 0, single-threaded scoring, incremental insertion
-    /// evaluation.
+    /// evaluation, unsharded dispatch.
     pub fn new(instance: &'a Instance) -> Self {
         SimulatorBuilder {
             instance,
@@ -101,6 +110,9 @@ impl<'a> SimulatorBuilder<'a> {
             num_threads: 1,
             pool: None,
             planner_mode: PlannerMode::default(),
+            num_shards: 1,
+            shard_policy: ShardPolicy::default(),
+            shard_escalation: DEFAULT_SHARD_ESCALATION,
         }
     }
 
@@ -168,6 +180,43 @@ impl<'a> SimulatorBuilder<'a> {
         self
     }
 
+    /// Number of geographic regions decision epochs are partitioned into
+    /// (the region-sharded dispatch pipeline; see [`crate::shard`]).
+    ///
+    /// The default of 1 is the flat fleet scan. Any `s > 1` builds a
+    /// [`ShardMap`] over the instance's node coordinates at
+    /// [`SimulatorBuilder::build`] time and scores every epoch as a merge
+    /// of shard-local batches: in-shard `(order, vehicle)` pairs run the
+    /// full insertion sweep shard-concurrently, cross-shard pairs are
+    /// either escalated (see [`SimulatorBuilder::shard_escalation`]) or
+    /// skipped through an exact geometric infeasibility bound. **Episode
+    /// results are bit-identical for every shard count** — the partition
+    /// changes wall time, never decisions (`tests/batch_parity.rs` asserts
+    /// it for every built-in policy).
+    pub fn num_shards(mut self, num_shards: usize) -> Self {
+        self.num_shards = num_shards;
+        self
+    }
+
+    /// How nodes are partitioned into regions when
+    /// [`SimulatorBuilder::num_shards`] is above 1 (default: seeded
+    /// k-means centroids; [`ShardPolicy::Grid`] for a fixed grid).
+    pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
+        self.shard_policy = policy;
+        self
+    }
+
+    /// Escalation width `m` of the cross-shard merge rule: the `m` nearest
+    /// foreign vehicles (by anchor→pickup distance) are always evaluated
+    /// in full for every order, on top of any foreign vehicle the
+    /// infeasibility bound cannot rule out. Purely a work knob — results
+    /// are bit-identical for every `m` (default
+    /// [`DEFAULT_SHARD_ESCALATION`]).
+    pub fn shard_escalation(mut self, m: usize) -> Self {
+        self.shard_escalation = m;
+        self
+    }
+
     /// Selects the insertion evaluator every Algorithm 2 sweep of this
     /// simulator uses. The default [`PlannerMode::Incremental`] scores
     /// candidates through the O(n²) prefix/suffix-cached evaluator;
@@ -186,7 +235,8 @@ impl<'a> SimulatorBuilder<'a> {
     /// # Errors
     /// [`SimBuildError::NonPositivePeriod`] when fixed-interval buffering
     /// was requested with a period `<= 0`;
-    /// [`SimBuildError::ZeroThreads`] when `num_threads(0)` was requested.
+    /// [`SimBuildError::ZeroThreads`] when `num_threads(0)` was requested;
+    /// [`SimBuildError::ZeroShards`] when `num_shards(0)` was requested.
     pub fn build(self) -> Result<Simulator<'a>, SimBuildError> {
         if let BufferingMode::FixedInterval(period) = self.buffering {
             let seconds = period.seconds();
@@ -197,9 +247,23 @@ impl<'a> SimulatorBuilder<'a> {
         if self.num_threads == 0 {
             return Err(SimBuildError::ZeroThreads);
         }
+        if self.num_shards == 0 {
+            return Err(SimBuildError::ZeroShards);
+        }
         let pool = self
             .pool
             .unwrap_or_else(|| Arc::new(ThreadPool::new(self.num_threads)));
+        // The node set is static, so the region partition is built once
+        // here and shared by every epoch of every episode.
+        let shards = (self.num_shards > 1).then(|| ShardContext {
+            map: Arc::new(ShardMap::build(
+                &self.instance.network,
+                self.num_shards,
+                self.shard_policy,
+                self.seed,
+            )),
+            escalation: self.shard_escalation,
+        });
         Ok(Simulator {
             instance: self.instance,
             buffering: self.buffering,
@@ -208,9 +272,15 @@ impl<'a> SimulatorBuilder<'a> {
             seed: self.seed,
             pool,
             planner_mode: self.planner_mode,
+            shards,
         })
     }
 }
+
+/// Default escalation width `m` of [`SimulatorBuilder::shard_escalation`]:
+/// every order always sees its two nearest foreign vehicles evaluated in
+/// full, wherever the infeasibility bound stands.
+pub const DEFAULT_SHARD_ESCALATION: usize = 2;
 
 /// Fans every episode event out to the observers and feeds decisions into
 /// the metrics accumulator — the single place a decision is recorded, so
@@ -280,6 +350,7 @@ pub struct Simulator<'a> {
     seed: u64,
     pool: Arc<ThreadPool>,
     planner_mode: PlannerMode,
+    shards: Option<ShardContext>,
 }
 
 impl<'a> Simulator<'a> {
@@ -313,6 +384,17 @@ impl<'a> Simulator<'a> {
     /// [`SimulatorBuilder::planner_mode`]).
     pub fn planner_mode(&self) -> PlannerMode {
         self.planner_mode
+    }
+
+    /// Number of geographic shards epochs are scored with (see
+    /// [`SimulatorBuilder::num_shards`]; 1 = flat scan).
+    pub fn num_shards(&self) -> usize {
+        self.shards.as_ref().map_or(1, |c| c.map.num_shards())
+    }
+
+    /// The region partition in effect, when sharding is on.
+    pub fn shard_map(&self) -> Option<&ShardMap> {
+        self.shards.as_ref().map(|c| &*c.map)
     }
 
     /// The wall-clock time at which an order created at `created` is
@@ -425,12 +507,15 @@ impl<'a> Simulator<'a> {
                 states.clone(),
                 Arc::clone(&self.pool),
                 self.planner_mode,
+                self.shards.clone(),
             );
             sink.epoch(&EpochInfo {
                 index: epoch_index,
                 now,
                 interval,
                 num_orders: epoch_orders.len(),
+                num_shards: self.num_shards(),
+                shards: batch.shard_stats(),
             });
             let decisions = dispatcher.dispatch_batch(&batch);
             assert_eq!(
@@ -875,6 +960,52 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, SimBuildError::ZeroThreads);
         assert!(err.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn zero_shards_is_a_build_error() {
+        let inst = instance(1, vec![]);
+        let err = Simulator::builder(&inst).num_shards(0).build().unwrap_err();
+        assert_eq!(err, SimBuildError::ZeroShards);
+        assert!(err.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn episode_results_are_shard_count_invariant() {
+        // Same fixture as the thread-parity test: multi-order epochs
+        // exercise the sharded sweep and the per-commit column delta.
+        let inst = instance(
+            3,
+            vec![
+                order(0, 1, 2, 9.0, 8.0, 8.34),
+                order(1, 1, 2, 9.0, 8.0, 8.34),
+                order(2, 2, 3, 4.0, 9.0, 20.0),
+                order(3, 3, 1, 4.0, 9.0, 20.0),
+            ],
+        );
+        let flat = Simulator::builder(&inst)
+            .build()
+            .unwrap()
+            .run(&mut FirstFeasible);
+        for shards in [2, 3, 8] {
+            for policy in [
+                dpdp_net::ShardPolicy::default(),
+                dpdp_net::ShardPolicy::Grid,
+            ] {
+                let s = Simulator::builder(&inst)
+                    .num_shards(shards)
+                    .shard_policy(policy)
+                    .build()
+                    .unwrap();
+                assert_eq!(s.num_shards(), shards);
+                assert!(s.shard_map().is_some());
+                let sharded = s.run(&mut FirstFeasible);
+                assert_eq!(
+                    flat, sharded,
+                    "{shards} shards under {policy:?} diverged from the flat scan"
+                );
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //! bit-identical to `num_threads(1)`. The parallel width defaults to 4 and
 //! can be overridden through the `DPDP_TEST_THREADS` env var (the CI test
 //! matrix runs 1 and 4).
+//!
+//! And it proves the **shard-count invariance** of the region-sharded
+//! dispatch pipeline: `SimulatorBuilder::num_shards(s)` partitions every
+//! epoch geographically, prunes cross-shard `(order, vehicle)` pairs
+//! through an exact infeasibility bound and escalates the rest — and the
+//! resulting episodes are bit-identical to the flat `shards = 1` scan for
+//! every policy, at 1 thread and at the parallel width, on the metro
+//! preset (where the prune genuinely fires; a guard test asserts
+//! non-vacuity).
 
 use dpdp_core::prelude::*;
 use dpdp_net::TimeDelta;
@@ -178,6 +187,111 @@ fn incremental_planner_matches_naive_reference_end_to_end() {
             "DQN diverged between incremental and naive planner under {mode:?}"
         );
     }
+}
+
+/// The region-sharded dispatch pipeline must be invisible in results:
+/// episodes at `shards = N` are bit-identical to `shards = 1`, for
+/// Baselines 1–3 and DQN, at 1 thread and at the parallel width, under
+/// immediate service and coarse buffering (multi-order sharded epochs).
+/// Runs on a metro instance where cross-shard pruning genuinely fires
+/// (see `sharded_metro_epochs_actually_prune` for the non-vacuity guard).
+#[test]
+fn every_policy_is_bit_identical_across_shard_counts() {
+    let metro = Presets::metro(7);
+    let instance = metro.metro_instance(60, 32, 5);
+    let rl_instance = metro.metro_instance(24, 12, 9);
+    let threads = parallel_threads();
+    let run_sharded = |instance: &Instance,
+                       buffering: BufferingMode,
+                       dispatcher: &mut dyn Dispatcher,
+                       shards: usize,
+                       num_threads: usize| {
+        Simulator::builder(instance)
+            .buffering(buffering)
+            .num_shards(shards)
+            .num_threads(num_threads)
+            .build()
+            .expect("valid configuration")
+            .run(dispatcher)
+    };
+    let buffer_modes = [
+        BufferingMode::Immediate,
+        BufferingMode::FixedInterval(TimeDelta::from_minutes(60.0)),
+    ];
+    for mode in buffer_modes {
+        type MakeDispatcher = fn() -> Box<dyn Dispatcher>;
+        let heuristics: [(&str, MakeDispatcher); 3] = [
+            ("Baseline1", || Box::new(Baseline1)),
+            ("Baseline2", || Box::new(Baseline2)),
+            ("Baseline3", || Box::<Baseline3>::default()),
+        ];
+        for (name, make) in heuristics {
+            let flat = run_sharded(&instance, mode, &mut *make(), 1, 1);
+            assert_eq!(flat.assignments.len(), instance.num_orders());
+            for shards in [2usize, 4] {
+                for &width in &[1usize, threads] {
+                    let sharded = run_sharded(&instance, mode, &mut *make(), shards, width);
+                    assert_eq!(
+                        flat, sharded,
+                        "{name} diverged at {shards} shards / {width} thread(s) under {mode:?}"
+                    );
+                }
+            }
+        }
+
+        // One learned policy: identically seeded agents, so the whole
+        // training episode (exploration RNG included) must match.
+        let flat = {
+            let mut agent = models::dqn_agent(ModelKind::Dgn, metro.dataset(), 5);
+            run_sharded(&rl_instance, mode, &mut agent, 1, 1)
+        };
+        for &(shards, width) in &[(4usize, 1usize), (4, threads)] {
+            let mut agent = models::dqn_agent(ModelKind::Dgn, metro.dataset(), 5);
+            let sharded = run_sharded(&rl_instance, mode, &mut agent, shards, width);
+            assert_eq!(
+                flat, sharded,
+                "DQN diverged at {shards} shards / {width} thread(s) under {mode:?}"
+            );
+        }
+    }
+}
+
+/// Non-vacuity guard for the shard parity suite: on the metro instance the
+/// sharded sweep must actually prune a substantial share of cross-shard
+/// cells — otherwise the bit-identity assertions above would hold
+/// trivially because every cell ran the full sweep anyway.
+#[test]
+fn sharded_metro_epochs_actually_prune() {
+    use dpdp_sim::{EpochInfo, ShardStats, SimObserver};
+
+    #[derive(Default)]
+    struct Tally(ShardStats);
+    impl SimObserver for Tally {
+        fn on_epoch(&mut self, e: &EpochInfo) {
+            self.0.cells += e.shards.cells;
+            self.0.evaluated += e.shards.evaluated;
+            self.0.pruned += e.shards.pruned;
+            self.0.escalated += e.shards.escalated;
+        }
+    }
+
+    let metro = Presets::metro(7);
+    let instance = metro.metro_instance(60, 32, 5);
+    let mut tally = Tally::default();
+    Simulator::builder(&instance)
+        .num_shards(4)
+        .build()
+        .unwrap()
+        .run_observed(&mut Baseline1, &mut [&mut tally]);
+    let stats = tally.0;
+    assert_eq!(stats.cells, stats.evaluated + stats.pruned);
+    assert!(
+        stats.pruned as f64 >= 0.3 * stats.cells as f64,
+        "expected >= 30% of cells pruned on the metro instance, got {}/{}",
+        stats.pruned,
+        stats.cells
+    );
+    assert!(stats.escalated > 0, "escalation must also fire");
 }
 
 #[test]

@@ -17,6 +17,7 @@ fn arb_dataset_config() -> impl Strategy<Value = DatasetConfig> {
                     area_km: 8.0,
                     detour_factor: detour,
                     seed,
+                    ..CampusConfig::default()
                 },
                 ..DatasetConfig::default()
             };
