@@ -2,13 +2,44 @@
 //! training episode for DDQN / ST-DDQN / DDGN / ST-DDGN (Table II) against
 //! the Baseline-1 reference line.
 //!
+//! Rides the observer-based experiment pipeline: every curve point streams
+//! through a [`TrainObserver`] into a [`CurveProbe`] (CSV + running tail
+//! statistics) and the console as training runs — no `TrainReport` is
+//! materialized or scraped.
+//!
 //! ```text
 //! cargo run -p dpdp-bench --release --bin fig8 [--quick] [--episodes N]
 //! ```
 
-use dpdp_bench::{tail_mean_nuv, write_artifact, Cli, Model};
+use dpdp_bench::{write_artifact, Cli, Model};
 use dpdp_core::models::ModelSpec;
 use dpdp_core::prelude::*;
+use dpdp_rl::EpisodePoint;
+
+/// Streams each curve point to the console (thinned to `stride`) and into
+/// the wrapped [`CurveProbe`].
+struct ConsoleCurve {
+    probe: CurveProbe,
+    stride: usize,
+}
+
+impl ConsoleCurve {
+    fn print(p: &EpisodePoint) {
+        println!(
+            "  ep {:>4}: {:>3} / {:>10.1}",
+            p.episode, p.nuv, p.total_cost
+        );
+    }
+}
+
+impl TrainObserver for ConsoleCurve {
+    fn on_episode(&mut self, p: &EpisodePoint) {
+        if p.episode.is_multiple_of(self.stride) {
+            Self::print(p);
+        }
+        self.probe.on_episode(p);
+    }
+}
 
 fn main() {
     let cli = Cli::parse(200, 1);
@@ -31,26 +62,28 @@ fn main() {
     for spec in ModelSpec::ablation_lineup() {
         let mut model = Model::build(spec, &presets, cli.seed);
         model.set_prediction(Some(presets.train_prediction(4)));
-        let report = model.train_on(&instance, cli.episodes, None);
         let stride = (cli.episodes / 10).max(1);
         println!("\n{} convergence (episode: NUV / TC):", spec.name());
-        for p in report::thin_curve(&report.points, stride) {
-            println!(
-                "  ep {:>4}: {:>3} / {:>10.1}",
-                p.episode, p.nuv, p.total_cost
-            );
+        let mut curve = ConsoleCurve {
+            probe: CurveProbe::new(cli.episodes / 10 + 1),
+            stride,
+        };
+        model.train_on_observed(&instance, cli.episodes, None, &mut curve);
+        // The thinned console stream always ends with the final point.
+        if let Some(last) = &curve.probe.last {
+            if !last.episode.is_multiple_of(stride) {
+                ConsoleCurve::print(last);
+            }
         }
         println!(
             "  converged (last 10% mean): NUV {:.1}, TC {:.1}, best TC {:.1}",
-            tail_mean_nuv(&report.points, cli.episodes / 10 + 1),
-            report
-                .tail_mean_cost(cli.episodes / 10 + 1)
-                .unwrap_or(f64::NAN),
-            report.best_cost().unwrap_or(f64::NAN)
+            curve.probe.tail_mean_nuv().unwrap_or(f64::NAN),
+            curve.probe.tail_mean_cost().unwrap_or(f64::NAN),
+            curve.probe.best_cost.unwrap_or(f64::NAN)
         );
         write_artifact(
             &format!("fig8_{}.csv", spec.name().to_lowercase().replace('-', "_")),
-            &report::curve_to_csv(&report.points),
+            curve.probe.csv(),
         );
     }
     println!(

@@ -3,6 +3,11 @@
 //! Frobenius `Diff` to the demand distribution, and the demand STD matrix of
 //! the large-scale instance itself (Fig. 10).
 //!
+//! Rides the observer-based experiment pipeline: `Diff` points stream
+//! through a [`TrainObserver`] into the console and the summary CSV as
+//! training runs, and each kept capacity snapshot is written to disk the
+//! moment it is recorded — no `TrainReport` is materialized or scraped.
+//!
 //! ```text
 //! cargo run -p dpdp-bench --release --bin fig9 [--quick] [--episodes N]
 //! ```
@@ -10,7 +15,59 @@
 use dpdp_bench::{write_artifact, Cli, Model};
 use dpdp_core::models::ModelSpec;
 use dpdp_core::prelude::*;
-use dpdp_rl::TrainerConfig;
+use dpdp_rl::{EpisodePoint, TrainerConfig};
+
+/// Streams `Diff` points (thinned to `stride`) and writes each kept
+/// capacity snapshot as soon as it lands.
+struct DiffStream {
+    name: String,
+    stride: usize,
+    summary: String,
+    first_diff: Option<f64>,
+    last_point: Option<(usize, f64)>,
+}
+
+impl DiffStream {
+    fn emit(&mut self, episode: usize, diff: f64) {
+        println!("  ep {:>4}: Diff {:>9.2}", episode, diff);
+        self.summary
+            .push_str(&format!("{},{},{:.3}\n", self.name, episode, diff));
+    }
+
+    /// The thinned stream always ends with the final episode's point,
+    /// like the batch `thin_curve` rendering did.
+    fn finish(&mut self) {
+        if let Some((episode, diff)) = self.last_point {
+            if !episode.is_multiple_of(self.stride) {
+                self.emit(episode, diff);
+            }
+        }
+    }
+}
+
+impl TrainObserver for DiffStream {
+    fn on_episode(&mut self, p: &EpisodePoint) {
+        let Some(d) = p.capacity_diff else { return };
+        if self.first_diff.is_none() {
+            self.first_diff = Some(d);
+        }
+        self.last_point = Some((p.episode, d));
+        if p.episode.is_multiple_of(self.stride) {
+            self.emit(p.episode, d);
+        }
+    }
+
+    fn on_capacity_snapshot(&mut self, episode: usize, matrix: &StdMatrix) {
+        write_artifact(
+            &format!(
+                "fig9_{}_ep{}.csv",
+                self.name.to_lowercase().replace('-', "_"),
+                episode
+            ),
+            &matrix.to_csv(),
+        );
+    }
+}
 
 fn main() {
     let cli = Cli::parse(150, 1);
@@ -46,28 +103,18 @@ fn main() {
         let mut cfg = TrainerConfig::new(cli.episodes);
         cfg.capacity_index = Some(index.clone());
         cfg.snapshot_episodes = snapshots.clone();
-        let report = model.train_on(&instance, cli.episodes, Some(cfg));
         println!("\n{} Diff trajectory:", spec.name());
-        let stride = (cli.episodes / 8).max(1);
-        for p in report::thin_curve(&report.points, stride) {
-            if let Some(d) = p.capacity_diff {
-                println!("  ep {:>4}: Diff {:>9.2}", p.episode, d);
-                summary.push_str(&format!("{},{},{:.3}\n", spec.name(), p.episode, d));
-            }
-        }
-        for (ep, m) in &report.capacity_matrices {
-            write_artifact(
-                &format!(
-                    "fig9_{}_ep{}.csv",
-                    spec.name().to_lowercase().replace('-', "_"),
-                    ep
-                ),
-                &m.to_csv(),
-            );
-        }
-        let first = report.points.first().and_then(|p| p.capacity_diff);
-        let last = report.points.last().and_then(|p| p.capacity_diff);
-        if let (Some(f), Some(l)) = (first, last) {
+        let mut stream = DiffStream {
+            name: spec.name().to_string(),
+            stride: (cli.episodes / 8).max(1),
+            summary: String::new(),
+            first_diff: None,
+            last_point: None,
+        };
+        model.train_on_observed(&instance, cli.episodes, Some(cfg), &mut stream);
+        stream.finish();
+        summary.push_str(&stream.summary);
+        if let (Some(f), Some(l)) = (stream.first_diff, stream.last_point.map(|(_, d)| d)) {
             println!(
                 "  Diff: {:.2} -> {:.2} ({})",
                 f,

@@ -11,13 +11,20 @@
 //! policy, thread count, epoch counts, plus `sweep_n8`/`sweep_n16` rows
 //! timing the naive vs incremental Algorithm 2 insertion sweep, plus
 //! `metro_k*` rows timing region-sharded dispatch at every `--shards`
-//! count) so the perf trajectory across PRs is recorded; the CI bench-smoke
-//! job uploads it and fails on any panic, any non-finite metric, an
-//! incremental sweep slower than the naive reference at n >= 8 stops, or a
-//! `shards=4` metro episode slower than `shards=1`.
+//! count) so the perf trajectory across PRs is recorded; the header also
+//! carries the `--scenario` name and, for `metro_disrupted`, the
+//! disruption seed, so rows stay comparable across scenarios. Under
+//! `--scenario metro_disrupted` a disrupted smoke episode rides along
+//! (gates: finite metrics, ≥ 1% cancellations, ≥ 1 breakdown, and every
+//! stranded order re-dispatched or accounted for in the rejection
+//! breakdown). The CI bench-smoke job uploads the JSON and fails on any
+//! panic, any non-finite metric, an incremental sweep slower than the
+//! naive reference at n >= 8 stops, or a `shards=4` metro episode slower
+//! than `shards=1`.
 
 use dpdp_bench::{
     bench_json, build_and_train, check_finite, insertion_fixture, write_artifact, BenchRecord, Cli,
+    Scenario,
 };
 use dpdp_core::experiment::evaluate_pooled;
 use dpdp_core::models::ModelSpec;
@@ -196,6 +203,74 @@ fn metro_shard_walltime(
     }
 }
 
+/// The `metro_disrupted` scenario smoke: one Baseline-1 episode on the
+/// metro preset with seeded cancellations and breakdowns armed, watched by
+/// an [`EvalProbe`]. Exits 1 unless the scenario is non-vacuous — at
+/// least 1% of orders cancelled and at least one breakdown — and every
+/// order ended in exactly one final state (served, or rejected with a
+/// reason), i.e. all stranded orders were re-dispatched or accounted for.
+fn disrupted_smoke(records: &mut Vec<BenchRecord>, cli: &Cli, pool: &Arc<dpdp_pool::ThreadPool>) {
+    const FLEET: usize = 32;
+    const ORDERS: usize = 240;
+    println!("\n== disrupted metro scenario: {ORDERS} orders, {FLEET} vehicles ==");
+    let (metro, disruptions) = Presets::metro_disrupted(cli.seed);
+    let instance = metro.metro_instance(ORDERS, FLEET, 1);
+    let sim = Simulator::builder(&instance)
+        .buffering(BufferingMode::FixedInterval(TimeDelta::from_minutes(10.0)))
+        .disruptions(disruptions)
+        .seed(cli.seed)
+        .thread_pool(Arc::clone(pool))
+        .build()
+        .expect("valid disrupted metro configuration");
+    let mut probe = EvalProbe::default();
+    let mut b1 = Baseline1;
+    let start = Instant::now();
+    let result = sim.run_observed(&mut b1, &mut [&mut probe]);
+    let wall = start.elapsed().as_secs_f64();
+    let m = &result.metrics;
+    let record = BenchRecord {
+        instance: format!("disrupted_k{FLEET}_b10"),
+        algo: "Baseline1".to_string(),
+        nuv: m.nuv,
+        total_cost: m.total_cost,
+        wall_secs: wall,
+        epochs: probe.epochs,
+    };
+    check_finite(&record);
+    println!(
+        "NUV {}  TC {:.1}  served {}  cancelled {}  lost {}  breakdowns {}  wall {:.3} s",
+        m.nuv,
+        m.total_cost,
+        m.served,
+        m.rejections.cancelled,
+        m.rejections.vehicle_lost,
+        probe.breakdowns,
+        wall
+    );
+    if m.rejections.cancelled * 100 < instance.num_orders() {
+        eprintln!(
+            "error: metro_disrupted is vacuous: {} cancellations over {} orders (< 1%)",
+            m.rejections.cancelled,
+            instance.num_orders()
+        );
+        std::process::exit(1);
+    }
+    if probe.breakdowns == 0 {
+        eprintln!("error: metro_disrupted produced no breakdown");
+        std::process::exit(1);
+    }
+    if m.served + m.rejections.total() != instance.num_orders() {
+        eprintln!(
+            "error: disrupted episode lost orders: served {} + rejected-by-reason {} != {}",
+            m.served,
+            m.rejections.total(),
+            instance.num_orders()
+        );
+        std::process::exit(1);
+    }
+    records.push(record);
+}
+
 fn main() {
     let cli = Cli::parse(60, 1);
     let presets = cli.presets();
@@ -282,6 +357,11 @@ fn main() {
     // Region-sharded dispatch wall times per `--shards` count (and the
     // shards=4 vs shards=1 gate on the metro preset).
     metro_shard_walltime(&mut records, &cli, &pool);
+    // Under --scenario metro_disrupted, the disrupted smoke episode and
+    // its non-vacuity gates ride along in the same artifact.
+    if cli.scenario == Scenario::MetroDisrupted {
+        disrupted_smoke(&mut records, &cli, &pool);
+    }
 
     if let Some(path) = write_artifact("table1.csv", &csv) {
         println!("\nwrote {}", path.display());

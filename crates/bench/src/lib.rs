@@ -10,11 +10,47 @@
 
 use dpdp_core::models::{self, ModelSpec};
 use dpdp_core::prelude::*;
-use dpdp_rl::{EpisodePoint, TrainerConfig};
+use dpdp_rl::TrainerConfig;
 use std::path::PathBuf;
 
+/// Which scenario family a benchmark run exercises (`--scenario`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Scenario {
+    /// The paper's single-campus workload (the default).
+    #[default]
+    Campus,
+    /// The multi-hotspot metro workload (`Presets::metro`).
+    Metro,
+    /// Metro plus seeded cancellations and vehicle breakdowns
+    /// (`Presets::metro_disrupted`); the disruption seed is the master
+    /// `--seed` and is recorded in the benchmark JSON so perf
+    /// trajectories stay comparable across scenarios.
+    MetroDisrupted,
+}
+
+impl Scenario {
+    /// The scenario's canonical CLI/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Campus => "campus",
+            Scenario::Metro => "metro",
+            Scenario::MetroDisrupted => "metro_disrupted",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Scenario> {
+        match s {
+            "campus" => Some(Scenario::Campus),
+            "metro" => Some(Scenario::Metro),
+            "metro_disrupted" => Some(Scenario::MetroDisrupted),
+            _ => None,
+        }
+    }
+}
+
 /// Minimal CLI: `--episodes N`, `--instances N`, `--quick` (smaller
-/// dataset), `--seed N`, `--threads N`, `--shards LIST`.
+/// dataset), `--seed N`, `--threads N`, `--shards LIST`,
+/// `--scenario NAME`.
 #[derive(Debug, Clone)]
 pub struct Cli {
     /// Training episodes for learned models.
@@ -32,6 +68,13 @@ pub struct Cli {
     /// `--shards 1,4`; results are identical for every count, only wall
     /// time moves). Consumed by `table1`'s metro shard sweep.
     pub shards: Vec<usize>,
+    /// Scenario family (`--scenario campus|metro|metro_disrupted`).
+    /// Selects which *scenario-specific* sections a benchmark binary adds
+    /// (e.g. `table1`'s disrupted smoke episode); the fixed campus rows
+    /// every run produces are unaffected. Recorded in the benchmark JSON
+    /// header together with the disruption seed so the scenario rows stay
+    /// comparable across runs.
+    pub scenario: Scenario,
 }
 
 /// Why a command line was rejected (see [`Cli::parse_from`]).
@@ -76,6 +119,8 @@ options:
   --threads N     scoring pool width (1 = serial; results are identical)
   --shards LIST   comma-separated shard counts for the shard sweep
                   (e.g. 1,4; results are identical, only wall time moves)
+  --scenario NAME scenario family: campus (default), metro, or
+                  metro_disrupted (seeded cancellations + breakdowns)
   --quick         use the reduced-volume dataset
   -h, --help      print this help";
 
@@ -118,6 +163,7 @@ impl Cli {
             seed: 7,
             threads: 1,
             shards: vec![1],
+            scenario: Scenario::default(),
         };
         fn numeric<T: std::str::FromStr>(
             flag: &'static str,
@@ -169,6 +215,17 @@ impl Cli {
                             })
                         }
                     }
+                    i += 1;
+                }
+                "--scenario" => {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or(CliError::MissingValue("--scenario"))?;
+                    cli.scenario =
+                        Scenario::parse(value).ok_or_else(|| CliError::InvalidValue {
+                            flag: "--scenario",
+                            value: value.clone(),
+                        })?;
                     i += 1;
                 }
                 "--quick" => cli.quick = true,
@@ -259,6 +316,28 @@ impl Model {
         self.set_training(true);
         train(self.dispatcher(), instance, &cfg)
     }
+
+    /// Trains on one instance for `episodes`, streaming every convergence
+    /// point (and kept capacity snapshot) into `observer` instead of
+    /// materializing a report — the observer-based pipeline the
+    /// convergence-curve regenerators (`fig8`/`fig9`) ride. Returns the
+    /// demand STD matrix when capacity recording is configured.
+    pub fn train_on_observed(
+        &mut self,
+        instance: &Instance,
+        episodes: usize,
+        trainer_cfg: Option<TrainerConfig>,
+        observer: &mut dyn TrainObserver,
+    ) -> Option<StdMatrix> {
+        let episodes = if matches!(self, Model::Heuristic(_)) {
+            1
+        } else {
+            episodes
+        };
+        let cfg = trainer_cfg.unwrap_or_else(|| TrainerConfig::new(episodes));
+        self.set_training(true);
+        train_observed(self.dispatcher(), instance, &cfg, observer)
+    }
 }
 
 /// Trains a model for a spec on `instance` with ST prediction wired from
@@ -337,7 +416,10 @@ impl BenchRecord {
 
 /// Renders a benchmark run as JSON (hand-rolled — the offline serde shim
 /// has no serializer), recording the perf trajectory across PRs: wall time
-/// per policy, the thread count it ran with, and epoch counts.
+/// per policy, the thread count it ran with, and epoch counts. The header
+/// also records the `--scenario` family (which labels the run's
+/// scenario-specific rows — the fixed campus rows are present in every
+/// run) and, under `metro_disrupted`, the disruption seed.
 pub fn bench_json(bench: &str, cli: &Cli, records: &[BenchRecord]) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -358,12 +440,19 @@ pub fn bench_json(bench: &str, cli: &Cli, records: &[BenchRecord]) -> String {
         })
         .collect();
     let shards: Vec<String> = cli.shards.iter().map(|s| s.to_string()).collect();
+    let disruption_seed = match cli.scenario {
+        Scenario::MetroDisrupted => cli.seed.to_string(),
+        _ => "null".to_string(),
+    };
     format!(
         "{{\n  \"bench\": \"{}\",\n  \"threads\": {},\n  \"shards\": [{}],\n  \
+         \"scenario\": \"{}\",\n  \"disruption_seed\": {},\n  \
          \"episodes\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         esc(bench),
         cli.threads,
         shards.join(", "),
+        cli.scenario.name(),
+        disruption_seed,
         cli.episodes,
         cli.seed,
         cli.quick,
@@ -440,16 +529,6 @@ pub fn insertion_fixture(orders_on_route: usize) -> (Instance, dpdp_routing::Veh
     (instance, view)
 }
 
-/// Mean of the last `n` points' NUV (converged value for curve summaries).
-pub fn tail_mean_nuv(points: &[EpisodePoint], n: usize) -> f64 {
-    if points.is_empty() {
-        return 0.0;
-    }
-    let take = n.min(points.len());
-    let tail = &points[points.len() - take..];
-    tail.iter().map(|p| p.nuv as f64).sum::<f64>() / take as f64
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +603,44 @@ mod tests {
         }
         let err = Cli::parse_from(&argv(&["--shards"]), 60, 3).unwrap_err();
         assert_eq!(err, CliError::MissingValue("--shards"));
+    }
+
+    #[test]
+    fn cli_parses_scenarios() {
+        let cli = Cli::parse_from(&argv(&["--scenario", "metro_disrupted"]), 60, 3).unwrap();
+        assert_eq!(cli.scenario, Scenario::MetroDisrupted);
+        assert_eq!(cli.scenario.name(), "metro_disrupted");
+        let cli = Cli::parse_from(&argv(&["--scenario", "metro"]), 60, 3).unwrap();
+        assert_eq!(cli.scenario, Scenario::Metro);
+        let cli = Cli::parse_from(&[], 60, 3).unwrap();
+        assert_eq!(cli.scenario, Scenario::Campus);
+        let err = Cli::parse_from(&argv(&["--scenario", "mars"]), 60, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            CliError::InvalidValue {
+                flag: "--scenario",
+                ..
+            }
+        ));
+        let err = Cli::parse_from(&argv(&["--scenario"]), 60, 3).unwrap_err();
+        assert_eq!(err, CliError::MissingValue("--scenario"));
+    }
+
+    #[test]
+    fn bench_json_records_scenario_and_disruption_seed() {
+        let cli = Cli::parse_from(
+            &argv(&["--scenario", "metro_disrupted", "--seed", "13"]),
+            9,
+            1,
+        )
+        .unwrap();
+        let json = bench_json("table1", &cli, &[]);
+        assert!(json.contains("\"scenario\": \"metro_disrupted\""));
+        assert!(json.contains("\"disruption_seed\": 13"));
+        let cli = Cli::parse_from(&[], 9, 1).unwrap();
+        let json = bench_json("table1", &cli, &[]);
+        assert!(json.contains("\"scenario\": \"campus\""));
+        assert!(json.contains("\"disruption_seed\": null"));
     }
 
     #[test]
@@ -607,23 +724,5 @@ mod tests {
                 .iter()
                 .all(|s| s.action.order() != probe.id));
         }
-    }
-
-    #[test]
-    fn tail_mean_nuv_handles_edges() {
-        assert_eq!(tail_mean_nuv(&[], 5), 0.0);
-        let pts: Vec<EpisodePoint> = (0..4)
-            .map(|e| EpisodePoint {
-                episode: e,
-                nuv: e + 1,
-                total_cost: 0.0,
-                ttl: 0.0,
-                served: 0,
-                rejected: 0,
-                capacity_diff: None,
-            })
-            .collect();
-        assert!((tail_mean_nuv(&pts, 2) - 3.5).abs() < 1e-12);
-        assert!((tail_mean_nuv(&pts, 100) - 2.5).abs() < 1e-12);
     }
 }

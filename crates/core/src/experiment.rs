@@ -10,7 +10,8 @@
 use dpdp_net::Instance;
 use dpdp_pool::ThreadPool;
 use dpdp_sim::{
-    DecisionRecord, Dispatcher, EpochInfo, MetricsOptions, RejectionCounts, SimObserver, Simulator,
+    CancelOutcome, DecisionRecord, Dispatcher, DisruptionKind, DisruptionRecord, EpochInfo,
+    MetricsOptions, RejectionCounts, SimObserver, Simulator,
 };
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -44,6 +45,14 @@ pub struct EvalRow {
 /// Streaming evaluation observer: accumulates epoch and decision counts —
 /// including the per-reason rejection breakdown — from the episode's event
 /// stream, so evaluation needs no materialized assignment log.
+///
+/// Disruption events are mirrored exactly the way the simulator's own
+/// accumulator applies them (see `SimObserver::on_disruption`): a
+/// post-assignment cancellation or a lost order moves one count from
+/// served to the matching rejection reason, a stranded order is un-counted
+/// until its re-dispatch decision streams back through `on_decision` —
+/// so the probe's totals equal the episode aggregates even on disrupted
+/// scenarios.
 #[derive(Debug, Default, Clone)]
 pub struct EvalProbe {
     /// Decision epochs (batched dispatch calls) seen.
@@ -54,6 +63,10 @@ pub struct EvalProbe {
     pub rejected: usize,
     /// Rejections by reason.
     pub rejections: RejectionCounts,
+    /// Cancellation events applied (any outcome).
+    pub cancellations: usize,
+    /// Vehicle breakdowns applied.
+    pub breakdowns: usize,
 }
 
 impl SimObserver for EvalProbe {
@@ -67,6 +80,28 @@ impl SimObserver for EvalProbe {
         } else {
             self.rejected += 1;
             self.rejections.record(record.decision.reason);
+        }
+    }
+
+    fn on_disruption(&mut self, record: &DisruptionRecord) {
+        match &record.kind {
+            DisruptionKind::OrderCancelled { outcome, .. } => {
+                self.cancellations += 1;
+                if *outcome == CancelOutcome::AfterAssignment {
+                    self.served -= 1;
+                    self.rejected += 1;
+                    self.rejections.cancelled += 1;
+                }
+                // BeforeDispatch flows through on_decision; TooLate is a
+                // no-op.
+            }
+            DisruptionKind::VehicleBreakdown { stranded, lost, .. } => {
+                self.breakdowns += 1;
+                self.served -= stranded.len() + lost.len();
+                self.rejected += lost.len();
+                self.rejections.vehicle_lost += lost.len();
+            }
+            DisruptionKind::VehicleRecovered { .. } => {}
         }
     }
 }
@@ -168,6 +203,8 @@ pub fn mean_row(rows: &[EvalRow]) -> Option<EvalRow> {
         policy_rejected: mean_count(|r| r.policy_rejected),
         infeasible_choice: mean_count(|r| r.infeasible_choice),
         horizon_exceeded: mean_count(|r| r.horizon_exceeded),
+        cancelled: mean_count(|r| r.cancelled),
+        vehicle_lost: mean_count(|r| r.vehicle_lost),
     };
     Some(EvalRow {
         algo: rows[0].algo.clone(),

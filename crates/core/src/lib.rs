@@ -68,7 +68,7 @@ pub use experiment::{
 };
 pub use models::ModelSpec;
 pub use presets::Presets;
-pub use probes::DemandRecorder;
+pub use probes::{CurveProbe, DemandRecorder};
 
 /// Commonly used re-exports for downstream binaries and examples.
 pub mod prelude {
@@ -78,14 +78,18 @@ pub mod prelude {
     };
     pub use crate::models::{self, ModelSpec};
     pub use crate::presets::Presets;
-    pub use crate::probes::DemandRecorder;
+    pub use crate::probes::{CurveProbe, DemandRecorder};
     pub use crate::report;
     pub use dpdp_baselines::{Baseline1, Baseline2, Baseline3, ExactSolver};
     pub use dpdp_data::{Dataset, DatasetConfig, StScorer, StdMatrix};
     pub use dpdp_net::Instance;
-    pub use dpdp_rl::{train, ActorCriticAgent, AgentConfig, DqnAgent, ModelKind, TrainerConfig};
+    pub use dpdp_rl::{
+        train, train_observed, ActorCriticAgent, AgentConfig, DqnAgent, ModelKind, TrainObserver,
+        TrainerConfig,
+    };
     pub use dpdp_sim::{
-        BufferingMode, Decision, DecisionBatch, DecisionReason, Dispatcher, EpisodeMetrics,
-        EpisodeResult, EventCounter, MetricsOptions, SimObserver, Simulator, SimulatorBuilder,
+        BufferingMode, Decision, DecisionBatch, DecisionReason, Dispatcher, DisruptionConfig,
+        DisruptionKind, DisruptionRecord, EpisodeMetrics, EpisodeResult, EventCounter,
+        MetricsOptions, SimObserver, Simulator, SimulatorBuilder, StreamCommand,
     };
 }

@@ -2,7 +2,8 @@
 //! plus the metro multi-cluster scenario for region-sharded dispatch.
 
 use dpdp_data::{Dataset, DatasetConfig, StdMatrix};
-use dpdp_net::{Instance, TimeDelta};
+use dpdp_net::{Instance, TimeDelta, TimePoint};
+use dpdp_sim::DisruptionConfig;
 
 /// Builds the paper's instance families from one shared synthetic dataset.
 ///
@@ -66,6 +67,30 @@ impl Presets {
         cfg.generator.intra_cluster_bias = 0.85;
         cfg.generator.seed = seed;
         Presets::with_config(cfg)
+    }
+
+    /// The metro scenario under seeded disruptions: the same spatial
+    /// workload as [`Presets::metro`] plus a [`DisruptionConfig`] tuned so
+    /// a day is never quiet — roughly 8% of orders cancel (uniformly
+    /// within 45 minutes of creation, so buffered dispatch sees both
+    /// pre-dispatch drops and post-assignment route surgery) and about a
+    /// fifth of the fleet breaks down during business hours, recovering
+    /// after 30–120 minutes. Arm the config via
+    /// `SimulatorBuilder::disruptions`; the simulator seed drives the
+    /// draws through dedicated RNG streams, so the underlying instance is
+    /// bit-identical to the undisrupted metro scenario.
+    pub fn metro_disrupted(seed: u64) -> (Self, DisruptionConfig) {
+        let config = DisruptionConfig {
+            cancellation_prob: 0.08,
+            cancellation_delay: TimeDelta::from_minutes(45.0),
+            breakdown_prob: 0.2,
+            breakdown_window: (TimePoint::from_hours(8.0), TimePoint::from_hours(18.0)),
+            recovery_delay: Some((
+                TimeDelta::from_minutes(30.0),
+                TimeDelta::from_minutes(120.0),
+            )),
+        };
+        (Presets::metro(seed), config)
     }
 
     /// A metro-scale instance: `num_orders` orders sampled from the train
@@ -181,6 +206,20 @@ mod tests {
         let depots: std::collections::BTreeSet<_> =
             inst.fleet.vehicles.iter().map(|v| v.depot).collect();
         assert_eq!(depots.len(), 4);
+    }
+
+    #[test]
+    fn metro_disrupted_is_metro_plus_a_live_disruption_config() {
+        let (p, cfg) = Presets::metro_disrupted(7);
+        assert!(!cfg.is_vacuous());
+        assert!(cfg.cancellation_prob >= 0.01, "the smoke gate needs >= 1%");
+        assert!(cfg.breakdown_prob > 0.0);
+        // The spatial workload is the undisrupted metro scenario.
+        let plain = Presets::metro(7);
+        assert_eq!(
+            p.metro_instance(40, 8, 1).orders(),
+            plain.metro_instance(40, 8, 1).orders()
+        );
     }
 
     #[test]

@@ -8,9 +8,12 @@
 //! (The evaluation-row probe lives in [`crate::experiment::EvalProbe`];
 //! `dpdp-rl`'s capacity recorder follows the same pattern.)
 
+use crate::report::{curve_csv_line, CURVE_CSV_HEADER};
 use dpdp_data::{FactoryIndex, StdMatrix};
 use dpdp_net::Instance;
+use dpdp_rl::{EpisodePoint, TrainObserver};
 use dpdp_sim::{DecisionRecord, SimObserver};
+use std::collections::VecDeque;
 
 /// Streams the spatial-temporal demand distribution (the paper's STD
 /// matrix: pickup factory × decision interval) from an episode's decision
@@ -79,6 +82,78 @@ impl SimObserver for DemandRecorder {
     }
 }
 
+/// Streams a training convergence curve into its CSV rendering and
+/// running summary statistics — the [`TrainObserver`] analogue of
+/// [`crate::experiment::EvalProbe`]. Consumers (e.g. the `fig8`/`fig9`
+/// regenerators) keep nothing but this probe: no `TrainReport` is ever
+/// materialized.
+///
+/// Tail statistics cover the last `tail_cap` episodes (the "converged"
+/// window of the paper's Fig. 8 summaries).
+#[derive(Debug, Clone)]
+pub struct CurveProbe {
+    csv: String,
+    tail: VecDeque<(usize, f64)>,
+    tail_cap: usize,
+    /// Episodes streamed so far.
+    pub episodes: usize,
+    /// Best (lowest) total cost seen.
+    pub best_cost: Option<f64>,
+    /// The most recent curve point.
+    pub last: Option<EpisodePoint>,
+}
+
+impl CurveProbe {
+    /// A probe whose tail statistics cover the last `tail_cap` episodes.
+    pub fn new(tail_cap: usize) -> Self {
+        CurveProbe {
+            csv: String::from(CURVE_CSV_HEADER),
+            tail: VecDeque::with_capacity(tail_cap.max(1)),
+            tail_cap: tail_cap.max(1),
+            episodes: 0,
+            best_cost: None,
+            last: None,
+        }
+    }
+
+    /// The accumulated curve CSV (header plus one line per episode).
+    pub fn csv(&self) -> &str {
+        &self.csv
+    }
+
+    /// Mean NUV over the tail window, if any episode streamed.
+    pub fn tail_mean_nuv(&self) -> Option<f64> {
+        if self.tail.is_empty() {
+            return None;
+        }
+        Some(self.tail.iter().map(|&(n, _)| n as f64).sum::<f64>() / self.tail.len() as f64)
+    }
+
+    /// Mean total cost over the tail window, if any episode streamed.
+    pub fn tail_mean_cost(&self) -> Option<f64> {
+        if self.tail.is_empty() {
+            return None;
+        }
+        Some(self.tail.iter().map(|&(_, c)| c).sum::<f64>() / self.tail.len() as f64)
+    }
+}
+
+impl TrainObserver for CurveProbe {
+    fn on_episode(&mut self, point: &EpisodePoint) {
+        self.csv.push_str(&curve_csv_line(point));
+        if self.tail.len() == self.tail_cap {
+            self.tail.pop_front();
+        }
+        self.tail.push_back((point.nuv, point.total_cost));
+        self.episodes += 1;
+        self.best_cost = Some(match self.best_cost {
+            Some(best) => best.min(point.total_cost),
+            None => point.total_cost,
+        });
+        self.last = Some(point.clone());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +177,30 @@ mod tests {
         let direct = StdMatrix::from_orders(inst.orders(), &ds.grid(), &ds.factory_index());
         assert_eq!(recorder.matrix().data(), direct.data());
         assert!(recorder.matrix().total() > 0.0);
+    }
+
+    #[test]
+    fn curve_probe_streams_csv_and_tail_stats() {
+        let mut probe = CurveProbe::new(2);
+        for e in 0..4usize {
+            probe.on_episode(&EpisodePoint {
+                episode: e,
+                nuv: e + 1,
+                total_cost: 100.0 * (4 - e) as f64,
+                ttl: 10.0,
+                served: 5,
+                rejected: 0,
+                capacity_diff: None,
+            });
+        }
+        assert_eq!(probe.episodes, 4);
+        assert_eq!(probe.csv().lines().count(), 5, "header + 4 points");
+        // Tail window = last two episodes: NUV {3, 4}, TC {200, 100}.
+        assert!((probe.tail_mean_nuv().unwrap() - 3.5).abs() < 1e-12);
+        assert!((probe.tail_mean_cost().unwrap() - 150.0).abs() < 1e-12);
+        assert_eq!(probe.best_cost, Some(100.0));
+        assert_eq!(probe.last.as_ref().unwrap().episode, 3);
+        // Matches the batch renderer line for line.
+        assert!(probe.csv().starts_with(crate::report::CURVE_CSV_HEADER));
     }
 }

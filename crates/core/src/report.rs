@@ -22,15 +22,17 @@ pub fn render_table(title: &str, rows: &[EvalRow]) -> String {
 }
 
 /// Renders evaluation rows as CSV with a header (the `rej_*` columns are
-/// the per-reason rejection breakdown streamed by the evaluation probe).
+/// the per-reason rejection breakdown streamed by the evaluation probe,
+/// including the disruption outcomes `rej_cancelled` / `rej_vehicle_lost`).
 pub fn rows_to_csv(rows: &[EvalRow]) -> String {
     let mut out = String::from(
         "algo,nuv,total_cost,ttl_km,served,rejected,\
-         rej_no_feasible,rej_policy,rej_infeasible_choice,rej_horizon,wall_secs\n",
+         rej_no_feasible,rej_policy,rej_infeasible_choice,rej_horizon,\
+         rej_cancelled,rej_vehicle_lost,wall_secs\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{},{},{:.3},{:.3},{},{},{},{},{},{},{:.6}\n",
+            "{},{},{:.3},{:.3},{},{},{},{},{},{},{},{},{:.6}\n",
             r.algo,
             r.nuv,
             r.total_cost,
@@ -41,27 +43,39 @@ pub fn rows_to_csv(rows: &[EvalRow]) -> String {
             r.rejections.policy_rejected,
             r.rejections.infeasible_choice,
             r.rejections.horizon_exceeded,
+            r.rejections.cancelled,
+            r.rejections.vehicle_lost,
             r.wall_secs
         ));
     }
     out
 }
 
+/// Header of the convergence-curve CSV written by [`curve_to_csv`] and
+/// streamed line by line by [`crate::probes::CurveProbe`].
+pub const CURVE_CSV_HEADER: &str = "episode,nuv,total_cost,ttl_km,served,rejected,capacity_diff\n";
+
+/// One convergence-curve CSV line (newline-terminated), matching
+/// [`CURVE_CSV_HEADER`].
+pub fn curve_csv_line(p: &EpisodePoint) -> String {
+    format!(
+        "{},{},{:.3},{:.3},{},{},{}\n",
+        p.episode,
+        p.nuv,
+        p.total_cost,
+        p.ttl,
+        p.served,
+        p.rejected,
+        p.capacity_diff.map_or(String::new(), |d| format!("{d:.3}")),
+    )
+}
+
 /// Renders a training convergence curve as CSV
 /// (`episode,nuv,total_cost,ttl,served,rejected,capacity_diff`).
 pub fn curve_to_csv(points: &[EpisodePoint]) -> String {
-    let mut out = String::from("episode,nuv,total_cost,ttl_km,served,rejected,capacity_diff\n");
+    let mut out = String::from(CURVE_CSV_HEADER);
     for p in points {
-        out.push_str(&format!(
-            "{},{},{:.3},{:.3},{},{},{}\n",
-            p.episode,
-            p.nuv,
-            p.total_cost,
-            p.ttl,
-            p.served,
-            p.rejected,
-            p.capacity_diff.map_or(String::new(), |d| format!("{d:.3}")),
-        ));
+        out.push_str(&curve_csv_line(p));
     }
     out
 }

@@ -40,4 +40,4 @@ pub use replay::ReplayBuffer;
 pub use reward::{instant_reward, RewardParams};
 pub use schedule::EpsilonSchedule;
 pub use state::{StateBuilder, StateSnapshot};
-pub use trainer::{train, EpisodePoint, TrainReport, TrainerConfig};
+pub use trainer::{train, train_observed, EpisodePoint, TrainObserver, TrainReport, TrainerConfig};

@@ -1,9 +1,15 @@
 //! The training loop (Algorithm 3) and convergence recording.
 //!
-//! [`train`] runs a dispatcher for a number of episodes on one instance and
-//! records the per-episode NUV and TC curves (the paper's Fig. 8), plus —
-//! optionally — the spatial-temporal capacity distribution and its Frobenius
-//! `Diff` against the instance's demand distribution (Fig. 9).
+//! [`train_observed`] runs a dispatcher for a number of episodes on one
+//! instance and **streams** the per-episode NUV/TC curve points (the
+//! paper's Fig. 8) — plus, optionally, spatial-temporal capacity snapshots
+//! and their Frobenius `Diff` against the demand distribution (Fig. 9) —
+//! into a [`TrainObserver`], one call per episode, with nothing retained.
+//! This is the training-side leg of the observer-based experiment
+//! pipeline: convergence-curve consumers (the `fig8`/`fig9` regenerators)
+//! ride the stream instead of scraping a materialized report. [`train`]
+//! wraps it with a collecting observer and returns the classic
+//! [`TrainReport`].
 
 use crate::recorder::CapacityRecorder;
 use dpdp_data::{FactoryIndex, StdMatrix};
@@ -86,20 +92,36 @@ impl TrainReport {
     }
 }
 
+/// A streaming consumer of training progress: one [`EpisodePoint`] per
+/// episode, plus the capacity snapshots the [`TrainerConfig`] asked to
+/// keep. All methods default to no-ops.
+pub trait TrainObserver {
+    /// Called after every training episode with its curve point.
+    fn on_episode(&mut self, _point: &EpisodePoint) {}
+
+    /// Called with the episode's capacity STD matrix for kept snapshots
+    /// (the configured `snapshot_episodes` plus the final episode), when
+    /// capacity recording is on.
+    fn on_capacity_snapshot(&mut self, _episode: usize, _matrix: &StdMatrix) {}
+}
+
 /// Trains `dispatcher` for `config.episodes` episodes on `instance`,
-/// recording convergence curves (the dispatcher learns inside its own
-/// `end_episode` hook, so any [`Dispatcher`] can be passed — heuristics
-/// simply yield flat curves).
-pub fn train(
+/// streaming every convergence point (and kept capacity snapshot) into
+/// `observer` as it happens — no curve is materialized here. Returns the
+/// instance's demand STD matrix when capacity recording is on (the
+/// reference surface Fig. 9/10 plot `Diff` against).
+///
+/// The dispatcher learns inside its own `end_episode` hook, so any
+/// [`Dispatcher`] can be passed — heuristics simply yield flat curves.
+pub fn train_observed(
     dispatcher: &mut dyn Dispatcher,
     instance: &Instance,
     config: &TrainerConfig,
-) -> TrainReport {
+    observer: &mut dyn TrainObserver,
+) -> Option<StdMatrix> {
     let sim = Simulator::builder(instance)
         .build()
         .expect("immediate-service simulator always builds");
-    let mut points = Vec::with_capacity(config.episodes);
-    let mut capacity_matrices = Vec::new();
     let demand = config
         .capacity_index
         .as_ref()
@@ -123,14 +145,7 @@ pub fn train(
             (Some(c), Some(d)) => Some(c.frobenius_diff(d)),
             _ => None,
         };
-        if let Some(c) = cap {
-            let keep =
-                config.snapshot_episodes.contains(&episode) || episode + 1 == config.episodes;
-            if keep {
-                capacity_matrices.push((episode, c));
-            }
-        }
-        points.push(EpisodePoint {
+        observer.on_episode(&EpisodePoint {
             episode,
             nuv: metrics.nuv,
             total_cost: metrics.total_cost,
@@ -139,11 +154,46 @@ pub fn train(
             rejected: metrics.rejected,
             capacity_diff,
         });
+        if let Some(c) = cap {
+            let keep =
+                config.snapshot_episodes.contains(&episode) || episode + 1 == config.episodes;
+            if keep {
+                observer.on_capacity_snapshot(episode, &c);
+            }
+        }
     }
+    demand
+}
 
+/// Trains `dispatcher` for `config.episodes` episodes on `instance` and
+/// collects the streamed curve into a [`TrainReport`] (see
+/// [`train_observed`] for the streaming form).
+pub fn train(
+    dispatcher: &mut dyn Dispatcher,
+    instance: &Instance,
+    config: &TrainerConfig,
+) -> TrainReport {
+    #[derive(Default)]
+    struct Collect {
+        points: Vec<EpisodePoint>,
+        capacity_matrices: Vec<(usize, StdMatrix)>,
+    }
+    impl TrainObserver for Collect {
+        fn on_episode(&mut self, point: &EpisodePoint) {
+            self.points.push(point.clone());
+        }
+        fn on_capacity_snapshot(&mut self, episode: usize, matrix: &StdMatrix) {
+            self.capacity_matrices.push((episode, matrix.clone()));
+        }
+    }
+    let mut collect = Collect {
+        points: Vec::with_capacity(config.episodes),
+        capacity_matrices: Vec::new(),
+    };
+    let demand = train_observed(dispatcher, instance, config, &mut collect);
     TrainReport {
-        points,
-        capacity_matrices,
+        points: collect.points,
+        capacity_matrices: collect.capacity_matrices,
         demand,
     }
 }

@@ -127,6 +127,30 @@ impl Route {
         net.path_length(&self.node_sequence(anchor, depot))
     }
 
+    /// Removes every remaining stop of `order` from the route (route
+    /// surgery for order cancellations and breakdown recovery), returning
+    /// how many stops were removed (0, 1 or 2).
+    ///
+    /// Removing stops never invalidates a route on a metric network — every
+    /// remaining arrival can only get earlier — and the LIFO discipline is
+    /// preserved because a pickup/delivery pair brackets a contiguous stack
+    /// interval: deleting both endpoints leaves every other pair properly
+    /// nested. The consumed-prefix head is normalised away, so the result
+    /// behaves exactly like a fresh route over the surviving stops.
+    pub fn remove_order(&mut self, order: OrderId) -> usize {
+        let before = self.len();
+        let live: Vec<Stop> = self
+            .stops()
+            .iter()
+            .filter(|s| s.action.order() != order)
+            .copied()
+            .collect();
+        let removed = before - live.len();
+        self.stops = live;
+        self.head = 0;
+        removed
+    }
+
     /// Orders with a pickup stop still in this route.
     pub fn pending_pickups(&self) -> Vec<OrderId> {
         self.stops()
@@ -267,6 +291,39 @@ mod tests {
             tail.length(&net, NodeId(0), NodeId(0))
         );
         assert_eq!(r.pending_pickups(), vec![OrderId(1)]);
+    }
+
+    #[test]
+    fn remove_order_excises_both_stops_and_normalises_head() {
+        let mut r = Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::pickup(NodeId(2), OrderId(1)),
+            Stop::delivery(NodeId(3), OrderId(1)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+        ]);
+        assert_eq!(r.remove_order(OrderId(1)), 2);
+        assert_eq!(
+            r.stops(),
+            &[
+                Stop::pickup(NodeId(1), OrderId(0)),
+                Stop::delivery(NodeId(2), OrderId(0)),
+            ]
+        );
+        // Removing an absent order is a no-op.
+        assert_eq!(r.remove_order(OrderId(9)), 0);
+        assert_eq!(r.len(), 2);
+        // A partially executed route only loses the remaining stop.
+        let mut r = Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+            Stop::pickup(NodeId(3), OrderId(1)),
+            Stop::delivery(NodeId(1), OrderId(1)),
+        ]);
+        r.pop_front();
+        assert_eq!(r.remove_order(OrderId(0)), 1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pending_pickups(), vec![OrderId(1)]);
+        assert_eq!(r.pending_deliveries(), vec![OrderId(1)]);
     }
 
     #[test]

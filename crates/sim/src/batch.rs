@@ -41,6 +41,17 @@ pub enum DecisionReason {
     InfeasibleChoice,
     /// The order's decision epoch fell beyond the simulation horizon.
     HorizonExceeded,
+    /// The order was cancelled by an [`OrderCancelled`] event — either
+    /// before it reached a dispatcher, or after assignment while its pickup
+    /// was still undriven (the assignment is revoked by route surgery).
+    ///
+    /// [`OrderCancelled`]: crate::event::SimEvent::OrderCancelled
+    Cancelled,
+    /// The order's serving vehicle broke down after the pickup was
+    /// executed: the cargo is stuck on the dead vehicle and the order
+    /// cannot be re-dispatched (see
+    /// [`VehicleBreakdown`](crate::event::SimEvent::VehicleBreakdown)).
+    VehicleLost,
 }
 
 /// One dispatch outcome produced by [`Dispatcher::dispatch_batch`].
@@ -172,6 +183,11 @@ pub struct DecisionBatch<'a> {
     pool: Arc<ThreadPool>,
     mode: PlannerMode,
     shards: Option<ShardContext>,
+    /// Per-vehicle availability mask (`None` = every vehicle available).
+    /// Masked vehicles — e.g. broken down mid-episode — keep their dense
+    /// slot in the snapshot but are excluded from the insertion sweep:
+    /// their plans arrive as `best: None`, so no policy can choose them.
+    active: Option<Vec<bool>>,
     inner: RefCell<BatchInner>,
 }
 
@@ -199,31 +215,48 @@ impl<'a> DecisionBatch<'a> {
         pool: Arc<ThreadPool>,
         mode: PlannerMode,
         shards: Option<ShardContext>,
+        active: Option<Vec<bool>>,
     ) -> Self {
         let views: Vec<VehicleView> = states.iter().map(|s| s.view.clone()).collect();
         let planner = RoutePlanner::with_mode(net, fleet, orders, mode);
         let epoch = &epoch_orders;
         let views_ref = &views;
+        let active_ref = active.as_deref();
+        let is_active = |k: usize| active_ref.is_none_or(|a| a[k]);
         let mut stats = ShardStats::default();
         let plans = match shards.as_ref().filter(|c| c.map.num_shards() > 1) {
             None => {
                 if mode == PlannerMode::Naive {
                     // The reference path never reads a cache; don't build
-                    // them.
+                    // them. Masked vehicles skip the sweep entirely and
+                    // emit the known infeasible output.
                     par_map_matrix(&pool, epoch_orders.len(), views.len(), |i, k| {
-                        planner.plan(&views_ref[k], &orders[epoch[i].index()])
+                        if is_active(k) {
+                            planner.plan(&views_ref[k], &orders[epoch[i].index()])
+                        } else {
+                            planner.pruned_output(None, &views_ref[k])
+                        }
                     })
                 } else {
-                    let caches: Vec<ScheduleCache> =
-                        pool.par_map(views.len(), |k| planner.cache(&views_ref[k]));
+                    // Schedule caches only for available vehicles; a masked
+                    // vehicle's plans are `best: None` with its exact route
+                    // length, so the mask is value-identical everywhere it
+                    // is applied (flat or sharded, any thread count).
+                    let caches: Vec<Option<ScheduleCache>> = pool.par_map(views.len(), |k| {
+                        is_active(k).then(|| planner.cache(&views_ref[k]))
+                    });
                     let caches_ref = &caches;
-                    par_map_matrix(&pool, epoch_orders.len(), views.len(), |i, k| {
-                        planner.plan_cached(
-                            &caches_ref[k],
-                            &views_ref[k],
-                            &orders[epoch[i].index()],
-                        )
-                    })
+                    par_map_matrix(
+                        &pool,
+                        epoch_orders.len(),
+                        views.len(),
+                        |i, k| match &caches_ref[k] {
+                            Some(cache) => {
+                                planner.plan_cached(cache, &views_ref[k], &orders[epoch[i].index()])
+                            }
+                            None => planner.pruned_output(None, &views_ref[k]),
+                        },
+                    )
                 }
             }
             Some(ctx) => {
@@ -233,7 +266,7 @@ impl<'a> DecisionBatch<'a> {
                 // Every pruned cell's output is bit-identical to what its
                 // full evaluation would have produced (see crate::shard).
                 let epoch_refs: Vec<&Order> = epoch.iter().map(|id| &orders[id.index()]).collect();
-                let sweep = plan_sweep(ctx, &planner, &views, &epoch_refs);
+                let sweep = plan_sweep(ctx, &planner, &views, &epoch_refs, active_ref);
                 stats = sweep.stats;
                 let work = &sweep.work;
                 // Schedule caches are only needed by vehicles with at
@@ -290,6 +323,7 @@ impl<'a> DecisionBatch<'a> {
             pool,
             mode,
             shards,
+            active,
             inner: RefCell::new(BatchInner {
                 states,
                 views,
@@ -395,6 +429,17 @@ impl<'a> DecisionBatch<'a> {
     /// Number of vehicles in the shared snapshot.
     pub fn num_vehicles(&self) -> usize {
         self.inner.borrow().views.len()
+    }
+
+    /// Whether vehicle `k` is available to this epoch. Vehicles masked out
+    /// (broken down mid-episode) keep their dense snapshot slot but every
+    /// plan of theirs is `best: None`, so policies cannot choose them.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    pub fn vehicle_active(&self, k: VehicleId) -> bool {
+        assert!(k.index() < self.num_vehicles(), "vehicle out of range");
+        self.active.as_ref().is_none_or(|a| a[k.index()])
     }
 
     /// Number of geographic shards the epoch was scored with (1 when
@@ -676,6 +721,7 @@ mod tests {
             states,
             Arc::new(ThreadPool::serial()),
             PlannerMode::default(),
+            None,
             None,
         )
     }

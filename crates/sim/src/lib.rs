@@ -1,27 +1,58 @@
-//! Event-driven DPDP simulator — the paper's Algorithm 1, organised around
-//! **batched decision epochs**.
+//! Event-driven DPDP simulation core — the paper's Algorithm 1 rebuilt
+//! around a deterministic **event engine** feeding **batched decision
+//! epochs**.
 //!
-//! The simulator replays a day (an *episode*) of delivery orders against a
-//! fleet. Orders are grouped into decision epochs — all orders sharing one
-//! decision time — and each epoch is decided through a single
-//! [`Dispatcher::dispatch_batch`] call over a [`DecisionBatch`]: one shared
-//! set of vehicle snapshots and Algorithm 2 planner outputs, delta-updated
-//! as decisions commit. Per-order policies keep implementing
-//! [`Dispatcher::dispatch`] and ride on the default batch adapter, which
-//! reproduces the legacy one-order-at-a-time semantics exactly; batch-native
-//! policies (like `dpdp-rl`'s agents) override `dispatch_batch` to score a
-//! whole epoch at once.
+//! # Architecture: sources → event stream → epochs → decisions
 //!
-//! Under immediate service (Section IV-D) epochs are single orders except
-//! for creation-time ties; under the fixed-interval *buffering* strategy the
-//! paper evaluates (and rejects for response-time reasons), every flush is
-//! one epoch and plans are computed once per epoch instead of once per
-//! order.
+//! An episode is a time-ordered stream of [`SimEvent`]s consumed by the
+//! engine ([`Simulator::run_events`]):
 //!
-//! Simulators are configured through [`SimulatorBuilder`] (buffering,
-//! horizon, metrics materialisation, seed, scoring threads), and episodes
-//! can be watched through [`SimObserver`] hooks — the seam that experience
-//! recording and metrics pipelines plug into.
+//! | event | effect |
+//! |---|---|
+//! | [`OrderArrival`] | the order joins the dispatch buffer until its decision epoch flushes |
+//! | [`OrderCancelled`] | buffered → logged as a [`Cancelled`] rejection; assigned with an undriven pickup → route surgery ([`Route::remove_order`]) revokes the assignment; picked up → too late, ignored |
+//! | [`VehicleBreakdown`] | undriven pickups are *stranded* back into the buffer (re-dispatched at the next epoch), onboard cargo is written off as [`VehicleLost`], and the vehicle is masked out of every [`DecisionBatch`] |
+//! | [`VehicleRecovered`] | the vehicle rejoins dispatch at its current anchor |
+//! | [`EpochFlush`] | a pure time heartbeat releasing every epoch due at or before it |
+//!
+//! Events come from pluggable [`EventSource`]s, merged deterministically
+//! (time, then a fixed event-class rank, then source position):
+//!
+//! * [`ReplaySource`] — the instance's order table; feeding the engine
+//!   from it alone is **bit-identical** to the pre-event scan loop (kept
+//!   as [`Simulator::run_reference`]) for every scenario, policy, shard
+//!   count and thread count — `tests/event_parity.rs` asserts it.
+//! * [`StreamSource`] — a channel of [`StreamCommand`]s pushed by another
+//!   thread ([`Simulator::serve`]): the simulator as a serving loop for
+//!   live traffic.
+//! * [`DisruptionSource`] — seeded stochastic cancellations and
+//!   breakdowns ([`DisruptionConfig`], armed via
+//!   [`SimulatorBuilder::disruptions`]) drawn from dedicated RNG streams
+//!   of the builder seed, so legacy draws are untouched.
+//!
+//! **Source contract.** A source yields events in nondecreasing time
+//! order and may block (that is how a channel source works — virtual time
+//! cannot pass an instant until every source has spoken). The engine
+//! clamps stragglers to the current clock.
+//!
+//! **Determinism guarantee.** The merged stream — and therefore the whole
+//! episode — is a pure function of the sources' contents: same instance,
+//! config and seed ⇒ bit-identical [`EpisodeResult`] and disruption
+//! trace, for every thread count, shard count and planner mode
+//! (`tests/event_parity.rs`, `tests/batch_parity.rs`).
+//!
+//! # Batched decision epochs
+//!
+//! Buffered orders sharing one decision time (immediate service: their
+//! creation instant; fixed-interval buffering: the flush multiple) are
+//! decided through a single [`Dispatcher::dispatch_batch`] call over a
+//! [`DecisionBatch`]: one shared set of vehicle snapshots and Algorithm 2
+//! planner outputs, delta-updated as decisions commit. Per-order policies
+//! implement [`Dispatcher::dispatch`] and ride the default adapter;
+//! batch-native policies (like `dpdp-rl`'s agents) score whole epochs at
+//! once. Stranded orders from breakdowns re-enter here as re-dispatchable
+//! arrivals; broken vehicles keep their dense snapshot slot but every
+//! plan of theirs arrives as `best: None`.
 //!
 //! # Parallel epoch scoring
 //!
@@ -29,52 +60,37 @@
 //! [`dpdp_pool::ThreadPool`]: the initial `B x K` Algorithm 2 sweep, the
 //! per-commit plan deltas, and policy-side scoring
 //! ([`DecisionBatch::map_plans`] / [`DecisionBatch::map_contexts`]) all
-//! fan out across it, with every result written to a pre-indexed slot.
-//! Episode results are therefore **bit-identical for every thread count**
-//! — `num_threads(1)` (the default) is exact legacy behaviour, and the
-//! parity suite in `tests/batch_parity.rs` asserts the invariance for all
-//! built-in policies.
+//! fan out across it, with every result written to a pre-indexed slot —
+//! results are bit-identical for every thread count.
 //!
 //! # Region-sharded dispatch: partition → score → merge
 //!
 //! [`SimulatorBuilder::num_shards`] turns every decision epoch into a
-//! *merge of shard-local batches* instead of a flat fleet scan:
+//! merge of shard-local batches: in-shard `(order, vehicle)` pairs run
+//! the full insertion sweep shard-concurrently, cross-shard pairs are
+//! escalated (the `m` nearest foreign vehicles) or skipped through the
+//! **exact** geometric bound of
+//! [`dpdp_routing::RoutePlanner::provably_infeasible`] — see
+//! [`crate::shard`] for the full pipeline and its determinism argument.
 //!
-//! 1. **Partition.** A [`ShardMap`] (built once per simulator from node
-//!    coordinates, via seeded k-means centroids or a fixed grid —
-//!    [`ShardPolicy`]) assigns each vehicle to the region of its current
-//!    anchor node and each epoch order to the region of its pickup node.
-//! 2. **Score.** In-shard `(order, vehicle)` pairs run the full insertion
-//!    sweep, grouped vehicle-shard-major into pool tasks; schedule caches
-//!    are built only for vehicles with at least one surviving pair.
-//! 3. **Merge.** Cross-shard pairs go through the deterministic
-//!    escalation rule: the `m` nearest foreign vehicles per order
-//!    ([`SimulatorBuilder::shard_escalation`], ranked by anchor→pickup
-//!    distance under `total_cmp`, ties first-wins) are always evaluated,
-//!    and each remaining pair is evaluated **unless** the exact geometric
-//!    bound of `dpdp_routing::RoutePlanner::provably_infeasible` — gated
-//!    on metric networks, with a one-second safety margin over the
-//!    deadline — proves no insertion can serve the order, in which case
-//!    the pair's known output (`best: None`, exact `d_{t,k}`) is emitted
-//!    without the sweep. Per-commit column deltas apply the same prune.
-//!
-//! **Determinism guarantee.** A pruned pair's output is bit-identical to
-//! what its full evaluation would have produced, every evaluated pair
-//! lands in a pre-indexed matrix slot, and classification never reads
-//! results — so the plan matrix every policy sees, and therefore the whole
-//! episode, is **bit-identical for every shard count, escalation width,
-//! and thread count**. Only wall time moves (shard-sweep savings are
-//! observable through [`EpochInfo`]'s [`ShardStats`]). The suite in
-//! `tests/batch_parity.rs` asserts `shards = 1` vs `shards = N` equality
-//! for every built-in policy at 1 and 4 threads on the metro preset, with
-//! a non-vacuity guard proving the prune fires; the CI bench-smoke job
-//! gates `shards = 4` wall time against the flat scan.
+//! [`OrderArrival`]: event::SimEvent::OrderArrival
+//! [`OrderCancelled`]: event::SimEvent::OrderCancelled
+//! [`VehicleBreakdown`]: event::SimEvent::VehicleBreakdown
+//! [`VehicleRecovered`]: event::SimEvent::VehicleRecovered
+//! [`EpochFlush`]: event::SimEvent::EpochFlush
+//! [`Cancelled`]: batch::DecisionReason::Cancelled
+//! [`VehicleLost`]: batch::DecisionReason::VehicleLost
+//! [`Route::remove_order`]: dpdp_routing::Route::remove_order
+//! [`Dispatcher::dispatch`]: dispatcher::Dispatcher::dispatch
+//! [`Dispatcher::dispatch_batch`]: dispatcher::Dispatcher::dispatch_batch
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod dispatcher;
+pub mod engine;
+pub mod event;
 pub mod metrics;
 pub mod observer;
 pub mod shard;
@@ -85,12 +101,19 @@ pub use batch::{Decision, DecisionBatch, DecisionReason};
 pub use dispatcher::{DispatchContext, Dispatcher, FirstFeasible, PerOrder};
 pub use dpdp_net::{ShardMap, ShardPolicy};
 pub use dpdp_routing::PlannerMode;
+pub use event::{
+    DisruptionConfig, DisruptionSource, EventSource, ReplaySource, SimEvent, StreamCommand,
+    StreamSource, TimedEvent,
+};
 pub use metrics::{
     AssignmentRecord, EpisodeMetrics, EpisodeResult, MetricsOptions, RejectionCounts, VehicleStats,
 };
-pub use observer::{DecisionRecord, EpochInfo, EventCounter, SimObserver};
+pub use observer::{
+    CancelOutcome, DecisionRecord, DisruptionKind, DisruptionRecord, EpochInfo, EventCounter,
+    SimObserver,
+};
 pub use shard::ShardStats;
 pub use simulator::{
     BufferingMode, SimBuildError, Simulator, SimulatorBuilder, DEFAULT_SHARD_ESCALATION,
 };
-pub use state::VehicleState;
+pub use state::{BreakdownOutcome, VehicleState};

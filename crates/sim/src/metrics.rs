@@ -105,6 +105,13 @@ pub struct RejectionCounts {
     /// The order's decision epoch fell beyond the simulation horizon
     /// ([`DecisionReason::HorizonExceeded`]).
     pub horizon_exceeded: usize,
+    /// The order was cancelled by a disruption event, before dispatch or by
+    /// revoking its assignment while the pickup was still undriven
+    /// ([`DecisionReason::Cancelled`]).
+    pub cancelled: usize,
+    /// The order's serving vehicle broke down after the pickup, stranding
+    /// the cargo ([`DecisionReason::VehicleLost`]).
+    pub vehicle_lost: usize,
 }
 
 impl RejectionCounts {
@@ -115,6 +122,8 @@ impl RejectionCounts {
             + self.policy_rejected
             + self.infeasible_choice
             + self.horizon_exceeded
+            + self.cancelled
+            + self.vehicle_lost
     }
 
     /// Tallies one rejection. [`DecisionReason::Assigned`] is not a
@@ -128,6 +137,8 @@ impl RejectionCounts {
             DecisionReason::PolicyRejected => self.policy_rejected += 1,
             DecisionReason::InfeasibleChoice => self.infeasible_choice += 1,
             DecisionReason::HorizonExceeded => self.horizon_exceeded += 1,
+            DecisionReason::Cancelled => self.cancelled += 1,
+            DecisionReason::VehicleLost => self.vehicle_lost += 1,
         }
     }
 }
@@ -264,6 +275,48 @@ impl MetricsAccumulator {
         }
     }
 
+    /// Flips a previously recorded assignment of `order` into a rejection
+    /// with `reason` — a post-assignment cancellation or a breakdown that
+    /// lost the picked-up cargo. The order's log entry is rewritten in
+    /// place as a rejection stamped with the disruption's time and
+    /// interval; the original response-time sample is kept (the dispatch
+    /// decision did happen).
+    pub(crate) fn revoke_to_rejection(
+        &mut self,
+        order: OrderId,
+        reason: DecisionReason,
+        time: TimePoint,
+        interval: usize,
+    ) {
+        debug_assert!(self.served > 0, "revoking with no assignment on record");
+        self.served -= 1;
+        self.rejected += 1;
+        self.rejections.record(reason);
+        if self.options.record_assignments {
+            if let Some(idx) = self.assignments.iter().rposition(|r| r.order == order) {
+                self.assignments[idx] = AssignmentRecord::rejected(order, reason, time, interval);
+            }
+        }
+    }
+
+    /// Withdraws a previously recorded assignment of `order` entirely: the
+    /// order goes back into the dispatch queue (a breakdown stranded it
+    /// before pickup), so its *next* decision — not this one — is the one
+    /// the episode log keeps. `response_secs` is the sample the withdrawn
+    /// decision contributed to the response-time average; it is subtracted
+    /// so the average covers exactly the decisions the episode kept.
+    pub(crate) fn withdraw_assignment(&mut self, order: OrderId, response_secs: f64) {
+        debug_assert!(self.served > 0, "withdrawing with no assignment on record");
+        self.served -= 1;
+        self.response_total -= response_secs;
+        self.responses_counted = self.responses_counted.saturating_sub(1);
+        if self.options.record_assignments {
+            if let Some(idx) = self.assignments.iter().rposition(|r| r.order == order) {
+                self.assignments.remove(idx);
+            }
+        }
+    }
+
     pub(crate) fn finish(
         self,
         states: &[VehicleState],
@@ -351,6 +404,73 @@ mod tests {
         assert_eq!(r.horizon_exceeded, 1);
         assert_eq!(r.infeasible_choice, 1);
         assert_eq!(r.total(), result.metrics.rejected);
+    }
+
+    #[test]
+    fn revoke_and_withdraw_keep_the_totals_invariant() {
+        // The breakdown totals invariant: after any mix of assignments,
+        // rejections, post-assignment cancellations, lost cargo and
+        // stranded-order re-dispatch, `assigned + sum(rejected by reason)`
+        // equals the number of orders with a final decision.
+        let fleet = FleetConfig::homogeneous(
+            1,
+            &[dpdp_net::NodeId(0)],
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+            dpdp_net::TimeDelta::ZERO,
+        )
+        .unwrap();
+        let net = RoadNetwork::euclidean(vec![], 1.0).unwrap();
+        let mut acc = MetricsAccumulator::new(MetricsOptions::default(), 5);
+        let t = TimePoint::ZERO;
+        let assigned = |order: u32| AssignmentRecord {
+            order: OrderId(order),
+            vehicle: Some(VehicleId(0)),
+            reason: DecisionReason::Assigned,
+            time: t,
+            interval: 0,
+            prev_length: 0.0,
+            new_length: 1.0,
+            vehicle_was_used: false,
+        };
+        // Orders 0-3 assigned, order 4 rejected outright.
+        for o in 0..4 {
+            acc.record(assigned(o), Some(0.0));
+        }
+        acc.record(
+            AssignmentRecord::rejected(OrderId(4), DecisionReason::NoFeasibleVehicle, t, 0),
+            Some(0.0),
+        );
+        // Order 1 cancelled after assignment, order 2 lost to a breakdown,
+        // order 3 stranded (withdrawn) and later re-assigned.
+        acc.revoke_to_rejection(OrderId(1), DecisionReason::Cancelled, t, 0);
+        acc.revoke_to_rejection(OrderId(2), DecisionReason::VehicleLost, t, 0);
+        acc.withdraw_assignment(OrderId(3), 0.0);
+        acc.record(assigned(3), Some(5.0));
+        let result = acc.finish(&[], &net, &fleet);
+        let m = &result.metrics;
+        assert_eq!(m.served, 2);
+        assert_eq!(m.rejected, 3);
+        assert_eq!(m.rejections.cancelled, 1);
+        assert_eq!(m.rejections.vehicle_lost, 1);
+        assert_eq!(m.rejections.no_feasible_vehicle, 1);
+        assert_eq!(m.served + m.rejections.total(), 5, "totals invariant");
+        // The log keeps exactly one final record per order.
+        assert_eq!(result.assignments.len(), 5);
+        let rec = |o: u32| {
+            result
+                .assignments
+                .iter()
+                .find(|r| r.order == OrderId(o))
+                .unwrap()
+        };
+        assert_eq!(rec(1).reason, DecisionReason::Cancelled);
+        assert_eq!(rec(1).vehicle, None);
+        assert_eq!(rec(2).reason, DecisionReason::VehicleLost);
+        assert_eq!(rec(3).reason, DecisionReason::Assigned);
+        assert_eq!(rec(0).reason, DecisionReason::Assigned);
     }
 
     #[test]

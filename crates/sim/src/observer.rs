@@ -7,20 +7,25 @@
 //! being hard-wired into dispatcher internals — the dispatcher decides,
 //! observers account.
 //!
-//! Guaranteed call order, enforced by
+//! Guaranteed call order, enforced by the event engine behind
 //! [`Simulator::run_observed`](crate::simulator::Simulator::run_observed):
 //!
 //! ```text
 //! on_episode_begin
-//!   (on_epoch  on_decision*)*     // one on_epoch per dispatch_batch call
-//!   on_decision*                  // horizon-dropped orders, if any
+//!   (on_epoch  on_decision*        // one on_epoch per dispatch_batch call
+//!    | on_decision                 // horizon-dropped / cancelled-pending
+//!    | on_disruption)*             // cancellations, breakdowns, recoveries
 //! on_episode_end
 //! ```
+//!
+//! Disruption events interleave with epochs in simulation-time order: an
+//! [`on_disruption`](SimObserver::on_disruption) call lands after every
+//! epoch that precedes it and before every epoch that follows it.
 
 use crate::batch::Decision;
 use crate::metrics::{AssignmentRecord, EpisodeResult};
 use crate::shard::ShardStats;
-use dpdp_net::{FleetConfig, Instance, RoadNetwork, TimePoint};
+use dpdp_net::{FleetConfig, Instance, OrderId, RoadNetwork, TimePoint, VehicleId};
 use dpdp_routing::{PlannerOutput, VehicleView};
 
 /// One decision epoch, as announced to observers before its decisions.
@@ -64,6 +69,66 @@ pub struct DecisionRecord<'a> {
     pub net: &'a RoadNetwork,
 }
 
+/// How an applied [`OrderCancelled`] event found its order.
+///
+/// [`OrderCancelled`]: crate::event::SimEvent::OrderCancelled
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The order was still buffered: it never reaches a dispatcher and is
+    /// logged as a [`Cancelled`](crate::batch::DecisionReason::Cancelled)
+    /// rejection (the decision record flows through `on_decision`).
+    BeforeDispatch,
+    /// The order was assigned but its pickup was still undriven: the
+    /// serving vehicle's route was shortened by surgery and the assignment
+    /// revoked (no `on_decision` follows — the episode log entry is
+    /// rewritten in place).
+    AfterAssignment,
+    /// The pickup had already been driven (or the order was already
+    /// rejected): the cancellation has no effect.
+    TooLate,
+}
+
+/// What a disruption event did to the episode, as announced through
+/// [`SimObserver::on_disruption`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DisruptionKind {
+    /// An order cancellation was processed.
+    OrderCancelled {
+        /// The cancelled order.
+        order: OrderId,
+        /// Where the cancellation caught the order.
+        outcome: CancelOutcome,
+        /// The vehicle whose route was shortened, for
+        /// [`CancelOutcome::AfterAssignment`].
+        vehicle: Option<VehicleId>,
+    },
+    /// A vehicle broke down.
+    VehicleBreakdown {
+        /// The broken vehicle.
+        vehicle: VehicleId,
+        /// Accepted-but-unpicked orders returned to the dispatch queue
+        /// (each will produce a fresh decision at the next epoch it joins).
+        stranded: Vec<OrderId>,
+        /// Picked-up orders written off as
+        /// [`VehicleLost`](crate::batch::DecisionReason::VehicleLost).
+        lost: Vec<OrderId>,
+    },
+    /// A broken vehicle came back into service at its current anchor.
+    VehicleRecovered {
+        /// The recovered vehicle.
+        vehicle: VehicleId,
+    },
+}
+
+/// One applied disruption event, stamped with its simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisruptionRecord {
+    /// When the event was applied.
+    pub time: TimePoint,
+    /// What it did.
+    pub kind: DisruptionKind,
+}
+
 /// Observation hooks over one simulated episode. All methods default to
 /// no-ops so observers implement only what they need.
 pub trait SimObserver {
@@ -77,6 +142,17 @@ pub trait SimObserver {
 
     /// Called after each decision is validated and committed.
     fn on_decision(&mut self, _record: &DecisionRecord<'_>) {}
+
+    /// Called after a disruption event (cancellation, breakdown, recovery)
+    /// is applied, in simulation-time order relative to epochs.
+    ///
+    /// Accounting rules for observers mirroring the episode aggregates:
+    /// a [`CancelOutcome::AfterAssignment`] cancellation and every `lost`
+    /// order of a breakdown move one order from served to rejected
+    /// (reasons `Cancelled` / `VehicleLost`); every `stranded` order
+    /// un-counts one served order, whose replacement decision arrives
+    /// through `on_decision` when the order is re-dispatched.
+    fn on_disruption(&mut self, _record: &DisruptionRecord) {}
 
     /// Called once with the finished episode result.
     fn on_episode_end(&mut self, _result: &EpisodeResult) {}
@@ -94,6 +170,12 @@ pub struct EventCounter {
     pub decisions: usize,
     /// Decisions that assigned a vehicle.
     pub assigned: usize,
+    /// Cancellation events applied (any [`CancelOutcome`]).
+    pub cancellations: usize,
+    /// Breakdown events applied.
+    pub breakdowns: usize,
+    /// Recovery events applied.
+    pub recoveries: usize,
     /// `on_episode_end` calls seen.
     pub episodes_ended: usize,
 }
@@ -111,6 +193,14 @@ impl SimObserver for EventCounter {
         self.decisions += 1;
         if record.decision.is_assigned() {
             self.assigned += 1;
+        }
+    }
+
+    fn on_disruption(&mut self, record: &DisruptionRecord) {
+        match record.kind {
+            DisruptionKind::OrderCancelled { .. } => self.cancellations += 1,
+            DisruptionKind::VehicleBreakdown { .. } => self.breakdowns += 1,
+            DisruptionKind::VehicleRecovered { .. } => self.recoveries += 1,
         }
     }
 

@@ -97,16 +97,24 @@ pub(crate) struct SweepPlan {
 /// Runs serially before the parallel sweep (distance lookups only, no
 /// planning); the result depends solely on the epoch snapshot and the
 /// shard configuration, never on thread scheduling.
+///
+/// `active` is the engine's vehicle-availability mask (`None` = all
+/// available): cells of a masked vehicle — broken down mid-episode — never
+/// survive classification (counted as pruned), and masked vehicles are
+/// skipped by the escalation ranking so an order never "escalates" to a
+/// dead truck.
 pub(crate) fn plan_sweep(
     ctx: &ShardContext,
     planner: &RoutePlanner<'_>,
     views: &[VehicleView],
     epoch_orders: &[&Order],
+    active: Option<&[bool]>,
 ) -> SweepPlan {
     let map = &*ctx.map;
     let net = planner.network();
     let k_n = views.len();
     let b = epoch_orders.len();
+    let is_active = |k: usize| active.is_none_or(|a| a[k]);
     let vehicle_shard: Vec<u32> = views
         .iter()
         .map(|v| map.shard_of(v.anchor_node) as u32)
@@ -127,7 +135,7 @@ pub(crate) fn plan_sweep(
         for (i, order) in epoch_orders.iter().enumerate() {
             best.clear();
             for (k, view) in views.iter().enumerate() {
-                if vehicle_shard[k] == order_shard[i] {
+                if vehicle_shard[k] == order_shard[i] || !is_active(k) {
                     continue;
                 }
                 let d = net.distance(view.anchor_node, order.pickup);
@@ -177,6 +185,10 @@ pub(crate) fn plan_sweep(
     for &k in &vehicles_by_shard {
         let ku = k as usize;
         for (i, order) in epoch_orders.iter().enumerate() {
+            if !is_active(ku) {
+                stats.pruned += 1;
+                continue;
+            }
             if vehicle_shard[ku] == order_shard[i] {
                 stats.evaluated += 1;
             } else if esc[i * m..(i + 1) * m].contains(&k)
@@ -277,7 +289,7 @@ mod tests {
             map: Arc::clone(&map),
             escalation: 0,
         };
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch);
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None);
         assert_eq!(sweep.stats.cells, 4);
         assert_eq!(sweep.stats.pruned, 2);
         assert_eq!(sweep.stats.evaluated, 2);
@@ -289,7 +301,7 @@ mod tests {
 
         // Escalation m = 1 forces the nearest foreign vehicle back in.
         let ctx = ShardContext { map, escalation: 1 };
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch);
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None);
         assert_eq!(sweep.stats.pruned, 0);
         assert_eq!(sweep.stats.escalated, 2);
         assert_eq!(sweep.work.len(), 4);
@@ -306,7 +318,7 @@ mod tests {
         let map = Arc::new(ShardMap::build(&net, 2, ShardPolicy::default(), 7));
         let ctx = ShardContext { map, escalation: 0 };
         let epoch: Vec<&Order> = orders.iter().collect();
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch);
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None);
         assert_eq!(sweep.stats.pruned, 0);
         assert_eq!(sweep.stats.evaluated, 4);
         assert_eq!(sweep.stats.escalated, 2);
@@ -325,7 +337,7 @@ mod tests {
             escalation: 2,
         };
         let epoch: Vec<&Order> = orders.iter().collect();
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch);
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None);
         let shards: Vec<usize> = sweep.work.iter().map(|&(_, k)| shard_of(k)).collect();
         let mut sorted = shards.clone();
         sorted.sort_unstable();

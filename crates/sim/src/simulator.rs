@@ -3,6 +3,7 @@
 
 use crate::batch::{Decision, DecisionBatch, DecisionReason};
 use crate::dispatcher::Dispatcher;
+use crate::event::DisruptionConfig;
 use crate::metrics::{AssignmentRecord, EpisodeResult, MetricsAccumulator, MetricsOptions};
 use crate::observer::{DecisionRecord, EpochInfo, SimObserver};
 use crate::shard::ShardContext;
@@ -42,6 +43,12 @@ pub enum SimBuildError {
     ZeroThreads,
     /// [`SimulatorBuilder::num_shards`] needs at least one shard.
     ZeroShards,
+    /// [`SimulatorBuilder::disruptions`] got invalid knobs (probability
+    /// outside `[0, 1]`, negative delay, or an unordered window/range).
+    InvalidDisruption {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SimBuildError {
@@ -56,6 +63,9 @@ impl std::fmt::Display for SimBuildError {
             }
             SimBuildError::ZeroShards => {
                 write!(f, "num_shards must be at least 1 (1 = unsharded)")
+            }
+            SimBuildError::InvalidDisruption { reason } => {
+                write!(f, "invalid disruption config: {reason}")
             }
         }
     }
@@ -94,6 +104,7 @@ pub struct SimulatorBuilder<'a> {
     num_shards: usize,
     shard_policy: ShardPolicy,
     shard_escalation: usize,
+    disruptions: Option<DisruptionConfig>,
 }
 
 impl<'a> SimulatorBuilder<'a> {
@@ -113,6 +124,7 @@ impl<'a> SimulatorBuilder<'a> {
             num_shards: 1,
             shard_policy: ShardPolicy::default(),
             shard_escalation: DEFAULT_SHARD_ESCALATION,
+            disruptions: None,
         }
     }
 
@@ -217,6 +229,20 @@ impl<'a> SimulatorBuilder<'a> {
         self
     }
 
+    /// Arms seeded stochastic disruptions for every episode this simulator
+    /// runs: order cancellations and vehicle breakdowns/recoveries sampled
+    /// by a [`DisruptionSource`](crate::event::DisruptionSource) from the
+    /// simulator seed (see [`SimulatorBuilder::seed`]) through dedicated
+    /// RNG streams — legacy draws are untouched, and a simulator without a
+    /// disruption config replays exactly the legacy episode.
+    ///
+    /// Validated at [`SimulatorBuilder::build`] time
+    /// ([`SimBuildError::InvalidDisruption`]).
+    pub fn disruptions(mut self, config: DisruptionConfig) -> Self {
+        self.disruptions = Some(config);
+        self
+    }
+
     /// Selects the insertion evaluator every Algorithm 2 sweep of this
     /// simulator uses. The default [`PlannerMode::Incremental`] scores
     /// candidates through the O(n²) prefix/suffix-cached evaluator;
@@ -250,6 +276,11 @@ impl<'a> SimulatorBuilder<'a> {
         if self.num_shards == 0 {
             return Err(SimBuildError::ZeroShards);
         }
+        if let Some(config) = &self.disruptions {
+            config
+                .validate()
+                .map_err(|reason| SimBuildError::InvalidDisruption { reason })?;
+        }
         let pool = self
             .pool
             .unwrap_or_else(|| Arc::new(ThreadPool::new(self.num_threads)));
@@ -273,6 +304,7 @@ impl<'a> SimulatorBuilder<'a> {
             pool,
             planner_mode: self.planner_mode,
             shards,
+            disruptions: self.disruptions,
         })
     }
 }
@@ -284,31 +316,39 @@ pub const DEFAULT_SHARD_ESCALATION: usize = 2;
 
 /// Fans every episode event out to the observers and feeds decisions into
 /// the metrics accumulator — the single place a decision is recorded, so
-/// the horizon, fast-commit and re-validation paths cannot drift apart.
-struct EpisodeSink<'run, 'obs, 'world> {
-    observers: &'run mut [&'obs mut dyn SimObserver],
-    acc: MetricsAccumulator,
-    fleet: &'world dpdp_net::FleetConfig,
-    net: &'world dpdp_net::RoadNetwork,
+/// the horizon, fast-commit, re-validation and disruption paths cannot
+/// drift apart.
+pub(crate) struct EpisodeSink<'run, 'obs, 'world> {
+    pub(crate) observers: &'run mut [&'obs mut dyn SimObserver],
+    pub(crate) acc: MetricsAccumulator,
+    pub(crate) fleet: &'world dpdp_net::FleetConfig,
+    pub(crate) net: &'world dpdp_net::RoadNetwork,
 }
 
 impl EpisodeSink<'_, '_, '_> {
-    fn begin(&mut self, instance: &Instance) {
+    pub(crate) fn begin(&mut self, instance: &Instance) {
         for obs in self.observers.iter_mut() {
             obs.on_episode_begin(instance);
         }
     }
 
-    fn epoch(&mut self, info: &EpochInfo) {
+    pub(crate) fn epoch(&mut self, info: &EpochInfo) {
         for obs in self.observers.iter_mut() {
             obs.on_epoch(info);
+        }
+    }
+
+    /// Fans a disruption record out to the observers.
+    pub(crate) fn disruption(&mut self, record: &crate::observer::DisruptionRecord) {
+        for obs in self.observers.iter_mut() {
+            obs.on_disruption(record);
         }
     }
 
     /// Records one committed decision. `committed` carries the chosen
     /// vehicle's pre-accept view and validated plan for assignments;
     /// `response_secs` is `None` for orders that were never dispatched.
-    fn decision(
+    pub(crate) fn decision(
         &mut self,
         decision: &Decision,
         record: AssignmentRecord,
@@ -328,7 +368,7 @@ impl EpisodeSink<'_, '_, '_> {
         self.acc.record(record, response_secs);
     }
 
-    fn finish(self, states: &[VehicleState]) -> EpisodeResult {
+    pub(crate) fn finish(self, states: &[VehicleState]) -> EpisodeResult {
         let result = self.acc.finish(states, self.net, self.fleet);
         for obs in self.observers.iter_mut() {
             obs.on_episode_end(&result);
@@ -343,14 +383,15 @@ impl EpisodeSink<'_, '_, '_> {
 /// Construct via [`Simulator::builder`].
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
-    instance: &'a Instance,
-    buffering: BufferingMode,
-    horizon: Option<TimePoint>,
-    metrics: MetricsOptions,
-    seed: u64,
-    pool: Arc<ThreadPool>,
-    planner_mode: PlannerMode,
-    shards: Option<ShardContext>,
+    pub(crate) instance: &'a Instance,
+    pub(crate) buffering: BufferingMode,
+    pub(crate) horizon: Option<TimePoint>,
+    pub(crate) metrics: MetricsOptions,
+    pub(crate) seed: u64,
+    pub(crate) pool: Arc<ThreadPool>,
+    pub(crate) planner_mode: PlannerMode,
+    pub(crate) shards: Option<ShardContext>,
+    pub(crate) disruptions: Option<DisruptionConfig>,
 }
 
 impl<'a> Simulator<'a> {
@@ -397,6 +438,12 @@ impl<'a> Simulator<'a> {
         self.shards.as_ref().map(|c| &*c.map)
     }
 
+    /// The armed disruption config, if any (see
+    /// [`SimulatorBuilder::disruptions`]).
+    pub fn disruption_config(&self) -> Option<&DisruptionConfig> {
+        self.disruptions.as_ref()
+    }
+
     /// The wall-clock time at which an order created at `created` is
     /// decided.
     ///
@@ -429,15 +476,24 @@ impl<'a> Simulator<'a> {
         self.run_observed(dispatcher, &mut [])
     }
 
-    /// Runs one full episode, notifying `observers` of every epoch and
-    /// decision (see [`SimObserver`] for the guaranteed call order).
+    /// Runs one full episode, notifying `observers` of every epoch,
+    /// decision and disruption (see [`SimObserver`] for the guaranteed
+    /// call order).
+    ///
+    /// This is the event-driven engine (see [`crate::event`] and
+    /// [`Simulator::run_events`]): the instance's order table replays
+    /// through a [`ReplaySource`](crate::event::ReplaySource) —
+    /// bit-identical to the legacy scan loop kept as
+    /// [`Simulator::run_reference`] — and, when
+    /// [`SimulatorBuilder::disruptions`] armed a config, a seeded
+    /// [`DisruptionSource`](crate::event::DisruptionSource) rides along.
     ///
     /// Orders are grouped into *decision epochs* — maximal runs of orders
     /// sharing one decision time — and each epoch is decided through a
     /// single [`Dispatcher::dispatch_batch`] call against one shared fleet
-    /// snapshot. Every decision the dispatcher returns is re-validated
-    /// here: the simulator replans the chosen `(vehicle, order)` pair
-    /// against its authoritative state and downgrades infeasible choices to
+    /// snapshot. Every decision the dispatcher returns is re-validated:
+    /// the simulator replans the chosen `(vehicle, order)` pair against
+    /// its authoritative state and downgrades infeasible choices to
     /// rejections, so a buggy or adversarial policy cannot corrupt the
     /// episode.
     ///
@@ -445,6 +501,36 @@ impl<'a> Simulator<'a> {
     /// Panics if the dispatcher violates the `dispatch_batch` contract by
     /// returning the wrong number of decisions or decisions out of order.
     pub fn run_observed(
+        &self,
+        dispatcher: &mut dyn Dispatcher,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> EpisodeResult {
+        use crate::event::{DisruptionSource, EventSource, ReplaySource};
+        let mut sources: Vec<Box<dyn EventSource + '_>> =
+            vec![Box::new(ReplaySource::new(self.instance))];
+        if let Some(config) = &self.disruptions {
+            sources.push(Box::new(DisruptionSource::new(
+                self.instance,
+                config,
+                self.seed,
+            )));
+        }
+        self.run_events(sources, dispatcher, observers)
+    }
+
+    /// The pre-event reference implementation: a direct scan over the
+    /// sorted order table, kept verbatim so `tests/event_parity.rs` can
+    /// assert the event-driven engine reproduces it **bit-identically**
+    /// for every scenario, policy, shard count and thread count.
+    ///
+    /// Supports everything the scan loop ever supported — buffering,
+    /// horizon, threads, shards, planner modes — but *not* event-only
+    /// features: any [`SimulatorBuilder::disruptions`] config is ignored
+    /// here, and nothing can arrive mid-episode.
+    ///
+    /// # Panics
+    /// Panics if the dispatcher violates the `dispatch_batch` contract.
+    pub fn run_reference(
         &self,
         dispatcher: &mut dyn Dispatcher,
         observers: &mut [&mut dyn SimObserver],
@@ -508,6 +594,7 @@ impl<'a> Simulator<'a> {
                 Arc::clone(&self.pool),
                 self.planner_mode,
                 self.shards.clone(),
+                None,
             );
             sink.epoch(&EpochInfo {
                 index: epoch_index,

@@ -1,6 +1,6 @@
 //! Runtime state of one vehicle during an episode.
 
-use dpdp_net::{FleetConfig, Order, RoadNetwork, TimePoint, VehicleConfig};
+use dpdp_net::{FleetConfig, Order, OrderId, RoadNetwork, TimePoint, VehicleConfig};
 use dpdp_routing::{Route, StopAction, VehicleView};
 
 /// The evolving state of a vehicle: a [`VehicleView`] snapshot (anchor, cargo
@@ -17,8 +17,25 @@ pub struct VehicleState {
     pub view: VehicleView,
     /// Kilometres of already-committed driving (executed legs).
     pub traveled: f64,
-    /// Number of orders this vehicle has accepted.
+    /// Number of orders this vehicle has accepted (and not had revoked by
+    /// a cancellation or breakdown).
     pub orders_accepted: usize,
+    /// Whether the vehicle is currently broken down (see
+    /// [`VehicleState::break_down`]). Broken vehicles are masked out of
+    /// every [`DecisionBatch`](crate::batch::DecisionBatch) until a
+    /// recovery event clears the flag.
+    pub broken: bool,
+}
+
+/// What a [`VehicleState::break_down`] call swept off the dying vehicle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BreakdownOutcome {
+    /// Accepted orders whose pickup had not been driven yet: their stops
+    /// were removed and they can be re-dispatched to another vehicle.
+    pub stranded: Vec<OrderId>,
+    /// Orders already picked up but not delivered: the cargo is stuck on
+    /// the dead vehicle and the order is unservable.
+    pub lost: Vec<OrderId>,
 }
 
 impl VehicleState {
@@ -28,6 +45,7 @@ impl VehicleState {
             view: VehicleView::idle_at_depot(config.id, config.depot),
             traveled: 0.0,
             orders_accepted: 0,
+            broken: false,
         }
     }
 
@@ -91,6 +109,43 @@ impl VehicleState {
         self.view.route = route;
         self.view.used = true;
         self.orders_accepted += 1;
+    }
+
+    /// Removes a cancelled order's remaining stops from the route (both
+    /// pickup and delivery; the caller must have advanced the state to the
+    /// cancellation instant first so "remaining" is wall-clock honest).
+    /// Returns `true` when the order was actually still on the route, in
+    /// which case the acceptance is also un-counted.
+    pub fn cancel_order(&mut self, order: OrderId) -> bool {
+        let removed = self.view.route.remove_order(order) > 0;
+        if removed {
+            self.orders_accepted = self.orders_accepted.saturating_sub(1);
+        }
+        removed
+    }
+
+    /// Breaks the vehicle down at its current anchor (the caller advances
+    /// to the breakdown instant first): the remaining route is stripped,
+    /// undriven pickups come back as re-dispatchable *stranded* orders,
+    /// onboard cargo is written off as *lost*, and the vehicle is masked
+    /// out of dispatch until [`VehicleState::recover`]. Executed kilometres
+    /// and the used flag are kept — the truck did drive.
+    pub fn break_down(&mut self) -> BreakdownOutcome {
+        let stranded = self.view.route.pending_pickups();
+        let lost: Vec<OrderId> = self.view.onboard.iter().map(|&(o, _)| o).collect();
+        self.view.route = Route::empty();
+        self.view.onboard.clear();
+        self.orders_accepted = self
+            .orders_accepted
+            .saturating_sub(stranded.len() + lost.len());
+        self.broken = true;
+        BreakdownOutcome { stranded, lost }
+    }
+
+    /// Clears the breakdown flag: the vehicle is available again at its
+    /// current anchor, with an empty route.
+    pub fn recover(&mut self) {
+        self.broken = false;
     }
 
     /// Whether the vehicle has served (or accepted) any order.
@@ -207,6 +262,70 @@ mod tests {
         s.advance_to(TimePoint::from_hours(1.0), &net, &fleet, &orders);
         assert!((s.final_travel_length(&net) - 40.0).abs() < 1e-9);
         assert!((s.traveled - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_strips_route_and_classifies_orders() {
+        let (net, fleet, _) = setup();
+        // Two orders: one will be picked up before the breakdown, one not.
+        let orders = vec![
+            Order::new(
+                OrderId(0),
+                NodeId(1),
+                NodeId(2),
+                2.0,
+                TimePoint::ZERO,
+                TimePoint::from_hours(24.0),
+            )
+            .unwrap(),
+            Order::new(
+                OrderId(1),
+                NodeId(2),
+                NodeId(1),
+                2.0,
+                TimePoint::ZERO,
+                TimePoint::from_hours(24.0),
+            )
+            .unwrap(),
+        ];
+        let mut s = state(&fleet);
+        s.accept(dpdp_routing::Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+            Stop::pickup(NodeId(2), OrderId(1)),
+            Stop::delivery(NodeId(1), OrderId(1)),
+        ]));
+        s.orders_accepted = 2;
+        // At t = 0 the first leg departs: order 0 is onboard, order 1 not.
+        s.advance_to(TimePoint::ZERO, &net, &fleet, &orders);
+        assert_eq!(s.view.onboard.len(), 1);
+        let outcome = s.break_down();
+        assert_eq!(outcome.lost, vec![OrderId(0)]);
+        assert_eq!(outcome.stranded, vec![OrderId(1)]);
+        assert!(s.broken);
+        assert!(s.view.route.is_empty());
+        assert!(s.view.onboard.is_empty());
+        assert_eq!(s.orders_accepted, 0);
+        assert!(s.used(), "the truck drove; it stays used");
+        assert!(s.traveled > 0.0);
+        s.recover();
+        assert!(!s.broken);
+    }
+
+    #[test]
+    fn cancel_order_only_touches_undriven_stops() {
+        let (net, fleet, orders) = setup();
+        let mut s = state(&fleet);
+        s.accept(dpdp_routing::Route::from_stops(vec![
+            Stop::pickup(NodeId(1), OrderId(0)),
+            Stop::delivery(NodeId(2), OrderId(0)),
+        ]));
+        assert!(s.cancel_order(OrderId(0)));
+        assert!(s.view.route.is_empty());
+        assert_eq!(s.orders_accepted, 0);
+        // Cancelling an order that is not on the route is a no-op.
+        assert!(!s.cancel_order(OrderId(0)));
+        let _ = (&net, &orders);
     }
 
     #[test]
