@@ -29,6 +29,9 @@ pub enum Scenario {
 }
 
 impl Scenario {
+    /// Every scenario, in CLI advertisement order.
+    pub const ALL: [Scenario; 3] = [Scenario::Campus, Scenario::Metro, Scenario::MetroDisrupted];
+
     /// The scenario's canonical CLI/JSON name.
     pub fn name(self) -> &'static str {
         match self {
@@ -39,12 +42,12 @@ impl Scenario {
     }
 
     fn parse(s: &str) -> Option<Scenario> {
-        match s {
-            "campus" => Some(Scenario::Campus),
-            "metro" => Some(Scenario::Metro),
-            "metro_disrupted" => Some(Scenario::MetroDisrupted),
-            _ => None,
-        }
+        Scenario::ALL.into_iter().find(|sc| sc.name() == s)
+    }
+
+    /// The comma-separated list of valid names, for error messages.
+    fn names() -> String {
+        Scenario::ALL.map(Scenario::name).join(", ")
     }
 }
 
@@ -91,6 +94,9 @@ pub enum CliError {
         /// The offending value.
         value: String,
     },
+    /// `--scenario` named a scenario that does not exist; the error lists
+    /// the valid names so a typo is self-correcting.
+    UnknownScenario(String),
     /// `--help` / `-h` was given.
     HelpRequested,
 }
@@ -102,6 +108,13 @@ impl std::fmt::Display for CliError {
             CliError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
             CliError::InvalidValue { flag, value } => {
                 write!(f, "flag `{flag}` got an invalid value `{value}`")
+            }
+            CliError::UnknownScenario(value) => {
+                write!(
+                    f,
+                    "unknown scenario `{value}`; valid scenarios: {}",
+                    Scenario::names()
+                )
             }
             CliError::HelpRequested => write!(f, "help requested"),
         }
@@ -221,11 +234,8 @@ impl Cli {
                     let value = args
                         .get(i + 1)
                         .ok_or(CliError::MissingValue("--scenario"))?;
-                    cli.scenario =
-                        Scenario::parse(value).ok_or_else(|| CliError::InvalidValue {
-                            flag: "--scenario",
-                            value: value.clone(),
-                        })?;
+                    cli.scenario = Scenario::parse(value)
+                        .ok_or_else(|| CliError::UnknownScenario(value.clone()))?;
                     i += 1;
                 }
                 "--quick" => cli.quick = true,
@@ -615,13 +625,12 @@ mod tests {
         let cli = Cli::parse_from(&[], 60, 3).unwrap();
         assert_eq!(cli.scenario, Scenario::Campus);
         let err = Cli::parse_from(&argv(&["--scenario", "mars"]), 60, 3).unwrap_err();
-        assert!(matches!(
-            err,
-            CliError::InvalidValue {
-                flag: "--scenario",
-                ..
-            }
-        ));
+        assert_eq!(err, CliError::UnknownScenario("mars".to_string()));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("campus") && msg.contains("metro") && msg.contains("metro_disrupted"),
+            "the error must list every valid scenario: {msg}"
+        );
         let err = Cli::parse_from(&argv(&["--scenario"]), 60, 3).unwrap_err();
         assert_eq!(err, CliError::MissingValue("--scenario"));
     }

@@ -1,0 +1,60 @@
+//! Standalone decision service.
+//!
+//! ```text
+//! cargo run --release -p dpdp-server --bin serve -- [--addr HOST:PORT] [--threads N] [--queue N]
+//! ```
+
+use dpdp_server::{DecisionServer, ServerConfig};
+
+const USAGE: &str = "\
+options:
+  --addr HOST:PORT  listen address (default 127.0.0.1:7878; port 0 = OS-picked)
+  --threads N       shared scoring pool width (default 1)
+  --queue N         per-session command queue bound (default 64)
+  -h, --help        print this help";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServerConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => fail("flag `--addr` needs a value"),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.threads = v,
+                _ => fail("flag `--threads` needs a positive integer"),
+            },
+            "--queue" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.queue_depth = v,
+                _ => fail("flag `--queue` needs a positive integer"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let server = match DecisionServer::bind(&addr, config) {
+        Ok(server) => server,
+        Err(e) => fail(&format!("cannot bind {addr}: {e}")),
+    };
+    match server.local_addr() {
+        Ok(bound) => println!("dpdp-server listening on {bound}"),
+        Err(e) => fail(&format!("cannot read bound address: {e}")),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("serve: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,96 @@
+//! # dpdp-server — a socket front-end for the dispatch simulator
+//!
+//! The paper's system runs as an *online* service: orders stream in over
+//! the network, dispatch decisions stream back. This crate is that
+//! front-end for the reproduction — a dependency-free (`std::net` only)
+//! TCP decision service in which **one connection is one tenant is one
+//! live episode** of [`Simulator::serve`]. Disjoint tenants (cities, in
+//! the paper's decomposition) share compute — a single [`dpdp_pool`]
+//! scoring pool — but no state.
+//!
+//! ```text
+//! accept loop ── conn ──> session thread ──sync_channel──> sim thread
+//!                           │  parses frames                 │ Simulator::serve
+//!                           └── ERR replies                  └── DECISION/EPOCH/… frames
+//! ```
+//!
+//! ## Wire protocol
+//!
+//! Newline-delimited frames of whitespace-separated ASCII tokens; all
+//! times are raw **seconds** (`f64`, shortest round-trip printing, so
+//! values parse back bit-identically). Client → server:
+//!
+//! ```text
+//! HELLO <tenant> <preset> <seed> [policy] [buffer_mins]   open the episode
+//! ORDER <pickup> <delivery> <qty> <created_s> <deadline_s>
+//! CANCEL <order> <at_s>
+//! BREAKDOWN <vehicle> <at_s>
+//! RECOVER <vehicle> <at_s>
+//! FLUSH <at_s>                                            time heartbeat
+//! DRAIN                                                   finish gracefully
+//! ```
+//!
+//! Server → client:
+//!
+//! ```text
+//! OK HELLO <tenant> preset=.. policy=.. seed=.. orders_base=.. vehicles=..
+//! EPOCH <index> <now_s> <orders>
+//! DECISION <order> <vehicle|-> <reason> <time_s>
+//! DISRUPT <time_s> cancel|breakdown|recover ...
+//! METRICS served=.. rejected=.. nuv=.. ttl=.. total_cost=.. avg_response_s=.. rej_*=..
+//! ERR <code> <detail>
+//! BYE
+//! ```
+//!
+//! ## Session lifecycle
+//!
+//! 1. **Handshake** — the first meaningful frame must be `HELLO`; anything
+//!    else (or an unknown preset/policy) draws an `ERR` and the server
+//!    keeps waiting. On success the server replies `OK HELLO …` carrying
+//!    `orders_base`, the id the first streamed order will get.
+//! 2. **Streaming** — each parsed frame becomes a
+//!    [`StreamCommand`](dpdp_sim::StreamCommand) pushed into the episode.
+//!    Malformed or invalid frames (bad numbers, unknown vehicle, an order
+//!    the instance's road network rejects) are answered with structured
+//!    `ERR <code> <detail>` lines and **never** tear the connection down
+//!    or reach the engine.
+//! 3. **Drain** — on `DRAIN` or EOF the session drops the command queue's
+//!    sender; the engine treats the hang-up as end-of-stream, flushes
+//!    every remaining buffered epoch, and the session emits the final
+//!    `METRICS` frame followed by `BYE`.
+//!
+//! ## Backpressure
+//!
+//! Each session's command queue is a *bounded* [`sync_channel`]. A tenant
+//! producing faster than its episode decides blocks its own session
+//! thread on `send`, which stops that socket from being read and lets the
+//! kernel's TCP window throttle that client — and only that client. Slow
+//! (or stalled, or vanished) consumers of the decision stream likewise
+//! hurt only themselves: a failed write marks the session's observer dead
+//! and the episode still drains cleanly server-side.
+//!
+//! ## Determinism contract
+//!
+//! An episode is a pure function of the `HELLO` parameters and the
+//! ordered command stream. The same `(preset, seed, policy, buffer)` and
+//! the same frames — over TCP, or pushed in-process through
+//! [`Simulator::serve`], or replayed via
+//! [`ReplaySource`](dpdp_sim::ReplaySource) — produce bit-identical
+//! decisions and [`EpisodeMetrics`](dpdp_sim::EpisodeMetrics), regardless
+//! of pool width, tenant count, or wall-clock timing of the frames. The
+//! socket-parity suite in `tests/` enforces exactly this.
+//!
+//! [`Simulator::serve`]: dpdp_sim::Simulator::serve
+//! [`sync_channel`]: std::sync::mpsc::sync_channel
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod preset;
+pub mod proto;
+mod server;
+mod session;
+
+pub use client::{ClientError, Episode, ServeClient};
+pub use proto::{Command, ProtoError, ServerMsg, WireDecision};
+pub use server::{DecisionServer, ServerConfig, ServerHandle};

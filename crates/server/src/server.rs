@@ -1,0 +1,121 @@
+//! The accept loop: a [`DecisionServer`] binds a TCP listener and hands
+//! each connection to a dedicated session thread. All sessions share one
+//! [`ThreadPool`] for epoch scoring — compute is pooled, episode state is
+//! not (tenants are fully isolated, per the paper's disjoint-city
+//! decomposition).
+
+use crate::session::{run_session, SessionContext};
+use dpdp_pool::ThreadPool;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Tunables of a [`DecisionServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Width of the shared scoring pool (1 = serial scoring; decisions are
+    /// identical either way, only wall time moves).
+    pub threads: usize,
+    /// Bound of each session's command queue. Small values apply
+    /// backpressure sooner; the bound never affects decisions.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 1,
+            queue_depth: 64,
+        }
+    }
+}
+
+struct Shared {
+    ctx: SessionContext,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-running decision service. Call [`run`](Self::run) to
+/// serve on the current thread or [`spawn`](Self::spawn) for a background
+/// accept loop with a shutdown handle.
+pub struct DecisionServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl DecisionServer {
+    /// Binds the listener. `addr` may use port 0 to let the OS pick (read
+    /// it back with [`local_addr`](Self::local_addr)).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<DecisionServer> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            ctx: SessionContext {
+                pool: Arc::new(ThreadPool::new(config.threads)),
+                queue_depth: config.queue_depth.max(1),
+            },
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(DecisionServer { listener, shared })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until [`ServerHandle::shutdown`] (or a listener
+    /// error). Each accepted socket gets its own named session thread;
+    /// accept errors on individual connections are skipped, not fatal.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Ok(());
+            }
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("dpdp-session".into())
+                .spawn(move || run_session(stream, &shared.ctx))?;
+        }
+    }
+
+    /// Moves the accept loop to a background thread and returns a handle
+    /// for address discovery and shutdown.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let join = std::thread::Builder::new()
+            .name("dpdp-accept".into())
+            .spawn(move || {
+                let _ = self.run();
+            })?;
+        Ok(ServerHandle { addr, shared, join })
+    }
+}
+
+/// Handle to a spawned [`DecisionServer`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    join: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Sessions already running drain on their own (their episodes end at
+    /// client `DRAIN`/EOF).
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection; the
+        // session it would spawn is suppressed by the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.join.join();
+    }
+}

@@ -1,0 +1,329 @@
+//! One connection = one session = one live episode.
+//!
+//! The session thread owns the socket's read half. After the `HELLO`
+//! handshake it spawns a scoped *sim thread* running
+//! [`Simulator::serve_observed`] over a **bounded** command queue
+//! ([`std::sync::mpsc::sync_channel`]) while the session thread keeps
+//! parsing frames into [`StreamCommand`]s:
+//!
+//! ```text
+//! socket ──read──> session thread ──sync_channel(depth)──> sim thread ──write──> socket
+//! ```
+//!
+//! Backpressure falls out of the bounded queue: when a tenant produces
+//! commands faster than its episode consumes them, `send` blocks the
+//! session thread, the socket stops being read, and the kernel's TCP
+//! window throttles *that client only* — no shared state, so no other
+//! tenant stalls. Protocol errors are answered with `ERR <code> <detail>`
+//! lines and the connection stays up; only `DRAIN`, EOF, or an I/O error
+//! end the episode (dropping the queue's sender, which the engine treats
+//! as end-of-stream — see the EOF contract on [`Simulator::serve`]).
+//!
+//! [`Simulator::serve`]: dpdp_sim::Simulator::serve
+//! [`Simulator::serve_observed`]: dpdp_sim::Simulator::serve_observed
+//! [`StreamCommand`]: dpdp_sim::StreamCommand
+
+use crate::preset::{build_instance, build_policy, POLICY_NAMES, PRESET_NAMES};
+use crate::proto::{
+    format_decision, format_disruption, format_epoch, format_metrics, parse_command, Command,
+    ProtoError, WireDecision,
+};
+use dpdp_net::{Instance, Order, OrderId, TimeDelta};
+use dpdp_pool::ThreadPool;
+use dpdp_sim::{
+    BufferingMode, DecisionRecord, DisruptionRecord, EpochInfo, SimObserver, Simulator,
+    StreamCommand,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+
+/// Shared per-server session parameters.
+pub(crate) struct SessionContext {
+    /// The scoring pool every episode shares.
+    pub pool: Arc<ThreadPool>,
+    /// Bound of each session's command queue (≥ 1).
+    pub queue_depth: usize,
+}
+
+/// Writes one frame; returns `false` once the client is unreachable.
+fn send_line(writer: &Mutex<TcpStream>, line: &str) -> bool {
+    let mut guard = writer.lock().expect("wire writer lock");
+    let mut frame = String::with_capacity(line.len() + 1);
+    frame.push_str(line);
+    frame.push('\n');
+    guard.write_all(frame.as_bytes()).is_ok()
+}
+
+/// Bridges episode observations onto the wire as `EPOCH` / `DECISION` /
+/// `DISRUPT` lines. A write failure marks the observer dead: the episode
+/// keeps running to a clean drain, it just stops narrating.
+struct WireObserver<'w> {
+    writer: &'w Mutex<TcpStream>,
+    dead: bool,
+}
+
+impl WireObserver<'_> {
+    fn emit(&mut self, line: &str) {
+        if !self.dead {
+            self.dead = !send_line(self.writer, line);
+        }
+    }
+}
+
+impl SimObserver for WireObserver<'_> {
+    fn on_epoch(&mut self, epoch: &EpochInfo) {
+        self.emit(&format_epoch(epoch));
+    }
+
+    fn on_decision(&mut self, record: &DecisionRecord<'_>) {
+        let a = record.assignment;
+        self.emit(&format_decision(&WireDecision {
+            order: a.order,
+            vehicle: a.vehicle,
+            reason: a.reason,
+            time_s: a.time.seconds(),
+        }));
+    }
+
+    fn on_disruption(&mut self, record: &DisruptionRecord) {
+        self.emit(&format_disruption(record));
+    }
+}
+
+/// A validated handshake.
+struct Hello {
+    tenant: String,
+    preset: String,
+    seed: u64,
+    policy: String,
+    buffering: BufferingMode,
+}
+
+/// Validates a `HELLO` against the preset/policy registries.
+fn validate_hello(cmd: Command) -> Result<Hello, ProtoError> {
+    let Command::Hello {
+        tenant,
+        preset,
+        seed,
+        policy,
+        buffer_mins,
+    } = cmd
+    else {
+        return Err(ProtoError::new(
+            "expected-hello",
+            "the first frame must be HELLO <tenant> <preset> <seed> [policy] [buffer_mins]",
+        ));
+    };
+    if !PRESET_NAMES.contains(&preset.as_str()) {
+        return Err(ProtoError::new(
+            "unknown-preset",
+            format!("`{preset}`; valid presets: {}", PRESET_NAMES.join(", ")),
+        ));
+    }
+    if !POLICY_NAMES.contains(&policy.as_str()) {
+        return Err(ProtoError::new(
+            "unknown-policy",
+            format!("`{policy}`; valid policies: {}", POLICY_NAMES.join(", ")),
+        ));
+    }
+    let buffering = if buffer_mins > 0.0 {
+        BufferingMode::FixedInterval(TimeDelta::from_minutes(buffer_mins))
+    } else {
+        BufferingMode::Immediate
+    };
+    Ok(Hello {
+        tenant,
+        preset,
+        seed,
+        policy,
+        buffering,
+    })
+}
+
+/// Runs one session to completion. Never panics outward on client
+/// misbehaviour — a poisoned socket simply ends the session.
+pub(crate) fn run_session(stream: TcpStream, ctx: &SessionContext) {
+    // Decision frames are small and latency-bound: never Nagle them.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut lines = BufReader::new(read_half).lines();
+    let writer = Mutex::new(stream);
+
+    // Handshake: keep answering ERR until a valid HELLO (or EOF).
+    let hello = loop {
+        let Some(Ok(line)) = lines.next() else {
+            return; // EOF or I/O error before any episode started
+        };
+        match parse_command(&line) {
+            Ok(None) => continue,
+            Ok(Some(cmd)) => match validate_hello(cmd) {
+                Ok(hello) => break hello,
+                Err(err) => {
+                    if !send_line(&writer, &err.to_line()) {
+                        return;
+                    }
+                }
+            },
+            Err(err) => {
+                if !send_line(&writer, &err.to_line()) {
+                    return;
+                }
+            }
+        }
+    };
+
+    let instance = build_instance(&hello.preset).expect("preset validated at handshake");
+    if !send_line(
+        &writer,
+        &format!(
+            "OK HELLO {} preset={} policy={} seed={} orders_base={} vehicles={}",
+            hello.tenant,
+            hello.preset,
+            hello.policy,
+            hello.seed,
+            instance.num_orders(),
+            instance.num_vehicles(),
+        ),
+    ) {
+        return;
+    }
+
+    let (tx, rx) = sync_channel::<StreamCommand>(ctx.queue_depth.max(1));
+    std::thread::scope(|scope| {
+        let sim_thread = scope.spawn(|| {
+            let mut policy = build_policy(&hello.policy).expect("policy validated at handshake");
+            let sim = Simulator::builder(&instance)
+                .buffering(hello.buffering)
+                .seed(hello.seed)
+                .thread_pool(Arc::clone(&ctx.pool))
+                .build()
+                .expect("presets build valid simulators");
+            let mut observer = WireObserver {
+                writer: &writer,
+                dead: false,
+            };
+            let result = sim.serve_observed(rx, policy.as_mut(), &mut [&mut observer]);
+            // The episode is drained: final aggregates, then goodbye.
+            if send_line(&writer, &format_metrics(&result.metrics)) {
+                send_line(&writer, "BYE");
+            }
+        });
+
+        read_commands(&mut lines, &writer, &instance, tx);
+        // Sender dropped (DRAIN / EOF): the sim thread drains remaining
+        // epochs and emits METRICS + BYE on its way out.
+        let _ = sim_thread.join();
+    });
+}
+
+/// The post-handshake read loop. Consumes `tx`; returning drops it, which
+/// is the engine's end-of-stream signal.
+fn read_commands(
+    lines: &mut std::io::Lines<BufReader<TcpStream>>,
+    writer: &Mutex<TcpStream>,
+    instance: &Instance,
+    tx: std::sync::mpsc::SyncSender<StreamCommand>,
+) {
+    // Streamed orders get ids dense after the (empty) replay table, in
+    // send order — tracked here so CANCEL frames can be validated without
+    // asking the engine.
+    let mut streamed = 0usize;
+    for line in lines {
+        let Ok(line) = line else {
+            return; // connection reset
+        };
+        let command = match parse_command(&line) {
+            Ok(None) => continue,
+            Ok(Some(cmd)) => cmd,
+            Err(err) => {
+                if !send_line(writer, &err.to_line()) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let reply = match command {
+            Command::Hello { .. } => Some(ProtoError::new(
+                "already-active",
+                "this session already runs an episode",
+            )),
+            Command::Order {
+                pickup,
+                delivery,
+                quantity,
+                created,
+                deadline,
+            } => {
+                match Order::new(OrderId(0), pickup, delivery, quantity, created, deadline)
+                    .map_err(|e| ProtoError::new("invalid-order", e.to_string()))
+                    .and_then(|order| {
+                        order
+                            .validate_against(&instance.network)
+                            .map_err(|e| ProtoError::new("invalid-order", e.to_string()))
+                            .map(|_| order)
+                    }) {
+                    Ok(order) => {
+                        if tx.send(StreamCommand::Order(order)).is_err() {
+                            return;
+                        }
+                        streamed += 1;
+                        None
+                    }
+                    Err(err) => Some(err),
+                }
+            }
+            Command::Cancel { order, at } => {
+                if order.index() >= instance.num_orders() + streamed {
+                    Some(ProtoError::new(
+                        "unknown-order",
+                        format!("order {} has not been streamed", order.index()),
+                    ))
+                } else if tx.send(StreamCommand::Cancel { order, at }).is_err() {
+                    return;
+                } else {
+                    None
+                }
+            }
+            Command::Breakdown { vehicle, at } => {
+                if vehicle.index() >= instance.num_vehicles() {
+                    Some(ProtoError::new(
+                        "unknown-vehicle",
+                        format!("fleet has {} vehicles", instance.num_vehicles()),
+                    ))
+                } else if tx.send(StreamCommand::Breakdown { vehicle, at }).is_err() {
+                    return;
+                } else {
+                    None
+                }
+            }
+            Command::Recover { vehicle, at } => {
+                if vehicle.index() >= instance.num_vehicles() {
+                    Some(ProtoError::new(
+                        "unknown-vehicle",
+                        format!("fleet has {} vehicles", instance.num_vehicles()),
+                    ))
+                } else if tx.send(StreamCommand::Recover { vehicle, at }).is_err() {
+                    return;
+                } else {
+                    None
+                }
+            }
+            Command::Flush { at } => {
+                if tx.send(StreamCommand::Flush { at }).is_err() {
+                    return;
+                }
+                None
+            }
+            Command::Drain => return,
+        };
+        if let Some(err) = reply {
+            if !send_line(writer, &err.to_line()) {
+                return;
+            }
+        }
+    }
+}

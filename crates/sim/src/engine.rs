@@ -269,6 +269,19 @@ impl<'a> Simulator<'a> {
     /// armed [`SimulatorBuilder::disruptions`] config rides along exactly
     /// as in [`Simulator::run_observed`].
     ///
+    /// # EOF contract
+    ///
+    /// Dropping every sending half of `rx` — deliberately, or because the
+    /// producer thread (or its network connection) died mid-episode — is
+    /// the stream's end-of-file, **never** an error: the engine treats the
+    /// hang-up as "no further event can arrive", flushes every still
+    /// buffered epoch in due order, decides their orders, and returns the
+    /// complete [`EpisodeResult`]. It does not hang and it does not panic.
+    /// A receiver dropped before any command was sent yields exactly the
+    /// replay-only episode of [`Simulator::run`]. `dpdp-server` leans on
+    /// this to drain tenant sessions on `DRAIN` frames and on abrupt
+    /// disconnects alike.
+    ///
     /// [`SimulatorBuilder::disruptions`]:
     ///     crate::simulator::SimulatorBuilder::disruptions
     pub fn serve(
@@ -809,6 +822,62 @@ mod tests {
         assert!((result.assignments[0].time.hours() - 8.5).abs() < 1e-9);
         assert!((result.assignments[1].time.hours() - 9.0).abs() < 1e-9);
         assert_eq!(counter.epochs, 2);
+    }
+
+    #[test]
+    fn serve_sender_dropped_mid_episode_drains_buffered_epochs_cleanly() {
+        // The EOF contract: a producer that dies mid-episode — engine
+        // blocked on `recv`, orders still buffered, no Flush heartbeat,
+        // no goodbye — must end the episode cleanly with final metrics.
+        use crate::simulator::BufferingMode;
+        let inst = instance(2, vec![]);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let producer = std::thread::spawn(move || {
+            tx.send(StreamCommand::Order(order(0, 1, 2, 2.0, 8.2, 20.0)))
+                .unwrap();
+            // Let the engine reach its blocking recv before the hang-up.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(StreamCommand::Order(order(1, 2, 3, 2.0, 8.9, 20.0)))
+                .unwrap();
+            // The sender drops here, with both epochs still buffered.
+        });
+        let sim = Simulator::builder(&inst)
+            .buffering(BufferingMode::FixedInterval(TimeDelta::from_minutes(30.0)))
+            .build()
+            .unwrap();
+        let result = sim.serve(rx, &mut FirstFeasible);
+        producer.join().unwrap();
+        assert_eq!(result.assignments.len(), 2, "both buffered orders decided");
+        assert_eq!(result.metrics.served + result.metrics.rejected, 2);
+        assert!((result.assignments[0].time.hours() - 8.5).abs() < 1e-9);
+        assert!((result.assignments[1].time.hours() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_with_immediately_dropped_sender_equals_the_replay_episode() {
+        // The degenerate stream — hung up before a single command — must
+        // reduce `serve` to exactly the replay-only episode of `run`.
+        use crate::simulator::BufferingMode;
+        let inst = instance(
+            2,
+            vec![
+                order(0, 1, 2, 2.0, 8.0, 20.0),
+                order(1, 2, 3, 2.0, 9.0, 20.0),
+            ],
+        );
+        for buffering in [
+            BufferingMode::Immediate,
+            BufferingMode::FixedInterval(TimeDelta::from_minutes(30.0)),
+        ] {
+            let sim = Simulator::builder(&inst)
+                .buffering(buffering)
+                .build()
+                .unwrap();
+            let reference = sim.run(&mut FirstFeasible);
+            let (tx, rx) = std::sync::mpsc::channel::<StreamCommand>();
+            drop(tx);
+            assert_eq!(sim.serve(rx, &mut FirstFeasible), reference);
+        }
     }
 
     #[test]

@@ -208,6 +208,12 @@ impl StreamCommand {
 /// thread(s). The source blocks the engine between commands — simulation
 /// time only advances as far as the producer has spoken — and is exhausted
 /// when every sender hangs up, which releases the episode's final epochs.
+///
+/// Hang-up is the *only* end-of-stream signal, and it is always clean: a
+/// sender dropped mid-episode (producer crash, connection reset) simply
+/// exhausts the source, and the engine finishes the episode with final
+/// metrics — the EOF contract documented on
+/// [`Simulator::serve`](crate::simulator::Simulator::serve).
 #[derive(Debug)]
 pub struct StreamSource {
     rx: Receiver<StreamCommand>,

@@ -1,106 +1,80 @@
-//! Live serving: the simulator as a serving loop.
+//! Live serving over the wire: the simulator behind a socket.
 //!
-//! A producer thread pushes orders — and a mid-day vehicle breakdown —
-//! into a running episode through `Simulator::serve`, while the main
-//! thread dispatches with Baseline 1. Virtual time advances exactly as
-//! far as the producer has spoken, so buffered epochs flush as
-//! later-stamped commands (or `Flush` heartbeats) arrive, and the episode
-//! ends when the producer hangs up.
+//! Spawns an in-process `dpdp-server`, connects the bundled wire client,
+//! and drives one tenant session end to end through the real TCP
+//! protocol: `HELLO` opens a `line4` episode with 10-minute buffered
+//! epochs, `ORDER`/`BREAKDOWN` frames stream the morning in, a `FLUSH`
+//! heartbeat releases everything due up to noon, and `DRAIN` flushes the
+//! episode into its final `METRICS` frame. The decisions that stream back
+//! are the same — bit for bit — as pushing the commands through
+//! `Simulator::serve` in-process (the socket-parity suite proves it).
 //!
 //! ```text
 //! cargo run --release --example live_serve
 //! ```
 
-use dpdp_core::prelude::*;
-use dpdp_net::{
-    FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta,
-    TimePoint, VehicleId,
-};
+use dpdp::server::{DecisionServer, ServeClient, ServerConfig};
 
 fn main() {
-    // A small two-hotspot city with an empty replay table: every order
-    // arrives over the wire.
-    let nodes = vec![
-        Node::depot(NodeId(0), Point::new(0.0, 0.0)),
-        Node::factory(NodeId(1), Point::new(8.0, 0.0)),
-        Node::factory(NodeId(2), Point::new(16.0, 0.0)),
-        Node::factory(NodeId(3), Point::new(24.0, 0.0)),
-    ];
-    let net = RoadNetwork::euclidean(nodes, 1.0).expect("valid network");
-    let fleet = FleetConfig::homogeneous(
-        3,
-        &[NodeId(0)],
-        10.0,
-        500.0,
-        2.0,
-        40.0,
-        TimeDelta::from_minutes(2.0),
-    )
-    .expect("valid fleet");
-    let instance =
-        Instance::new(net, fleet, IntervalGrid::paper_default(), vec![]).expect("valid instance");
+    let server = DecisionServer::bind("127.0.0.1:0", ServerConfig::default())
+        .expect("bind on a loopback port")
+        .spawn()
+        .expect("spawn accept loop");
+    println!("serving on {}", server.addr());
 
-    let order = |p: u32, d: u32, created_h: f64| {
-        Order::new(
-            OrderId(0), // the engine reassigns ids on arrival
-            NodeId(p),
-            NodeId(d),
-            3.0,
-            TimePoint::from_hours(created_h),
-            TimePoint::from_hours(created_h + 6.0),
-        )
-        .expect("valid order")
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    // line4: a depot and three factories strung along 24 km, three
+    // vehicles, empty replay table — every order arrives over the wire.
+    let ok = client
+        .hello("morning-shift", "line4", 0, "baseline1", 10.0)
+        .expect("handshake");
+    println!("server said: OK {ok}");
+
+    // Morning traffic, times in seconds of the virtual day.
+    let hours = |h: f64| h * 3600.0;
+    let order = |c: &mut ServeClient, p: u32, d: u32, at_h: f64| {
+        c.order(p, d, 3.0, hours(at_h), hours(at_h + 6.0))
+            .expect("order frame");
     };
+    order(&mut client, 1, 2, 8.05);
+    order(&mut client, 2, 3, 8.07);
+    order(&mut client, 3, 1, 8.60);
+    // Vehicle 0 dies mid-morning: whatever it had not picked up yet is
+    // stranded back into the queue and re-dispatched.
+    client.breakdown(0, hours(8.9)).expect("breakdown frame");
+    order(&mut client, 2, 1, 9.30);
+    // Heartbeat: release everything due up to noon, then drain.
+    client.flush(hours(12.0)).expect("flush heartbeat");
+    client.drain().expect("drain frame");
 
-    let (tx, rx) = std::sync::mpsc::channel();
-    let producer = std::thread::spawn(move || {
-        // Morning traffic, 10-minute buffered epochs downstream.
-        tx.send(StreamCommand::Order(order(1, 2, 8.05))).unwrap();
-        tx.send(StreamCommand::Order(order(2, 3, 8.07))).unwrap();
-        tx.send(StreamCommand::Order(order(3, 1, 8.60))).unwrap();
-        // Vehicle 0 dies mid-morning: whatever it had not picked up yet
-        // is stranded back into the queue and re-dispatched.
-        tx.send(StreamCommand::Breakdown {
-            vehicle: VehicleId(0),
-            at: TimePoint::from_hours(8.9),
-        })
-        .unwrap();
-        tx.send(StreamCommand::Order(order(2, 1, 9.30))).unwrap();
-        // Heartbeat: release everything due up to noon, then hang up.
-        tx.send(StreamCommand::Flush {
-            at: TimePoint::from_hours(12.0),
-        })
-        .unwrap();
-    });
-
-    let sim = Simulator::builder(&instance)
-        .buffering(BufferingMode::FixedInterval(TimeDelta::from_minutes(10.0)))
-        .build()
-        .expect("positive buffering period");
-    let mut counter = EventCounter::default();
-    let mut baseline = models::baseline1();
-    let result = sim.serve_observed(rx, &mut *baseline, &mut [&mut counter]);
-    producer.join().expect("producer thread");
-
-    println!(
-        "served {} / rejected {} over {} epochs ({} breakdown event)",
-        result.metrics.served, result.metrics.rejected, counter.epochs, counter.breakdowns,
-    );
-    for r in &result.assignments {
+    let episode = client.collect_episode().expect("episode drains to BYE");
+    for (index, now_s, orders) in &episode.epochs {
+        println!(
+            "epoch {index:>2} at {:>5.2} h ({orders} orders)",
+            now_s / 3600.0
+        );
+    }
+    for d in &episode.disruptions {
+        println!("disruption: {d}");
+    }
+    for d in &episode.decisions {
         println!(
             "  order {:>2} decided {:>5.2} h -> {}",
-            r.order.index(),
-            r.time.hours(),
-            match r.vehicle {
+            d.order.index(),
+            d.time_s / 3600.0,
+            match d.vehicle {
                 Some(v) => format!("vehicle {}", v.index()),
-                None => format!("{:?}", r.reason),
+                None => format!("{:?}", d.reason),
             }
         );
     }
+    let metrics = episode.metrics.expect("final METRICS frame");
     println!(
-        "vehicle-lost {}  cancelled {}  (rejection breakdown: {:?})",
-        result.metrics.rejections.vehicle_lost,
-        result.metrics.rejections.cancelled,
-        result.metrics.rejections,
+        "served {} / rejected {} (vehicle-lost {}, cancelled {})",
+        metrics.served,
+        metrics.rejected,
+        metrics.rejections.vehicle_lost,
+        metrics.rejections.cancelled,
     );
+    server.shutdown();
 }

@@ -17,4 +17,5 @@ pub use dpdp_nn as nn;
 pub use dpdp_pool as pool;
 pub use dpdp_rl as rl;
 pub use dpdp_routing as routing;
+pub use dpdp_server as server;
 pub use dpdp_sim as sim;
