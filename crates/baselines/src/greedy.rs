@@ -1,24 +1,23 @@
 //! The three greedy insertion baselines (Section V-A).
 //!
 //! Baselines 1 and 2 are *batch-native*: their `dispatch_batch` scores the
-//! whole epoch's `(order, vehicle)` plan matrix once against the shared
-//! snapshot — spread across the simulator's thread pool via
-//! [`DecisionBatch::map_plans`] — and then commits orders sequentially,
-//! rescoring only the column of the vehicle that just accepted (the batch's
-//! plan delta). This is outcome-identical to the legacy per-order path for
-//! any thread count — the parity tests below and in `tests/batch_parity.rs`
-//! run both and compare `EpisodeResult`s — but does the scoring work once
-//! per epoch instead of once per order.
+//! epoch's candidate `(order, vehicle)` cells once against the shared
+//! snapshot via [`DecisionBatch::map_candidate_plans`] and then commits
+//! orders sequentially, rescoring only the column of the vehicle that just
+//! accepted (the batch's plan delta, read back cell-by-cell through
+//! [`DecisionBatch::with_plan`]). This is outcome-identical to the legacy
+//! per-order path for any thread count — the parity tests below and in
+//! `tests/batch_parity.rs` run both and compare `EpisodeResult`s — but
+//! does the scoring work once per epoch instead of once per order.
 //!
-//! Under region-sharded dispatch (`SimulatorBuilder::num_shards`) the plan
-//! matrix these policies read through `map_plans` is assembled as a merge
-//! of shard-local sweeps: cross-shard pairs that the exact geometric bound
-//! proves infeasible arrive as `best: None` without ever running the
-//! insertion sweep. Because a pruned pair is bit-identical to its full
-//! evaluation, the baselines consume per-shard candidate sets completely
-//! transparently — same argmins, same episodes, at a fraction of the
-//! scoring work (`tests/batch_parity.rs` asserts the shard-count
-//! invariance for all three).
+//! Under sharded dispatch (`SimulatorBuilder::sharding`) the candidate
+//! rows carry only the cells the shard-local sweeps actually evaluated:
+//! cross-shard pairs the exact geometric bound proves infeasible never
+//! appear, and since an absent cell is `best: None` it could never win an
+//! argmin anyway — same argmins, same episodes, with per-epoch policy work
+//! proportional to the candidate count instead of `B x K`
+//! (`tests/batch_parity.rs` asserts the shard-count invariance for all
+//! three baselines).
 
 use dpdp_net::{Instance, VehicleId};
 use dpdp_routing::PlannerOutput;
@@ -38,16 +37,29 @@ fn argmin_by<F: Fn(usize) -> f64>(ctx: &DispatchContext<'_>, key: F) -> Option<V
     best.map(|(k, _)| VehicleId::from_index(k))
 }
 
-fn argmin_scores(scores: &[Option<f64>]) -> Option<VehicleId> {
-    let mut best: Option<(usize, f64)> = None;
-    for (k, s) in scores.iter().enumerate() {
-        if let Some(v) = *s {
+/// Argmin over a candidate row (ascending vehicle order, strict `<`):
+/// identical winner and tie-breaks to a dense scan, because every vehicle
+/// absent from the row is infeasible and could never win.
+fn argmin_scores(scores: &[(u32, Option<f64>)]) -> Option<VehicleId> {
+    let mut best: Option<(u32, f64)> = None;
+    for &(k, s) in scores {
+        if let Some(v) = s {
             if best.is_none_or(|(_, b)| v < b) {
                 best = Some((k, v));
             }
         }
     }
-    best.map(|(k, _)| VehicleId::from_index(k))
+    best.map(|(k, _)| VehicleId::from_index(k as usize))
+}
+
+/// Writes vehicle `k`'s refreshed score into a sorted candidate row,
+/// inserting the cell when the initial sweep had pruned it (an accepted
+/// vehicle's plans can turn feasible once it starts moving).
+fn upsert_score(row: &mut Vec<(u32, Option<f64>)>, k: u32, score: Option<f64>) {
+    match row.binary_search_by_key(&k, |e| e.0) {
+        Ok(p) => row[p].1 = score,
+        Err(p) => row.insert(p, (k, score)),
+    }
 }
 
 /// Batch-native greedy dispatch: score every `(order, vehicle)` pair once
@@ -62,13 +74,14 @@ fn greedy_batch(
     score: impl Fn(&PlannerOutput) -> Option<f64> + Sync,
 ) -> Vec<Decision> {
     let b = batch.len();
-    let mut scores: Vec<Vec<Option<f64>>> = batch.map_plans(|_, _, plan| score(plan));
+    let mut scores: Vec<Vec<(u32, Option<f64>)>> =
+        batch.map_candidate_plans(|_, _, plan| score(plan));
     let mut out = Vec::with_capacity(b);
     for i in 0..b {
         let decision = batch.resolve(i, argmin_scores(&scores[i]));
         if let Some(k) = decision.vehicle {
             for (j, row) in scores.iter_mut().enumerate().skip(i + 1) {
-                row[k.index()] = batch.with_context(j, |ctx| score(&ctx.plans[k.index()]));
+                upsert_score(row, k.index() as u32, batch.with_plan(j, k, &score));
             }
         }
         out.push(decision);
@@ -168,14 +181,14 @@ impl Dispatcher for Baseline3 {
             self.accepted = vec![0; batch.num_vehicles()];
         }
         let b = batch.len();
-        let mut deltas: Vec<Vec<Option<f64>>> =
-            batch.map_plans(|_, _, plan| plan.incremental_length());
+        let mut deltas: Vec<Vec<(u32, Option<f64>)>> =
+            batch.map_candidate_plans(|_, _, plan| plan.incremental_length());
         let mut out = Vec::with_capacity(b);
         for i in 0..b {
-            let mut best: Option<(usize, usize, f64)> = None; // (k, count, delta)
-            for (k, d) in deltas[i].iter().enumerate() {
-                if let Some(delta) = *d {
-                    let count = self.accepted[k];
+            let mut best: Option<(u32, usize, f64)> = None; // (k, count, delta)
+            for &(k, d) in &deltas[i] {
+                if let Some(delta) = d {
+                    let count = self.accepted[k as usize];
                     let better = match best {
                         None => true,
                         Some((_, bc, bd)) => count > bc || (count == bc && delta < bd),
@@ -185,14 +198,15 @@ impl Dispatcher for Baseline3 {
                     }
                 }
             }
-            let decision = batch.resolve(i, best.map(|(k, _, _)| VehicleId::from_index(k)));
+            let decision =
+                batch.resolve(i, best.map(|(k, _, _)| VehicleId::from_index(k as usize)));
             if let Some(k) = decision.vehicle {
                 // Acceptance only perturbs the accepting vehicle's column:
                 // its count and its plans for the remaining orders.
                 self.accepted[k.index()] += 1;
                 for (j, row) in deltas.iter_mut().enumerate().skip(i + 1) {
-                    row[k.index()] =
-                        batch.with_context(j, |ctx| ctx.plans[k.index()].incremental_length());
+                    let fresh = batch.with_plan(j, k, |p| p.incremental_length());
+                    upsert_score(row, k.index() as u32, fresh);
                 }
             }
             out.push(decision);

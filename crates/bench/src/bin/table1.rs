@@ -17,10 +17,16 @@
 //! `--scenario metro_disrupted` a disrupted smoke episode rides along
 //! (gates: finite metrics, ≥ 1% cancellations, ≥ 1 breakdown, and every
 //! stranded order re-dispatched or accounted for in the rejection
-//! breakdown). The CI bench-smoke job uploads the JSON and fails on any
+//! breakdown). Under `--scenario megacity` the regular lineup is skipped
+//! entirely and the run times one 10 000-vehicle `Presets::megacity`
+//! episode flat (`shards=1`) vs hierarchically sharded
+//! (`ShardConfig::hierarchical` + demand-fed re-partitioning), asserting
+//! the episodes bit-identical — across the two layouts *and* across
+//! thread counts — and exiting 1 unless the hierarchical run is ≥ 5×
+//! faster. The CI bench-smoke job uploads the JSON and fails on any
 //! panic, any non-finite metric, an incremental sweep slower than the
-//! naive reference at n >= 8 stops, or a `shards=4` metro episode slower
-//! than `shards=1`.
+//! naive reference at n >= 8 stops, a `shards=4` metro episode slower
+//! than `shards=1`, or a megacity ratio under 5×.
 
 use dpdp_bench::{
     bench_json, build_and_train, check_finite, insertion_fixture, write_artifact, BenchRecord, Cli,
@@ -137,7 +143,7 @@ fn metro_shard_walltime(
         for (slot, &shards) in cli.shards.iter().enumerate() {
             let sim = Simulator::builder(&instance)
                 .buffering(BufferingMode::FixedInterval(TimeDelta::from_minutes(10.0)))
-                .num_shards(shards)
+                .sharding(ShardConfig::flat(shards).expect("positive shard count"))
                 .thread_pool(Arc::clone(pool))
                 .build()
                 .expect("valid metro configuration");
@@ -200,6 +206,123 @@ fn metro_shard_walltime(
             );
             std::process::exit(1);
         }
+    }
+}
+
+/// The `megacity` scenario: one Baseline-1 episode on the
+/// `Presets::megacity` workload — 10 000 vehicles, orders sampled from a
+/// ~100k-order generated day, 30-minute buffered epochs so every flush is
+/// a genuinely large `B x K` sweep — timed flat (`shards=1`) against the
+/// hierarchical two-level `ShardConfig` (64 regions × 2 cells,
+/// same-region escalation, demand-fed re-partitioning every 4 flushes).
+///
+/// Three gates, any failure exits 1:
+/// * the hierarchical episode must be **bit-identical** to the flat scan
+///   (the sharding determinism contract at industry scale);
+/// * the hierarchical episode must also be bit-identical between 1 scoring
+///   thread and the `--threads` pool (fixed seed ⇒ same episode across
+///   thread counts, re-partitioning included);
+/// * hierarchical must be at least `MEGACITY_MIN_SPEEDUP`× faster than
+///   flat wall-time (the ROADMAP scale-ceiling gate).
+fn megacity_shard_walltime(
+    records: &mut Vec<BenchRecord>,
+    cli: &Cli,
+    pool: &Arc<dpdp_pool::ThreadPool>,
+) {
+    const FLEET: usize = 10_000;
+    const ORDERS: usize = 4_000;
+    const REPS: usize = 2;
+    const MEGACITY_MIN_SPEEDUP: f64 = 5.0;
+    println!("\n== megacity: hierarchical sharding vs flat scan, {FLEET} vehicles ==");
+    let megacity = Presets::megacity(cli.seed);
+    let instance = megacity.megacity_instance(ORDERS, FLEET, 1);
+    let hier = ShardConfig::hierarchical(64, 2)
+        .expect("positive region/cell counts")
+        .escalation(2)
+        .repartition(RepartitionPolicy::periodic(4))
+        .expect("positive cadence");
+    let configs: [(&str, ShardConfig); 2] = [
+        ("flat1", ShardConfig::flat(1).expect("one shard")),
+        ("hier64x2", hier.clone()),
+    ];
+    let buffering = BufferingMode::FixedInterval(TimeDelta::from_minutes(30.0));
+    let mut walls = [f64::INFINITY; 2];
+    let mut results: [Option<EpisodeResult>; 2] = [None, None];
+    for _ in 0..REPS {
+        // Interleaved reps: machine-load drift cannot bias one layout.
+        for (slot, (label, config)) in configs.iter().enumerate() {
+            let sim = Simulator::builder(&instance)
+                .buffering(buffering)
+                .sharding(config.clone())
+                .seed(cli.seed)
+                .thread_pool(Arc::clone(pool))
+                .build()
+                .expect("valid megacity configuration");
+            let mut b1 = Baseline1;
+            let start = Instant::now();
+            let result = sim.run(&mut b1);
+            walls[slot] = walls[slot].min(start.elapsed().as_secs_f64());
+            match &results[slot] {
+                None => results[slot] = Some(result),
+                Some(prev) => assert_eq!(
+                    *prev, result,
+                    "megacity episode diverged across repetitions under {label}"
+                ),
+            }
+        }
+    }
+    let flat = results[0].take().expect("flat rep ran");
+    let sharded = results[1].take().expect("hierarchical rep ran");
+    if flat != sharded {
+        eprintln!("error: hierarchical megacity episode diverged from the flat scan");
+        std::process::exit(1);
+    }
+    // Thread-count bit-identity of the sharded episode: one serial run
+    // against the pooled result (fixed seed ⇒ same episode everywhere).
+    let serial = Simulator::builder(&instance)
+        .buffering(buffering)
+        .sharding(hier)
+        .seed(cli.seed)
+        .num_threads(1)
+        .build()
+        .expect("valid serial megacity configuration")
+        .run(&mut Baseline1);
+    if serial != sharded {
+        eprintln!(
+            "error: hierarchical megacity episode diverged between 1 and {} scoring threads",
+            cli.threads
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "{:<14} {:>8} {:>12} {:>12}",
+        "layout", "NUV", "TC", "wall(s)"
+    );
+    for ((label, _), (wall, result)) in configs.iter().zip(walls.iter().zip([&flat, &sharded])) {
+        let record = BenchRecord {
+            instance: format!("megacity_k{FLEET}_b30"),
+            algo: label.to_string(),
+            nuv: result.metrics.nuv,
+            total_cost: result.metrics.total_cost,
+            wall_secs: *wall,
+            epochs: 0,
+        };
+        check_finite(&record);
+        println!(
+            "{:<14} {:>8} {:>12.1} {:>12.3}",
+            label, result.metrics.nuv, result.metrics.total_cost, wall
+        );
+        records.push(record);
+    }
+    let speedup = walls[0] / walls[1];
+    println!("speedup: {speedup:.2}x (gate: >= {MEGACITY_MIN_SPEEDUP:.0}x)");
+    if !speedup.is_finite() || speedup < MEGACITY_MIN_SPEEDUP {
+        eprintln!(
+            "error: hierarchical sharding below the {MEGACITY_MIN_SPEEDUP:.0}x megacity gate: \
+             {:.3} s flat vs {:.3} s sharded ({speedup:.2}x)",
+            walls[0], walls[1]
+        );
+        std::process::exit(1);
     }
 }
 
@@ -288,6 +411,21 @@ fn main() {
 
     // One scoring pool for every evaluation episode (workers outlive runs).
     let pool = std::sync::Arc::new(dpdp_pool::ThreadPool::new(cli.threads));
+
+    // The megacity gate stands alone: a 10k-vehicle flat-scan episode
+    // dwarfs the whole Table I lineup, so the scenario runs only the
+    // hierarchical-vs-flat stage and archives it under the same bench name.
+    if cli.scenario == Scenario::Megacity {
+        let mut records: Vec<BenchRecord> = Vec::new();
+        megacity_shard_walltime(&mut records, &cli, &pool);
+        if let Some(path) =
+            write_artifact("BENCH_table1.json", &bench_json("table1", &cli, &records))
+        {
+            println!("wrote {}", path.display());
+        }
+        return;
+    }
+
     let mut csv = String::from("orders,algo,nuv,tc,wall_secs,optimal\n");
     let mut records: Vec<BenchRecord> = Vec::new();
     println!(

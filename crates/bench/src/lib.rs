@@ -26,11 +26,22 @@ pub enum Scenario {
     /// `--seed` and is recorded in the benchmark JSON so perf
     /// trajectories stay comparable across scenarios.
     MetroDisrupted,
+    /// The industry-scale megacity workload (`Presets::megacity`): a
+    /// 10k-vehicle fleet under a hierarchical two-level `ShardConfig`
+    /// versus the flat fleet scan, gated on a ≥ 5× wall-time win
+    /// (`table1` runs *only* this stage under the scenario — the regular
+    /// Table I lineup would dwarf the gate's runtime).
+    Megacity,
 }
 
 impl Scenario {
     /// Every scenario, in CLI advertisement order.
-    pub const ALL: [Scenario; 3] = [Scenario::Campus, Scenario::Metro, Scenario::MetroDisrupted];
+    pub const ALL: [Scenario; 4] = [
+        Scenario::Campus,
+        Scenario::Metro,
+        Scenario::MetroDisrupted,
+        Scenario::Megacity,
+    ];
 
     /// The scenario's canonical CLI/JSON name.
     pub fn name(self) -> &'static str {
@@ -38,6 +49,7 @@ impl Scenario {
             Scenario::Campus => "campus",
             Scenario::Metro => "metro",
             Scenario::MetroDisrupted => "metro_disrupted",
+            Scenario::Megacity => "megacity",
         }
     }
 
@@ -132,8 +144,9 @@ options:
   --threads N     scoring pool width (1 = serial; results are identical)
   --shards LIST   comma-separated shard counts for the shard sweep
                   (e.g. 1,4; results are identical, only wall time moves)
-  --scenario NAME scenario family: campus (default), metro, or
-                  metro_disrupted (seeded cancellations + breakdowns)
+  --scenario NAME scenario family: campus (default), metro,
+                  metro_disrupted (seeded cancellations + breakdowns), or
+                  megacity (10k-vehicle hierarchical-sharding gate)
   --quick         use the reduced-volume dataset
   -h, --help      print this help";
 
@@ -622,13 +635,19 @@ mod tests {
         assert_eq!(cli.scenario.name(), "metro_disrupted");
         let cli = Cli::parse_from(&argv(&["--scenario", "metro"]), 60, 3).unwrap();
         assert_eq!(cli.scenario, Scenario::Metro);
+        let cli = Cli::parse_from(&argv(&["--scenario", "megacity"]), 60, 3).unwrap();
+        assert_eq!(cli.scenario, Scenario::Megacity);
+        assert_eq!(cli.scenario.name(), "megacity");
         let cli = Cli::parse_from(&[], 60, 3).unwrap();
         assert_eq!(cli.scenario, Scenario::Campus);
         let err = Cli::parse_from(&argv(&["--scenario", "mars"]), 60, 3).unwrap_err();
         assert_eq!(err, CliError::UnknownScenario("mars".to_string()));
         let msg = err.to_string();
         assert!(
-            msg.contains("campus") && msg.contains("metro") && msg.contains("metro_disrupted"),
+            msg.contains("campus")
+                && msg.contains("metro")
+                && msg.contains("metro_disrupted")
+                && msg.contains("megacity"),
             "the error must list every valid scenario: {msg}"
         );
         let err = Cli::parse_from(&argv(&["--scenario"]), 60, 3).unwrap_err();

@@ -90,6 +90,7 @@ pub mod prelude {
     pub use dpdp_sim::{
         BufferingMode, Decision, DecisionBatch, DecisionReason, Dispatcher, DisruptionConfig,
         DisruptionKind, DisruptionRecord, EpisodeMetrics, EpisodeResult, EventCounter,
-        MetricsOptions, SimObserver, Simulator, SimulatorBuilder, StreamCommand,
+        MetricsOptions, RepartitionPolicy, ShardConfig, SimObserver, Simulator, SimulatorBuilder,
+        StreamCommand,
     };
 }

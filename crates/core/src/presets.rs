@@ -15,7 +15,10 @@ use dpdp_sim::DisruptionConfig;
 /// * **metro** ([`Presets::metro`]) — a city-scale multi-hotspot scenario
 ///   with distinct per-hotspot order-rate profiles, region-local demand
 ///   and deadlines tight enough that cross-region service is usually
-///   hopeless — the workload `SimulatorBuilder::num_shards` is built for.
+///   hopeless — the workload `SimulatorBuilder::sharding` is built for;
+/// * **megacity** ([`Presets::megacity`]) — the metro pattern pushed to
+///   the paper's industry scale (64 hotspots, ~100k orders/day, fleets of
+///   10k+): the workload for hierarchical two-level `ShardConfig`s.
 #[derive(Debug, Clone)]
 pub struct Presets {
     dataset: Dataset,
@@ -100,6 +103,45 @@ impl Presets {
         let days = self.dataset.config().train_days.clone();
         self.dataset
             .sampled_instance(days.start..days.start + 5, num_orders, num_vehicles, seed)
+    }
+
+    /// The megacity scenario — the paper's industry scale (§ I: thousands
+    /// of vehicles, ~10⁵ orders/day) as one workload: sixty-four spatial
+    /// hotspots ringed around a 1200 km megaregion corridor, one depot and
+    /// ten factories per hotspot, ~100k generated orders per day, 90% of
+    /// deliveries staying in their pickup's hotspot, and 30–60 minute
+    /// deadline slack. At 40 km/h the ≥ 40 road-km between even adjacent
+    /// hotspots exceeds the loosest deadline, so cross-hotspot service is
+    /// essentially always provably infeasible — the workload the two-level
+    /// hierarchical `ShardConfig` (coarse regions → fine cells, demand-fed
+    /// re-partitioning) exists for. The flat fleet scan grinds through
+    /// `B x K` sweeps against a five-digit fleet here; hierarchical
+    /// sharding keeps each sweep inside a hotspot-sized cell (the
+    /// bench-smoke gate holds it to a ≥ 5× wall-time win).
+    pub fn megacity(seed: u64) -> Self {
+        let mut cfg = DatasetConfig::default();
+        cfg.campus.num_depots = 64;
+        cfg.campus.num_factories = 640;
+        cfg.campus.area_km = 1200.0;
+        cfg.campus.hotspots = 64;
+        cfg.campus.hotspot_spread_km = 2.0;
+        cfg.campus.seed = seed ^ 0x6D65_6761; // "mega"
+        cfg.generator.orders_per_day = 100_000;
+        cfg.generator.min_slack = TimeDelta::from_minutes(30.0);
+        cfg.generator.max_slack = TimeDelta::from_minutes(60.0);
+        cfg.generator.intra_cluster_bias = 0.9;
+        cfg.generator.seed = seed;
+        Presets::with_config(cfg)
+    }
+
+    /// A megacity-scale instance: `num_orders` orders sampled from one
+    /// ~100k-order generated day over `num_vehicles` vehicles (round-robin
+    /// across the sixty-four hotspot depots). Use with [`Presets::megacity`];
+    /// the bench's megacity scenario runs 10 000 vehicles through this.
+    pub fn megacity_instance(&self, num_orders: usize, num_vehicles: usize, seed: u64) -> Instance {
+        let days = self.dataset.config().train_days.clone();
+        self.dataset
+            .sampled_instance(days.start..days.start + 1, num_orders, num_vehicles, seed)
     }
 
     /// The underlying dataset.
@@ -206,6 +248,19 @@ mod tests {
         let depots: std::collections::BTreeSet<_> =
             inst.fleet.vehicles.iter().map(|v| v.depot).collect();
         assert_eq!(depots.len(), 4);
+    }
+
+    #[test]
+    fn megacity_instance_spans_all_hotspots_at_scale() {
+        let p = Presets::megacity(7);
+        assert_eq!(p.dataset().config().generator.orders_per_day, 100_000);
+        let inst = p.megacity_instance(300, 64, 1);
+        assert_eq!(inst.num_orders(), 300);
+        assert_eq!(inst.num_vehicles(), 64);
+        assert!(inst.network.is_metric(), "sharding needs the metric bound");
+        let depots: std::collections::BTreeSet<_> =
+            inst.fleet.vehicles.iter().map(|v| v.depot).collect();
+        assert_eq!(depots.len(), 64, "vehicles round-robin all hotspot depots");
     }
 
     #[test]

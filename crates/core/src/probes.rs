@@ -27,6 +27,12 @@ use std::collections::VecDeque;
 /// to `from_orders` over the instance's order table (asserted in this
 /// module's tests); under buffering it shifts demand onto flush instants,
 /// i.e. the demand the *dispatch layer* actually experiences.
+///
+/// `dpdp-sim`'s mid-episode re-partitioning (`RepartitionPolicy`) performs
+/// the same quantity-weighted pickup accumulation engine-side to drive its
+/// demand-fed shard re-seeding — this observer is the read-only probe of
+/// that signal (the engine cannot depend on this crate, so the two
+/// accumulators are deliberate mirrors).
 #[derive(Debug, Clone)]
 pub struct DemandRecorder {
     index: FactoryIndex,

@@ -11,7 +11,7 @@
 //! assignment; each prebuilt snapshot is consumed exactly once; `resolve`
 //! runs in batch order) live here, once.
 //!
-//! Region sharding (`SimulatorBuilder::num_shards`) is transparent to this
+//! Region sharding (`SimulatorBuilder::sharding`) is transparent to this
 //! protocol: the joint states built through [`DecisionBatch::map_contexts`]
 //! read the batch's merged plan matrix, in which cross-shard pairs pruned
 //! by the exact infeasibility bound carry the same `best: None` (and so

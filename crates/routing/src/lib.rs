@@ -61,7 +61,8 @@ pub use insertion::{
     best_insertion, best_insertion_naive, enumerate_insertions, BestInsertion, InsertionCandidate,
 };
 pub use planner::{
-    earliest_delivery_arrival, PlannerMode, PlannerOutput, RoutePlanner, PRUNE_MARGIN_SECS,
+    earliest_delivery_arrival, PlannerMode, PlannerOutput, PruneProbe, RoutePlanner,
+    PRUNE_MARGIN_SECS,
 };
 pub use route::Route;
 pub use schedule::{simulate_schedule, Schedule, StopTiming};

@@ -3,7 +3,7 @@
 use crate::incremental::{best_insertion_cached, ScheduleCache};
 use crate::insertion::{best_insertion_naive, BestInsertion};
 use crate::view::VehicleView;
-use dpdp_net::{FleetConfig, Order, RoadNetwork, TimePoint};
+use dpdp_net::{FleetConfig, NodeId, Order, RoadNetwork, TimeDelta, TimePoint};
 use serde::{Deserialize, Serialize};
 
 /// Safety margin (seconds) the geographic infeasibility prune keeps between
@@ -41,6 +41,36 @@ pub fn earliest_delivery_arrival(
         + fleet.travel_time(net.distance(order.pickup, order.delivery))
 }
 
+/// One order's precomputed prune state (see
+/// [`RoutePlanner::prune_probe`]): everything
+/// [`RoutePlanner::provably_infeasible`] derives from the order alone,
+/// leaving only the vehicle's anchor time and anchor→pickup leg to the
+/// per-vehicle call.
+#[derive(Debug, Clone, Copy)]
+pub struct PruneProbe {
+    metric: bool,
+    created: TimePoint,
+    service: TimeDelta,
+    tail: TimeDelta,
+    cutoff_secs: f64,
+}
+
+impl PruneProbe {
+    /// Whether every insertion is provably infeasible for a vehicle free
+    /// at `anchor_time` whose direct drive to the pickup takes
+    /// `to_pickup`. Bit-identical to
+    /// [`RoutePlanner::provably_infeasible`] when `to_pickup` is the
+    /// [`RoutePlanner::leg_time`] of the vehicle's anchor→pickup drive.
+    #[inline]
+    pub fn prunes(&self, anchor_time: TimePoint, to_pickup: TimeDelta) -> bool {
+        if !self.metric {
+            return false;
+        }
+        let pickup_service = (anchor_time + to_pickup).max(self.created);
+        (pickup_service + self.service + self.tail).seconds() > self.cutoff_secs
+    }
+}
+
 /// Which insertion evaluator a [`RoutePlanner`] scores candidates with.
 ///
 /// Both modes return the identical winning `(pickup_pos, delivery_pos)`
@@ -66,8 +96,12 @@ pub enum PlannerMode {
 pub struct PlannerOutput {
     /// Length of the vehicle's current remaining route, `d_{t,k}` (km).
     pub current_length: f64,
-    /// The shortest feasible temporary route, if any.
-    pub best: Option<BestInsertion>,
+    /// The shortest feasible temporary route, if any. Boxed so the
+    /// out-of-line route/schedule payload keeps `PlannerOutput` itself at
+    /// pointer size — the epoch sweep materialises a dense `orders ×
+    /// vehicles` canvas of these, and at megacity scale (10k vehicles) the
+    /// canvas is memcpy-bound on `size_of::<PlannerOutput>()`.
+    pub best: Option<Box<BestInsertion>>,
 }
 
 impl PlannerOutput {
@@ -169,7 +203,8 @@ impl<'a> RoutePlanner<'a> {
         }
         PlannerOutput {
             current_length: cache.base_length(),
-            best: best_insertion_cached(cache, view, order, self.net, self.fleet, self.orders),
+            best: best_insertion_cached(cache, view, order, self.net, self.fleet, self.orders)
+                .map(Box::new),
         }
     }
 
@@ -188,11 +223,40 @@ impl<'a> RoutePlanner<'a> {
     /// On non-metric networks the bound is unsound, so this always returns
     /// `false` (every pair gets the full sweep).
     pub fn provably_infeasible(&self, view: &VehicleView, order: &Order) -> bool {
-        if !self.net.is_metric() {
-            return false;
+        self.prune_probe(order).prunes(
+            view.anchor_time,
+            self.leg_time(view.anchor_node, order.pickup),
+        )
+    }
+
+    /// Travel time of the direct `from → to` drive — the unit the prune
+    /// bound is assembled from.
+    #[inline]
+    pub fn leg_time(&self, from: NodeId, to: NodeId) -> TimeDelta {
+        self.fleet.travel_time(self.net.distance(from, to))
+    }
+
+    /// Travel time for a raw distance in km (the fleet's speed model),
+    /// for callers that already hold the distance.
+    #[inline]
+    pub fn travel_time(&self, km: f64) -> TimeDelta {
+        self.fleet.travel_time(km)
+    }
+
+    /// Precomputes the order-only parts of
+    /// [`RoutePlanner::provably_infeasible`] so a sweep classifying one
+    /// order against thousands of vehicles pays the pickup→delivery leg
+    /// and the deadline cutoff **once**. [`PruneProbe::prunes`] then runs
+    /// the identical float expression the unfactored check runs — same
+    /// operations in the same order — so the two agree bit for bit.
+    pub fn prune_probe(&self, order: &Order) -> PruneProbe {
+        PruneProbe {
+            metric: self.net.is_metric(),
+            created: order.created,
+            service: self.fleet.service_time,
+            tail: self.leg_time(order.pickup, order.delivery),
+            cutoff_secs: order.deadline.seconds() + PRUNE_MARGIN_SECS,
         }
-        let bound = earliest_delivery_arrival(view, order, self.net, self.fleet);
-        bound.seconds() > order.deadline.seconds() + PRUNE_MARGIN_SECS
     }
 
     /// The [`PlannerOutput`] for a pair pruned by
@@ -223,7 +287,8 @@ impl<'a> RoutePlanner<'a> {
     /// re-simulation.
     fn plan_naive(&self, view: &VehicleView, order: &Order) -> PlannerOutput {
         let current_length = view.route.length(self.net, view.anchor_node, view.depot);
-        let best = best_insertion_naive(view, order, self.net, self.fleet, self.orders);
+        let best =
+            best_insertion_naive(view, order, self.net, self.fleet, self.orders).map(Box::new);
         PlannerOutput {
             current_length,
             best,
@@ -366,6 +431,17 @@ mod tests {
         let mut pruned = 0;
         for order in &planner_orders[1..] {
             let full = planner.plan(&view, order);
+            // The memoized probe is the same expression factored: it must
+            // agree with the unfactored bound on every pair, bit for bit.
+            let unfactored = net.is_metric()
+                && earliest_delivery_arrival(&view, order, &net, &fleet).seconds()
+                    > order.deadline.seconds() + PRUNE_MARGIN_SECS;
+            assert_eq!(
+                planner.provably_infeasible(&view, order),
+                unfactored,
+                "probe diverged from the unfactored bound for {}",
+                order.id
+            );
             if planner.provably_infeasible(&view, order) {
                 pruned += 1;
                 assert!(

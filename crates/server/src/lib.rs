@@ -21,7 +21,7 @@
 //! values parse back bit-identically). Client → server:
 //!
 //! ```text
-//! HELLO <tenant> <preset> <seed> [policy] [buffer_mins]   open the episode
+//! HELLO <tenant> <preset> <seed> [policy] [buffer_mins] [shards]   open the episode
 //! ORDER <pickup> <delivery> <qty> <created_s> <deadline_s>
 //! CANCEL <order> <at_s>
 //! BREAKDOWN <vehicle> <at_s>
@@ -33,7 +33,7 @@
 //! Server → client:
 //!
 //! ```text
-//! OK HELLO <tenant> preset=.. policy=.. seed=.. orders_base=.. vehicles=..
+//! OK HELLO <tenant> preset=.. policy=.. seed=.. orders_base=.. vehicles=.. shards=..
 //! EPOCH <index> <now_s> <orders>
 //! DECISION <order> <vehicle|-> <reason> <time_s>
 //! DISRUPT <time_s> cancel|breakdown|recover ...
@@ -45,9 +45,15 @@
 //! ## Session lifecycle
 //!
 //! 1. **Handshake** — the first meaningful frame must be `HELLO`; anything
-//!    else (or an unknown preset/policy) draws an `ERR` and the server
-//!    keeps waiting. On success the server replies `OK HELLO …` carrying
-//!    `orders_base`, the id the first streamed order will get.
+//!    else (or an unknown preset/policy, or an invalid shard count) draws
+//!    an `ERR` and the server keeps waiting. On success the server replies
+//!    `OK HELLO …` carrying `orders_base`, the id the first streamed order
+//!    will get, and `shards`, the resolved shard layout's cell count. Each
+//!    preset registers a default [`ShardConfig`](dpdp_sim::ShardConfig)
+//!    (see [`preset::shard_config`]); the optional trailing `shards` token
+//!    overrides it with a flat layout — sharding partitions scoring work
+//!    but never changes decisions, so episodes stay bit-identical across
+//!    layouts.
 //! 2. **Streaming** — each parsed frame becomes a
 //!    [`StreamCommand`](dpdp_sim::StreamCommand) pushed into the episode.
 //!    Malformed or invalid frames (bad numbers, unknown vehicle, an order

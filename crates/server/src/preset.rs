@@ -8,7 +8,7 @@
 
 use dpdp_baselines::{Baseline1, Baseline2, Baseline3};
 use dpdp_net::{FleetConfig, Instance, IntervalGrid, Node, NodeId, Point, RoadNetwork, TimeDelta};
-use dpdp_sim::{Dispatcher, FirstFeasible};
+use dpdp_sim::{Dispatcher, FirstFeasible, ShardConfig};
 
 /// The preset names `HELLO` accepts, in the order they are advertised.
 pub const PRESET_NAMES: &[&str] = &["line4", "grid9", "ring12"];
@@ -100,6 +100,24 @@ pub fn build_instance(name: &str) -> Option<Instance> {
     }
 }
 
+/// The shard layout each preset's episodes score under, or `None` for an
+/// unknown name.
+///
+/// Sharding never changes decisions — the pruned evaluation is
+/// bit-identical to the full sweep — so the registry only tunes how much
+/// scoring work each preset's epochs parallelise. The tiny line and grid
+/// cities run unsharded; the ring is wide enough to exercise the
+/// hierarchical two-level layout, which also keeps the socket-parity
+/// suite honest about sharded ≡ unsharded over the wire. A `HELLO` frame
+/// may override the registered layout with a flat shard count.
+pub fn shard_config(name: &str) -> Option<ShardConfig> {
+    match name {
+        "line4" | "grid9" => Some(ShardConfig::default()),
+        "ring12" => Some(ShardConfig::hierarchical(2, 2).expect("positive region and cell counts")),
+        _ => None,
+    }
+}
+
 /// Builds the named dispatch policy, or `None` for an unknown name.
 pub fn build_policy(name: &str) -> Option<Box<dyn Dispatcher>> {
     match name {
@@ -131,5 +149,21 @@ mod tests {
             assert!(build_policy(name).is_some(), "policy {name} must build");
         }
         assert!(build_policy("oracle").is_none());
+    }
+
+    #[test]
+    fn every_advertised_preset_registers_a_shard_config() {
+        for name in PRESET_NAMES {
+            assert!(
+                shard_config(name).is_some(),
+                "preset {name} must register a shard layout"
+            );
+        }
+        assert!(shard_config("mars").is_none());
+        // The ring showcases the two-level layout: 2 regions × 2 cells.
+        let ring = shard_config("ring12").expect("registered");
+        assert_eq!(ring.num_shards(), 4);
+        // The tiny cities stay unsharded.
+        assert_eq!(shard_config("line4").expect("registered").num_shards(), 1);
     }
 }

@@ -54,8 +54,8 @@ impl std::error::Error for ProtoError {}
 /// One parsed client → server frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `HELLO <tenant> <preset> <seed> [policy] [buffer_mins]` — opens the
-    /// session's episode.
+    /// `HELLO <tenant> <preset> <seed> [policy] [buffer_mins] [shards]` —
+    /// opens the session's episode.
     Hello {
         /// Tenant label, echoed back; purely informational.
         tenant: String,
@@ -67,6 +67,10 @@ pub enum Command {
         policy: String,
         /// Epoch buffering period in minutes; `0` = immediate dispatch.
         buffer_mins: f64,
+        /// Optional flat shard-count override; `None` keeps the preset's
+        /// registered [`ShardConfig`](dpdp_sim::ShardConfig). Sharding
+        /// never changes decisions, only how scoring is partitioned.
+        shards: Option<u64>,
     },
     /// `ORDER <pickup> <delivery> <qty> <created_s> <deadline_s>`.
     Order {
@@ -150,11 +154,11 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ProtoError> {
     };
     let command = match cmd {
         "HELLO" => {
-            if !(3..=5).contains(&args.len()) {
+            if !(3..=6).contains(&args.len()) {
                 return Err(arity(
                     "HELLO",
                     args.len(),
-                    "<tenant> <preset> <seed> [policy] [buffer_mins]",
+                    "<tenant> <preset> <seed> [policy] [buffer_mins] [shards]",
                 ));
             }
             let buffer_mins = match args.get(4) {
@@ -170,12 +174,17 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ProtoError> {
                 }
                 None => 0.0,
             };
+            let shards = match args.get(5) {
+                Some(tok) => Some(parse_u64(tok, "shards")?),
+                None => None,
+            };
             Command::Hello {
                 tenant: args[0].to_string(),
                 preset: args[1].to_string(),
                 seed: parse_u64(args[2], "seed")?,
                 policy: args.get(3).unwrap_or(&"baseline1").to_string(),
                 buffer_mins,
+                shards,
             }
         }
         "ORDER" => {
@@ -505,6 +514,7 @@ mod tests {
                 seed: 7,
                 policy: "baseline1".into(),
                 buffer_mins: 0.0,
+                shards: None,
             }
         );
         let cmd = parse_command("HELLO t ring12 42 baseline3 10")
@@ -518,7 +528,28 @@ mod tests {
                 seed: 42,
                 policy: "baseline3".into(),
                 buffer_mins: 10.0,
+                shards: None,
             }
+        );
+        let cmd = parse_command("HELLO t ring12 42 baseline3 10 4")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Hello {
+                tenant: "t".into(),
+                preset: "ring12".into(),
+                seed: 42,
+                policy: "baseline3".into(),
+                buffer_mins: 10.0,
+                shards: Some(4),
+            }
+        );
+        assert_eq!(
+            parse_command("HELLO t ring12 42 baseline3 10 four")
+                .unwrap_err()
+                .code,
+            "bad-number"
         );
     }
 

@@ -23,7 +23,7 @@
 //! [`Simulator::serve_observed`]: dpdp_sim::Simulator::serve_observed
 //! [`StreamCommand`]: dpdp_sim::StreamCommand
 
-use crate::preset::{build_instance, build_policy, POLICY_NAMES, PRESET_NAMES};
+use crate::preset::{build_instance, build_policy, shard_config, POLICY_NAMES, PRESET_NAMES};
 use crate::proto::{
     format_decision, format_disruption, format_epoch, format_metrics, parse_command, Command,
     ProtoError, WireDecision,
@@ -31,8 +31,8 @@ use crate::proto::{
 use dpdp_net::{Instance, Order, OrderId, TimeDelta};
 use dpdp_pool::ThreadPool;
 use dpdp_sim::{
-    BufferingMode, DecisionRecord, DisruptionRecord, EpochInfo, SimObserver, Simulator,
-    StreamCommand,
+    BufferingMode, DecisionRecord, DisruptionRecord, EpochInfo, ShardConfig, SimObserver,
+    Simulator, StreamCommand,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -99,9 +99,17 @@ struct Hello {
     seed: u64,
     policy: String,
     buffering: BufferingMode,
+    sharding: ShardConfig,
 }
 
-/// Validates a `HELLO` against the preset/policy registries.
+/// Largest flat shard count a `HELLO` override may request. Shards beyond
+/// the node count waste partition work without changing decisions, and an
+/// absurd count is almost certainly a client bug — answer with a
+/// structured error instead of silently clamping.
+const MAX_WIRE_SHARDS: u64 = 1024;
+
+/// Validates a `HELLO` against the preset/policy registries and resolves
+/// the episode's shard layout (registry default, or the frame's override).
 fn validate_hello(cmd: Command) -> Result<Hello, ProtoError> {
     let Command::Hello {
         tenant,
@@ -109,11 +117,12 @@ fn validate_hello(cmd: Command) -> Result<Hello, ProtoError> {
         seed,
         policy,
         buffer_mins,
+        shards,
     } = cmd
     else {
         return Err(ProtoError::new(
             "expected-hello",
-            "the first frame must be HELLO <tenant> <preset> <seed> [policy] [buffer_mins]",
+            "the first frame must be HELLO <tenant> <preset> <seed> [policy] [buffer_mins] [shards]",
         ));
     };
     if !PRESET_NAMES.contains(&preset.as_str()) {
@@ -128,6 +137,17 @@ fn validate_hello(cmd: Command) -> Result<Hello, ProtoError> {
             format!("`{policy}`; valid policies: {}", POLICY_NAMES.join(", ")),
         ));
     }
+    let sharding = match shards {
+        None => shard_config(&preset).expect("advertised presets register a shard layout"),
+        Some(n) if n > MAX_WIRE_SHARDS => {
+            return Err(ProtoError::new(
+                "invalid-shards",
+                format!("shard count {n} exceeds the serving cap of {MAX_WIRE_SHARDS}"),
+            ));
+        }
+        Some(n) => ShardConfig::flat(n as usize)
+            .map_err(|e| ProtoError::new("invalid-shards", e.to_string()))?,
+    };
     let buffering = if buffer_mins > 0.0 {
         BufferingMode::FixedInterval(TimeDelta::from_minutes(buffer_mins))
     } else {
@@ -139,6 +159,7 @@ fn validate_hello(cmd: Command) -> Result<Hello, ProtoError> {
         seed,
         policy,
         buffering,
+        sharding,
     })
 }
 
@@ -180,13 +201,14 @@ pub(crate) fn run_session(stream: TcpStream, ctx: &SessionContext) {
     if !send_line(
         &writer,
         &format!(
-            "OK HELLO {} preset={} policy={} seed={} orders_base={} vehicles={}",
+            "OK HELLO {} preset={} policy={} seed={} orders_base={} vehicles={} shards={}",
             hello.tenant,
             hello.preset,
             hello.policy,
             hello.seed,
             instance.num_orders(),
             instance.num_vehicles(),
+            hello.sharding.num_shards(),
         ),
     ) {
         return;
@@ -198,6 +220,7 @@ pub(crate) fn run_session(stream: TcpStream, ctx: &SessionContext) {
             let mut policy = build_policy(&hello.policy).expect("policy validated at handshake");
             let sim = Simulator::builder(&instance)
                 .buffering(hello.buffering)
+                .sharding(hello.sharding.clone())
                 .seed(hello.seed)
                 .thread_pool(Arc::clone(&ctx.pool))
                 .build()

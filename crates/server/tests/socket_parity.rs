@@ -142,6 +142,50 @@ fn tcp_episode_is_bit_identical_to_in_process_replay() {
 }
 
 #[test]
+fn a_shard_override_reproduces_the_unsharded_reference_episode() {
+    // The ring preset registers a hierarchical layout; a HELLO override
+    // swaps in a flat 3-cell one. Neither may move a single decision:
+    // sharding partitions scoring work, it never changes outcomes. The
+    // reference below is built with the default (unsharded) simulator.
+    let orders = trace(24);
+    let reference = run_in_process("baseline1", BufferingMode::Immediate, 11, &orders);
+    let server = DecisionServer::bind("127.0.0.1:0", ServerConfig::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let mut client = ServeClient::connect(server.addr()).expect("connect");
+    client
+        .send_line("HELLO override ring12 11 baseline1 0 3")
+        .expect("send");
+    match client.next_msg().expect("handshake frame") {
+        Some(dpdp_server::ServerMsg::Ok(detail)) => {
+            assert!(
+                detail.ends_with("shards=3"),
+                "OK must echo the resolved layout, got `{detail}`"
+            );
+        }
+        other => panic!("expected OK HELLO, got {other:?}"),
+    }
+    for o in &orders {
+        client
+            .order(
+                o.pickup.0,
+                o.delivery.0,
+                o.quantity,
+                o.created.seconds(),
+                o.deadline.seconds(),
+            )
+            .expect("order frame");
+    }
+    client.drain().expect("drain");
+    let episode = client.collect_episode().expect("drains");
+    assert_eq!(episode.errors, vec![]);
+    assert_eq!(episode.decisions, as_wire(&reference));
+    assert_eq!(episode.metrics, Some(reference.metrics));
+    server.shutdown();
+}
+
+#[test]
 fn eof_drains_like_drain() {
     let orders = trace(10);
     let reference = run_in_process("baseline1", BufferingMode::Immediate, 5, &orders);
@@ -200,6 +244,18 @@ fn malformed_frames_draw_structured_errors_not_disconnects() {
     expect_err(&mut client, "unknown-preset");
     client.send_line("HELLO t ring12 7 oracle 0").expect("send");
     expect_err(&mut client, "unknown-policy");
+    client
+        .send_line("HELLO t ring12 7 baseline1 0 0")
+        .expect("send");
+    expect_err(&mut client, "invalid-shards"); // zero shards
+    client
+        .send_line("HELLO t ring12 7 baseline1 0 50000")
+        .expect("send");
+    expect_err(&mut client, "invalid-shards"); // above the serving cap
+    client
+        .send_line("HELLO t ring12 7 baseline1 0 four")
+        .expect("send");
+    expect_err(&mut client, "bad-number");
 
     client
         .hello("t", "ring12", 7, "baseline1", 0.0)

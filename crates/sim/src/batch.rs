@@ -25,6 +25,7 @@ use dpdp_net::{FleetConfig, Order, OrderId, RoadNetwork, TimePoint, VehicleId};
 use dpdp_pool::ThreadPool;
 use dpdp_routing::{PlannerMode, PlannerOutput, RoutePlanner, ScheduleCache, VehicleView};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -133,6 +134,84 @@ fn par_map_matrix<T: Send>(
     (0..rows).map(|_| flat.by_ref().take(k).collect()).collect()
 }
 
+/// How the epoch's `B x K` plan matrix is stored.
+///
+/// The flat scan materialises every cell (`Dense`). The sharded sweep
+/// stores only the cells it actually evaluated (`Sparse`): every other
+/// cell was proven infeasible by the geometric bound, so its output is the
+/// per-vehicle pruned fallback (`best: None` plus the vehicle's
+/// `d_{t,k}`) — identical for every row. Both representations answer every
+/// cell query with bit-identical values; `Sparse` just refuses to spend
+/// `O(B x K)` memory traffic on cells whose content is known in advance,
+/// which is what lets the hierarchical megacity episode scale with the
+/// *work* of the epoch instead of the fleet size.
+#[derive(Debug)]
+enum PlanStore {
+    /// `rows[i][k]`: Algorithm 2 output for epoch order `i` on vehicle `k`.
+    Dense(Vec<Vec<PlannerOutput>>),
+    /// Evaluated cells only, each row sorted by vehicle index; every absent
+    /// cell reads as `fallback[k]`. Commit deltas upsert into the rows, so
+    /// a cell that becomes feasible after an acceptance is always present.
+    Sparse {
+        rows: Vec<Vec<(u32, PlannerOutput)>>,
+        fallback: Vec<PlannerOutput>,
+    },
+}
+
+impl PlanStore {
+    /// The plan of cell `(i, k)`.
+    fn cell(&self, i: usize, k: usize) -> &PlannerOutput {
+        match self {
+            PlanStore::Dense(rows) => &rows[i][k],
+            PlanStore::Sparse { rows, fallback } => {
+                match rows[i].binary_search_by_key(&(k as u32), |e| e.0) {
+                    Ok(p) => &rows[i][p].1,
+                    Err(_) => &fallback[k],
+                }
+            }
+        }
+    }
+
+    /// Overwrites cell `(i, k)` (inserting it when sparse).
+    fn set(&mut self, i: usize, k: usize, plan: PlannerOutput) {
+        match self {
+            PlanStore::Dense(rows) => rows[i][k] = plan,
+            PlanStore::Sparse { rows, .. } => {
+                let row = &mut rows[i];
+                match row.binary_search_by_key(&(k as u32), |e| e.0) {
+                    Ok(p) => row[p].1 = plan,
+                    Err(p) => row.insert(p, (k as u32, plan)),
+                }
+            }
+        }
+    }
+
+    /// Whether any vehicle currently has a feasible plan for row `i`.
+    /// Sparse fallback cells are `best: None` by construction, so scanning
+    /// the stored cells is exhaustive.
+    fn row_feasible(&self, i: usize) -> bool {
+        match self {
+            PlanStore::Dense(rows) => rows[i].iter().any(|p| p.feasible()),
+            PlanStore::Sparse { rows, .. } => rows[i].iter().any(|(_, p)| p.feasible()),
+        }
+    }
+
+    /// Row `i` as the dense `K`-slice [`DispatchContext`] exposes,
+    /// materialising it from the fallback when sparse.
+    fn row_dense(&self, i: usize) -> Cow<'_, [PlannerOutput]> {
+        match self {
+            PlanStore::Dense(rows) => Cow::Borrowed(&rows[i]),
+            PlanStore::Sparse { rows, fallback } => {
+                let mut row = fallback.clone();
+                for (k, p) in &rows[i] {
+                    row[*k as usize] = p.clone();
+                }
+                Cow::Owned(row)
+            }
+        }
+    }
+}
+
 /// Interior state of a batch: evolves as decisions are committed.
 #[derive(Debug)]
 struct BatchInner {
@@ -142,8 +221,9 @@ struct BatchInner {
     /// `states[k].view` clones, dense by vehicle, kept in sync on commit
     /// (the contiguous slice [`DispatchContext`] wants).
     views: Vec<VehicleView>,
-    /// `plans[i][k]`: Algorithm 2 output for epoch order `i` on vehicle `k`.
-    plans: Vec<Vec<PlannerOutput>>,
+    /// The epoch's plan matrix (dense for the flat scan, candidate-sparse
+    /// under sharding).
+    plans: PlanStore,
     /// Which epoch orders have been resolved already.
     decided: Vec<bool>,
     /// Per-order commit records, filled by `resolve`.
@@ -162,7 +242,7 @@ struct BatchInner {
 /// every acceptance so later orders in the batch see the committed routes,
 /// exactly as the legacy per-order path did.
 ///
-/// Under [`SimulatorBuilder::num_shards`] the batch is assembled as a
+/// Under [`SimulatorBuilder::sharding`] the batch is assembled as a
 /// *merge of shard-local batches*: in-shard `(order, vehicle)` pairs run
 /// the full insertion sweep as shard-grouped pool tasks, cross-shard pairs
 /// go through the deterministic escalation/prune rule of [`crate::shard`],
@@ -170,7 +250,7 @@ struct BatchInner {
 /// one — policies cannot tell the difference, only wall time moves.
 ///
 /// [`Simulator`]: crate::simulator::Simulator
-/// [`SimulatorBuilder::num_shards`]: crate::simulator::SimulatorBuilder::num_shards
+/// [`SimulatorBuilder::sharding`]: crate::simulator::SimulatorBuilder::sharding
 /// [`Dispatcher::dispatch_batch`]: crate::dispatcher::Dispatcher::dispatch_batch
 #[derive(Debug)]
 pub struct DecisionBatch<'a> {
@@ -230,13 +310,18 @@ impl<'a> DecisionBatch<'a> {
                     // The reference path never reads a cache; don't build
                     // them. Masked vehicles skip the sweep entirely and
                     // emit the known infeasible output.
-                    par_map_matrix(&pool, epoch_orders.len(), views.len(), |i, k| {
-                        if is_active(k) {
-                            planner.plan(&views_ref[k], &orders[epoch[i].index()])
-                        } else {
-                            planner.pruned_output(None, &views_ref[k])
-                        }
-                    })
+                    PlanStore::Dense(par_map_matrix(
+                        &pool,
+                        epoch_orders.len(),
+                        views.len(),
+                        |i, k| {
+                            if is_active(k) {
+                                planner.plan(&views_ref[k], &orders[epoch[i].index()])
+                            } else {
+                                planner.pruned_output(None, &views_ref[k])
+                            }
+                        },
+                    ))
                 } else {
                     // Schedule caches only for available vehicles; a masked
                     // vehicle's plans are `best: None` with its exact route
@@ -246,7 +331,7 @@ impl<'a> DecisionBatch<'a> {
                         is_active(k).then(|| planner.cache(&views_ref[k]))
                     });
                     let caches_ref = &caches;
-                    par_map_matrix(
+                    PlanStore::Dense(par_map_matrix(
                         &pool,
                         epoch_orders.len(),
                         views.len(),
@@ -256,17 +341,18 @@ impl<'a> DecisionBatch<'a> {
                             }
                             None => planner.pruned_output(None, &views_ref[k]),
                         },
-                    )
+                    ))
                 }
             }
             Some(ctx) => {
-                // Sharded sweep: classify every cell (serial, cheap), run
-                // the surviving cells shard-grouped across the pool, and
-                // merge into the full matrix over a pruned-cell canvas.
-                // Every pruned cell's output is bit-identical to what its
-                // full evaluation would have produced (see crate::shard).
+                // Sharded sweep: classify every cell, run the surviving
+                // cells shard-grouped across the pool, and store them as
+                // candidate-sparse rows over the per-vehicle pruned
+                // fallback. Every pruned cell's output is bit-identical to
+                // what its full evaluation would have produced (see
+                // crate::shard), so queries cannot tell the difference.
                 let epoch_refs: Vec<&Order> = epoch.iter().map(|id| &orders[id.index()]).collect();
-                let sweep = plan_sweep(ctx, &planner, &views, &epoch_refs, active_ref);
+                let sweep = plan_sweep(ctx, &planner, &views, &epoch_refs, active_ref, &pool);
                 stats = sweep.stats;
                 let work = &sweep.work;
                 // Schedule caches are only needed by vehicles with at
@@ -296,19 +382,22 @@ impl<'a> DecisionBatch<'a> {
                 });
                 // A pruned cell's output depends only on the vehicle
                 // (`best: None` plus its `d_{t,k}`), so compute it once
-                // per vehicle and clone it across the canvas rows instead
-                // of re-walking `Route::length` per cell.
-                let pruned: Vec<PlannerOutput> = (0..views.len())
+                // per vehicle as the sparse fallback instead of
+                // materialising a `B x K` canvas.
+                let fallback: Vec<PlannerOutput> = (0..views.len())
                     .map(|k| {
                         planner.pruned_output(caches_ref.and_then(|c| c[k].as_ref()), &views_ref[k])
                     })
                     .collect();
-                let mut plans: Vec<Vec<PlannerOutput>> =
-                    (0..epoch_refs.len()).map(|_| pruned.clone()).collect();
+                let mut rows: Vec<Vec<(u32, PlannerOutput)>> =
+                    (0..epoch_refs.len()).map(|_| Vec::new()).collect();
                 for (&(i, k), out) in work.iter().zip(outs) {
-                    plans[i as usize][k as usize] = out;
+                    rows[i as usize].push((k, out));
                 }
-                plans
+                for row in &mut rows {
+                    row.sort_unstable_by_key(|e| e.0);
+                }
+                PlanStore::Sparse { rows, fallback }
             }
         };
         let decided = vec![false; epoch_orders.len()];
@@ -357,9 +446,72 @@ impl<'a> DecisionBatch<'a> {
     ) -> Vec<Vec<T>> {
         let inner = self.inner.borrow();
         let plans = &inner.plans;
-        par_map_matrix(&self.pool, plans.len(), inner.views.len(), |i, k| {
-            f(i, k, &plans[i][k])
-        })
+        match plans {
+            PlanStore::Dense(rows) => {
+                par_map_matrix(&self.pool, rows.len(), inner.views.len(), |i, k| {
+                    f(i, k, &rows[i][k])
+                })
+            }
+            PlanStore::Sparse { rows, .. } => self.pool.par_map(rows.len(), |i| {
+                let row = plans.row_dense(i);
+                row.iter().enumerate().map(|(k, p)| f(i, k, p)).collect()
+            }),
+        }
+    }
+
+    /// Applies `f` to every **candidate** `(order, vehicle)` plan of the
+    /// current snapshot, returning one row per epoch order of
+    /// `(vehicle_index, f(..))` pairs in ascending vehicle order.
+    ///
+    /// On a flat (unsharded) batch every vehicle is a candidate, so this is
+    /// [`DecisionBatch::map_plans`] in sparse clothing. Under sharding only
+    /// the cells the sweep actually evaluated appear — every absent cell is
+    /// provably infeasible (`best: None`), so argmin-style policies lose
+    /// nothing by never looking at it. This is the scoring primitive that
+    /// keeps batch-native policies `O(work)` instead of `O(B x K)` at
+    /// megacity scale.
+    ///
+    /// The rows reflect the snapshot at call time; after committing an
+    /// acceptance through [`DecisionBatch::resolve`], the accepting
+    /// vehicle's plans change for the still-undecided orders (and a
+    /// previously-pruned cell may even become feasible once the vehicle
+    /// starts moving) — re-read that column via
+    /// [`DecisionBatch::with_plan`], exactly as the greedy baselines do.
+    pub fn map_candidate_plans<T: Send>(
+        &self,
+        f: impl Fn(usize, usize, &PlannerOutput) -> T + Sync,
+    ) -> Vec<Vec<(u32, T)>> {
+        let inner = self.inner.borrow();
+        match &inner.plans {
+            PlanStore::Dense(rows) => self.pool.par_map(rows.len(), |i| {
+                rows[i]
+                    .iter()
+                    .enumerate()
+                    .map(|(k, p)| (k as u32, f(i, k, p)))
+                    .collect()
+            }),
+            PlanStore::Sparse { rows, .. } => rows
+                .iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    row.iter()
+                        .map(|(k, p)| (*k, f(i, *k as usize, p)))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs `f` with the current plan of the single cell `(i, k)` — the
+    /// point read batch-native policies use to refresh an accepting
+    /// vehicle's column without materialising whole rows.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()` or `k` is out of range, or when called while
+    /// the snapshot is mutably borrowed (inside [`DecisionBatch::resolve`]).
+    pub fn with_plan<R>(&self, i: usize, k: VehicleId, f: impl FnOnce(&PlannerOutput) -> R) -> R {
+        let inner = self.inner.borrow();
+        f(inner.plans.cell(i, k.index()))
     }
 
     /// Runs `f` over every order's [`DispatchContext`] — all built from the
@@ -381,12 +533,13 @@ impl<'a> DecisionBatch<'a> {
         let (net, fleet, orders) = (self.net, self.fleet, self.orders);
         let epoch = &self.epoch_orders;
         self.pool.par_map(epoch.len(), |i| {
+            let row = plans.row_dense(i);
             let ctx = DispatchContext {
                 order: &orders[epoch[i].index()],
                 now,
                 interval,
                 views,
-                plans: &plans[i],
+                plans: &row,
                 net,
                 fleet,
                 orders,
@@ -496,7 +649,7 @@ impl<'a> DecisionBatch<'a> {
 
     /// Whether any vehicle can currently take the `i`-th order.
     pub fn any_feasible(&self, i: usize) -> bool {
-        self.inner.borrow().plans[i].iter().any(|p| p.feasible())
+        self.inner.borrow().plans.row_feasible(i)
     }
 
     /// Runs `f` with the `i`-th order's [`DispatchContext`], built from the
@@ -512,12 +665,13 @@ impl<'a> DecisionBatch<'a> {
     /// outside the closure.
     pub fn with_context<R>(&self, i: usize, f: impl FnOnce(&DispatchContext<'_>) -> R) -> R {
         let inner = self.inner.borrow();
+        let row = inner.plans.row_dense(i);
         let ctx = DispatchContext {
             order: self.order(i),
             now: self.now,
             interval: self.interval,
             views: &inner.views,
-            plans: &inner.plans[i],
+            plans: &row,
             net: self.net,
             fleet: self.fleet,
             orders: self.orders,
@@ -566,7 +720,7 @@ impl<'a> DecisionBatch<'a> {
         choice: Option<VehicleId>,
     ) -> (Decision, Option<CommitAssignment>) {
         let Some(k) = choice else {
-            let reason = if inner.plans[i].iter().any(|p| p.feasible()) {
+            let reason = if inner.plans.row_feasible(i) {
                 DecisionReason::PolicyRejected
             } else {
                 DecisionReason::NoFeasibleVehicle
@@ -581,7 +735,7 @@ impl<'a> DecisionBatch<'a> {
             stats,
             ..
         } = inner;
-        let plan = plans[i][k.index()].clone();
+        let plan = plans.cell(i, k.index()).clone();
         let Some(best) = plan.best.as_ref() else {
             return (
                 Decision::rejected(oid, DecisionReason::InfeasibleChoice),
@@ -606,7 +760,7 @@ impl<'a> DecisionBatch<'a> {
         // escalation here — a single column has no ranking to run), which
         // is bit-identical to replanning every cell.
         let planner = RoutePlanner::with_mode(batch.net, batch.fleet, batch.orders, batch.mode);
-        let undecided: Vec<usize> = (0..plans.len()).filter(|&j| !decided[j]).collect();
+        let undecided: Vec<usize> = (0..decided.len()).filter(|&j| !decided[j]).collect();
         let view = &views[k.index()];
         // The reference mode never reads a cache; don't build one.
         let cache = (batch.mode != PlannerMode::Naive).then(|| planner.cache(view));
@@ -616,7 +770,11 @@ impl<'a> DecisionBatch<'a> {
         let js = &undecided;
         let shard_ctx = batch.shards.as_ref().filter(|c| c.map.num_shards() > 1);
         let vehicle_shard = shard_ctx.map(|c| c.map.shard_of(view.anchor_node));
-        let fresh = batch.pool.par_map(undecided.len(), |u| {
+        // Columns are usually short next to the pool's wake/join latency;
+        // replan them inline below this size (the values are identical
+        // either way — `par_map` already matches the serial order).
+        const PAR_COLUMN_MIN: usize = 256;
+        let replan = |u: usize| {
             let order = &orders[epoch[js[u]].index()];
             let foreign = match (shard_ctx, vehicle_shard) {
                 (Some(ctx), Some(vs)) => ctx.map.shard_of(order.pickup) != vs,
@@ -631,7 +789,12 @@ impl<'a> DecisionBatch<'a> {
                 };
                 (plan, false, foreign)
             }
-        });
+        };
+        let fresh = if undecided.len() < PAR_COLUMN_MIN {
+            (0..undecided.len()).map(replan).collect()
+        } else {
+            batch.pool.par_map(undecided.len(), replan)
+        };
         if shard_ctx.is_some() {
             stats.cells += fresh.len();
         }
@@ -646,7 +809,7 @@ impl<'a> DecisionBatch<'a> {
                     }
                 }
             }
-            plans[j][k.index()] = plan;
+            plans.set(j, k.index(), plan);
         }
         (
             Decision::assigned(oid, k),

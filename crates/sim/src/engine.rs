@@ -37,6 +37,7 @@ use crate::dispatcher::Dispatcher;
 use crate::event::{EventMux, EventSource, SimEvent, StreamCommand, StreamSource};
 use crate::metrics::{AssignmentRecord, EpisodeResult, MetricsAccumulator};
 use crate::observer::{CancelOutcome, DisruptionKind, DisruptionRecord, EpochInfo, SimObserver};
+use crate::sharding::ShardRuntime;
 use crate::simulator::{EpisodeSink, Simulator};
 use crate::state::VehicleState;
 use dpdp_net::{Order, OrderId, TimePoint, VehicleId};
@@ -99,6 +100,7 @@ impl<'a> Simulator<'a> {
         let mut assigned_to: Vec<Option<(VehicleId, f64)>> = vec![None; table.len()];
         let mut pending: Vec<PendingOrder> = Vec::new();
         let mut mux = EventMux::new(sources);
+        let mut shard_rt = self.shard_runtime();
         let mut epoch_index = 0usize;
         let mut clock = TimePoint::ZERO;
 
@@ -136,6 +138,7 @@ impl<'a> Simulator<'a> {
                     now,
                     &mut epoch_index,
                     &mut assigned_to,
+                    &mut shard_rt,
                     dispatcher,
                 );
                 continue;
@@ -366,6 +369,7 @@ impl<'a> Simulator<'a> {
         now: TimePoint,
         epoch_index: &mut usize,
         assigned_to: &mut [Option<(VehicleId, f64)>],
+        shard_rt: &mut ShardRuntime,
         dispatcher: &mut dyn Dispatcher,
     ) {
         let instance = self.instance;
@@ -394,6 +398,13 @@ impl<'a> Simulator<'a> {
             .iter()
             .any(|s| s.broken)
             .then(|| states.iter().map(|s| !s.broken).collect());
+        // Demand accumulation and re-partitioning mirror the reference
+        // loop exactly: serial, in epoch order, at the flush boundary,
+        // before the batch forms.
+        for &oid in &epoch_ids {
+            shard_rt.observe(&table[oid.index()]);
+        }
+        let repartitioned = shard_rt.maybe_repartition(net);
         let batch = DecisionBatch::new(
             now,
             interval,
@@ -404,7 +415,7 @@ impl<'a> Simulator<'a> {
             states.clone(),
             Arc::clone(&self.pool),
             self.planner_mode,
-            self.shards.clone(),
+            shard_rt.context(),
             active,
         );
         sink.epoch(&EpochInfo {
@@ -414,6 +425,7 @@ impl<'a> Simulator<'a> {
             num_orders: epoch_ids.len(),
             num_shards: self.num_shards(),
             shards: batch.shard_stats(),
+            repartitioned,
         });
         let decisions = dispatcher.dispatch_batch(&batch);
         assert_eq!(

@@ -61,17 +61,39 @@
 //! per-commit plan deltas, and policy-side scoring
 //! ([`DecisionBatch::map_plans`] / [`DecisionBatch::map_contexts`]) all
 //! fan out across it, with every result written to a pre-indexed slot —
-//! results are bit-identical for every thread count.
+//! results are bit-identical for every thread count. Sharded batches
+//! store only the cells the sweep evaluated; batch-native policies can
+//! stay `O(work)` instead of `O(B x K)` through
+//! [`DecisionBatch::map_candidate_plans`] / [`DecisionBatch::with_plan`]
+//! (every cell the candidate rows omit is provably infeasible).
 //!
 //! # Region-sharded dispatch: partition → score → merge
 //!
-//! [`SimulatorBuilder::num_shards`] turns every decision epoch into a
-//! merge of shard-local batches: in-shard `(order, vehicle)` pairs run
-//! the full insertion sweep shard-concurrently, cross-shard pairs are
-//! escalated (the `m` nearest foreign vehicles) or skipped through the
-//! **exact** geometric bound of
-//! [`dpdp_routing::RoutePlanner::provably_infeasible`] — see
-//! [`crate::shard`] for the full pipeline and its determinism argument.
+//! [`SimulatorBuilder::sharding`] takes a validated [`ShardConfig`] and
+//! turns every decision epoch into a merge of cell-local batches:
+//!
+//! * **Flat** ([`ShardConfig::flat`]) — one level of k-means (or grid)
+//!   cells. In-cell `(order, vehicle)` pairs run the full insertion sweep
+//!   shard-concurrently; cross-cell pairs are escalated (the `m` nearest
+//!   foreign vehicles) or skipped through the **exact** geometric bound
+//!   of [`dpdp_routing::RoutePlanner::provably_infeasible`].
+//! * **Hierarchical** ([`ShardConfig::hierarchical`]) — two levels:
+//!   coarse metro regions, each split into fine cells. Cross-cell
+//!   escalation is resolved *within the parent region* (the `m` nearest
+//!   same-region foreign vehicles); cross-region pairs rely on the exact
+//!   bound alone, so sweep cost scales with cell size instead of fleet
+//!   size at megacity scale.
+//! * **Mid-episode re-partitioning** ([`RepartitionPolicy`]) — at flush
+//!   boundaries, quantity-weighted pickup demand accumulated from the
+//!   order stream re-seeds the k-means centroids
+//!   ([`ShardMap::build_weighted`]), so the partition tracks demand drift
+//!   (e.g. `Presets::metro`'s staggered hotspot peaks). Re-seeding is
+//!   seeded and serial, so a fixed seed stays bit-identical across thread
+//!   counts and escalation widths; [`EpochInfo::repartitioned`] flags the
+//!   epochs where it fired.
+//!
+//! See [`crate::shard`] for the sweep pipeline and its determinism
+//! argument, [`crate::sharding`] for the config surface.
 //!
 //! [`OrderArrival`]: event::SimEvent::OrderArrival
 //! [`OrderCancelled`]: event::SimEvent::OrderCancelled
@@ -94,6 +116,7 @@ pub mod event;
 pub mod metrics;
 pub mod observer;
 pub mod shard;
+pub mod sharding;
 pub mod simulator;
 pub mod state;
 
@@ -113,6 +136,7 @@ pub use observer::{
     SimObserver,
 };
 pub use shard::ShardStats;
+pub use sharding::{RepartitionPolicy, ShardConfig};
 pub use simulator::{
     BufferingMode, SimBuildError, Simulator, SimulatorBuilder, DEFAULT_SHARD_ESCALATION,
 };

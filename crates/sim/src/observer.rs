@@ -48,6 +48,12 @@ pub struct EpochInfo {
     /// These counters vary with the shard configuration while the epoch's
     /// decisions do not.
     pub shards: ShardStats,
+    /// Whether the shard map was re-seeded from accumulated demand at this
+    /// flush boundary (see `RepartitionPolicy`; always `false` when
+    /// unsharded or under `RepartitionPolicy::Never`). Like the work
+    /// counters, this varies with the shard configuration while the
+    /// epoch's decisions do not.
+    pub repartitioned: bool,
 }
 
 /// Everything an observer may inspect about one committed decision.

@@ -3,38 +3,53 @@
 //! A monolithic decision epoch scores every epoch order against every
 //! vehicle — `B x K` full Algorithm 2 sweeps — even though most pairs are
 //! geographically hopeless at industry scale. With
-//! [`SimulatorBuilder::num_shards`] the epoch becomes a **merge of
-//! shard-local batches** instead:
+//! [`SimulatorBuilder::sharding`] the epoch becomes a **merge of
+//! cell-local batches** instead:
 //!
-//! 1. **Partition** — a [`ShardMap`] (built once per simulator from node
-//!    coordinates) assigns every vehicle to the region of its current
-//!    anchor node and every epoch order to the region of its pickup node.
-//! 2. **Score** — in-shard `(order, vehicle)` pairs get the full insertion
+//! 1. **Partition** — a [`ShardMap`] assigns every vehicle to the cell of
+//!    its current anchor node and every epoch order to the cell of its
+//!    pickup node. Flat configs ([`ShardConfig::flat`]) have one level of
+//!    cells; hierarchical configs ([`ShardConfig::hierarchical`]) nest
+//!    fine cells under coarse metro regions (two levels). The initial map
+//!    is built once per simulator from node geometry; a
+//!    [`RepartitionPolicy`](crate::sharding::RepartitionPolicy) lets each
+//!    episode re-seed its own copy from accumulated demand at flush
+//!    boundaries (see [`crate::sharding`]).
+//! 2. **Score** — in-cell `(order, vehicle)` pairs get the full insertion
 //!    sweep, grouped vehicle-shard-major into `dpdp-pool` tasks so each
-//!    shard's sweep runs concurrently against its own schedule caches.
-//! 3. **Merge** — cross-shard pairs go through the deterministic
-//!    escalation rule: the `m` nearest foreign vehicles per order (ranked
-//!    by anchor→pickup distance under [`f64::total_cmp`], ties first-wins
-//!    toward the lower vehicle id) are always evaluated in full, and every
-//!    remaining foreign pair is evaluated **unless** the exact geometric
-//!    bound ([`RoutePlanner::provably_infeasible`]) proves that no
-//!    insertion can meet the order's deadline, in which case the pair's
-//!    known output (`best: None`, exact `d_{t,k}`) is emitted without the
-//!    sweep.
+//!    cell's sweep runs concurrently against its own schedule caches.
+//! 3. **Merge** — cross-cell pairs go through the deterministic
+//!    escalation rule: the `m` nearest foreign vehicles **in the order's
+//!    parent region** (ranked by anchor→pickup distance under
+//!    [`f64::total_cmp`], ties first-wins toward the lower vehicle id)
+//!    are always evaluated in full, and every remaining foreign pair is
+//!    evaluated **unless** the exact geometric bound
+//!    ([`RoutePlanner::provably_infeasible`]) proves that no insertion
+//!    can meet the order's deadline, in which case the pair's known
+//!    output (`best: None`, exact `d_{t,k}`) is emitted without the
+//!    sweep. Under a flat map the whole fleet is one region, so the rule
+//!    degenerates to the classic `m`-nearest-foreign escalation;
+//!    hierarchically, cross-**region** pairs never consume escalation
+//!    slots — they rely on the exact bound alone, which is what makes the
+//!    sweep scale with cell size instead of fleet size.
 //!
 //! **Determinism guarantee.** A pruned pair's output is *bit-identical* to
 //! what the full sweep would have produced (the bound is conservative and
 //! gated on metric networks), every evaluated cell lands in a pre-indexed
 //! slot of the plan matrix, and the classification itself never reads
-//! results — so episodes are bit-identical for **any** shard count, any
-//! escalation width and any thread count. `tests/batch_parity.rs` asserts
-//! this end-to-end for every built-in policy; only wall time moves.
+//! results — so episodes are bit-identical for **any** shard layout, any
+//! escalation width, any re-partition cadence and any thread count.
+//! `tests/batch_parity.rs` and `tests/repartition.rs` assert this
+//! end-to-end for every built-in policy; only wall time moves.
 //!
-//! [`SimulatorBuilder::num_shards`]: crate::simulator::SimulatorBuilder::num_shards
+//! [`SimulatorBuilder::sharding`]: crate::simulator::SimulatorBuilder::sharding
+//! [`ShardConfig::flat`]: crate::sharding::ShardConfig::flat
+//! [`ShardConfig::hierarchical`]: crate::sharding::ShardConfig::hierarchical
 //! [`RoutePlanner::provably_infeasible`]: dpdp_routing::RoutePlanner::provably_infeasible
 
-use dpdp_net::{Order, ShardMap};
-use dpdp_routing::{RoutePlanner, VehicleView};
+use dpdp_net::{Order, ShardMap, TimeDelta, TimePoint};
+use dpdp_pool::ThreadPool;
+use dpdp_routing::{PruneProbe, RoutePlanner, VehicleView};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -109,6 +124,7 @@ pub(crate) fn plan_sweep(
     views: &[VehicleView],
     epoch_orders: &[&Order],
     active: Option<&[bool]>,
+    pool: &ThreadPool,
 ) -> SweepPlan {
     let map = &*ctx.map;
     let net = planner.network();
@@ -124,44 +140,6 @@ pub(crate) fn plan_sweep(
         .map(|o| map.shard_of(o.pickup) as u32)
         .collect();
 
-    // Escalation marks: per order, the m nearest foreign vehicles by
-    // anchor→pickup distance (total_cmp, ties first-wins on the lower
-    // vehicle id). `m` is small, so a running top-m scan beats sorting —
-    // `esc[i * m ..]` holds order `i`'s escalated vehicle ids.
-    let m = ctx.escalation.min(k_n);
-    let mut esc: Vec<u32> = vec![u32::MAX; b * m];
-    if m > 0 {
-        let mut best: Vec<(f64, u32)> = Vec::with_capacity(m);
-        for (i, order) in epoch_orders.iter().enumerate() {
-            best.clear();
-            for (k, view) in views.iter().enumerate() {
-                if vehicle_shard[k] == order_shard[i] || !is_active(k) {
-                    continue;
-                }
-                let d = net.distance(view.anchor_node, order.pickup);
-                // Insert into the small sorted top-m buffer; strict
-                // ordering by (distance, id) keeps ties first-wins.
-                let pos = best
-                    .iter()
-                    .position(|&(bd, bk)| d.total_cmp(&bd).then((k as u32).cmp(&bk)).is_lt())
-                    .unwrap_or(best.len());
-                if pos < m {
-                    if best.len() == m {
-                        best.pop();
-                    }
-                    best.insert(pos, (d, k as u32));
-                }
-            }
-            for (slot, &(_, k)) in best.iter().enumerate() {
-                esc[i * m + slot] = k;
-            }
-        }
-    }
-
-    let mut stats = ShardStats {
-        cells: b * k_n,
-        ..ShardStats::default()
-    };
     // Vehicle-shard-major work list: regions become contiguous runs of the
     // flat list, so the pool's chunked tasks are (mostly) shard-local.
     // Bucketed counting sort — shard counts are tiny and vehicle order
@@ -176,33 +154,209 @@ pub(crate) fn plan_sweep(
         buckets[s + 1] += buckets[s];
     }
     vehicles_by_shard.resize(k_n, 0);
-    let mut cursor = buckets;
+    let mut cursor = buckets.clone();
     for (k, &s) in vehicle_shard.iter().enumerate() {
         vehicles_by_shard[cursor[s as usize] as usize] = k as u32;
         cursor[s as usize] += 1;
     }
-    let mut work = Vec::with_capacity(b * k_n);
-    for &k in &vehicles_by_shard {
-        let ku = k as usize;
-        for (i, order) in epoch_orders.iter().enumerate() {
-            if !is_active(ku) {
-                stats.pruned += 1;
-                continue;
+    // Cell ids are region-major, so each region is one contiguous run of
+    // `vehicles_by_shard` — the escalation ranking scans only the order's
+    // run instead of the whole fleet.
+    let num_regions = map.num_regions();
+    let mut region_end = vec![0usize; num_regions + 1];
+    for s in 0..num_shards {
+        region_end[map.region_of(s) + 1] = buckets[s + 1] as usize;
+    }
+    for g in 0..num_regions {
+        region_end[g + 1] = region_end[g + 1].max(region_end[g]);
+    }
+
+    // Distance memo: vehicles cluster on far fewer anchor nodes than there
+    // are vehicles (idle trucks share depots), so anchor→pickup legs are
+    // looked up once per (order, anchor node) instead of once per cell —
+    // on a 10k-vehicle fleet that is the difference between a sweep-bound
+    // and a memo-bound classification pass. `dist` feeds the escalation
+    // ranking (raw km), `leg` the prune probes (travel time).
+    let mut node_slot = vec![u32::MAX; net.nodes().len()];
+    let mut anchors = Vec::new();
+    let vehicle_slot: Vec<u32> = views
+        .iter()
+        .map(|v| {
+            let slot = &mut node_slot[v.anchor_node.index()];
+            if *slot == u32::MAX {
+                *slot = anchors.len() as u32;
+                anchors.push(v.anchor_node);
             }
-            if vehicle_shard[ku] == order_shard[i] {
-                stats.evaluated += 1;
-            } else if esc[i * m..(i + 1) * m].contains(&k)
-                || !planner.provably_infeasible(&views[ku], order)
-            {
-                stats.evaluated += 1;
-                stats.escalated += 1;
-            } else {
-                stats.pruned += 1;
-                continue;
-            }
-            work.push((i as u32, k));
+            *slot
+        })
+        .collect();
+    let ns = anchors.len();
+    let mut dist = vec![0.0f64; b * ns];
+    let mut leg = vec![TimeDelta::ZERO; b * ns];
+    for (i, order) in epoch_orders.iter().enumerate() {
+        for (slot, &anchor) in anchors.iter().enumerate() {
+            let d = net.distance(anchor, order.pickup);
+            dist[i * ns + slot] = d;
+            leg[i * ns + slot] = planner.travel_time(d);
         }
     }
+    let order_region: Vec<usize> = order_shard
+        .iter()
+        .map(|&s| map.region_of(s as usize))
+        .collect();
+    let probes: Vec<PruneProbe> = epoch_orders
+        .iter()
+        .map(|o| planner.prune_probe(o))
+        .collect();
+
+    // Escalation marks: per order, the m nearest foreign vehicles *within
+    // the order's parent region* by anchor→pickup distance (total_cmp,
+    // ties broken on the lower vehicle id — a total order, so the scan
+    // order over the region's run is irrelevant). Flat maps are one
+    // region, so the run is the whole fleet there; hierarchical maps never
+    // spend escalation slots on cross-region vehicles. `m` is small, so a
+    // running top-m scan beats sorting — `esc[i * m ..]` holds order `i`'s
+    // escalated vehicle ids.
+    let m = ctx.escalation.min(k_n);
+    let mut esc: Vec<u32> = vec![u32::MAX; b * m];
+    if m > 0 {
+        let mut best: Vec<(f64, u32)> = Vec::with_capacity(m);
+        for i in 0..b {
+            best.clear();
+            let run =
+                &vehicles_by_shard[region_end[order_region[i]]..region_end[order_region[i] + 1]];
+            for &k in run {
+                let ku = k as usize;
+                if vehicle_shard[ku] == order_shard[i] || !is_active(ku) {
+                    continue;
+                }
+                let d = dist[i * ns + vehicle_slot[ku] as usize];
+                // Insert into the small sorted top-m buffer; strict
+                // ordering by (distance, id) keeps ties deterministic.
+                let pos = best
+                    .iter()
+                    .position(|&(bd, bk)| d.total_cmp(&bd).then(k.cmp(&bk)).is_lt())
+                    .unwrap_or(best.len());
+                if pos < m {
+                    if best.len() == m {
+                        best.pop();
+                    }
+                    best.insert(pos, (d, k));
+                }
+            }
+            for (slot, &(_, k)) in best.iter().enumerate() {
+                esc[i * m + slot] = k;
+            }
+        }
+    }
+
+    let mut stats = ShardStats {
+        cells: b * k_n,
+        ..ShardStats::default()
+    };
+    // Cell-level aggregates for the group prune below: the earliest anchor
+    // time over each cell's active vehicles, and the cell's distinct
+    // anchor slots (an anchor node maps to exactly one cell, so the slot
+    // lists partition `anchors`). `prunes` is monotone non-decreasing in
+    // both arguments — pushing the anchor time later or the pickup leg
+    // longer can only lose more slack — so a cell that prunes at its
+    // (min time, min leg) corner prunes every one of its vehicles
+    // individually. The group skip therefore dismisses exactly the cells
+    // the per-vehicle pass would, without touching their vehicles: the
+    // classification drops from `O(B x K)` probe checks to
+    // `O(B x (shards + anchors))` plus per-vehicle checks only inside
+    // cells the bound could not dismiss wholesale.
+    let mut cell_min_time: Vec<Option<TimePoint>> = vec![None; num_shards];
+    let mut slots_by_cell: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+    let mut slot_listed = vec![false; ns];
+    for (ku, view) in views.iter().enumerate() {
+        if !is_active(ku) {
+            continue;
+        }
+        let s = vehicle_shard[ku] as usize;
+        let t = view.anchor_time;
+        if cell_min_time[s].is_none_or(|cur| t < cur) {
+            cell_min_time[s] = Some(t);
+        }
+        let slot = vehicle_slot[ku];
+        if !slot_listed[slot as usize] {
+            slot_listed[slot as usize] = true;
+            slots_by_cell[s].push(slot);
+        }
+    }
+    // Classification is pure per cell (it never reads sweep results), so
+    // it fans out one pool task per vehicle cell; concatenating the task
+    // outputs in cell order reproduces the serial shard-major work list
+    // exactly, at any thread count.
+    let cell_min_time_ref = &cell_min_time;
+    let slots_by_cell_ref = &slots_by_cell;
+    let tasks = pool.par_map(num_shards, |s| {
+        let run = &vehicles_by_shard[buckets[s] as usize..buckets[s + 1] as usize];
+        let mut work = Vec::new();
+        let (mut evaluated, mut escalated) = (0usize, 0usize);
+        // Orders the cell-level bound could not dismiss: only these see
+        // the per-vehicle checks (ascending order index, so the emitted
+        // work per vehicle keeps the full pass's order).
+        let mut live: Vec<u32> = Vec::new();
+        for i in 0..b {
+            let group_pruned = order_shard[i] != s as u32
+                && !esc[i * m..(i + 1) * m]
+                    .iter()
+                    .any(|&e| e != u32::MAX && vehicle_shard[e as usize] == s as u32)
+                && match cell_min_time_ref[s] {
+                    Some(t0) => {
+                        let mut min_leg: Option<TimeDelta> = None;
+                        for &slot in &slots_by_cell_ref[s] {
+                            let l = leg[i * ns + slot as usize];
+                            if min_leg.is_none_or(|cur| l < cur) {
+                                min_leg = Some(l);
+                            }
+                        }
+                        // `slots_by_cell` is non-empty whenever
+                        // `cell_min_time` is set (both fed by the same
+                        // active-vehicle scan).
+                        min_leg.map(|l| probes[i].prunes(t0, l)).unwrap_or(true)
+                    }
+                    // No active vehicle anchors in this cell.
+                    None => true,
+                };
+            if !group_pruned {
+                live.push(i as u32);
+            }
+        }
+        for &k in run {
+            let ku = k as usize;
+            if !is_active(ku) {
+                continue;
+            }
+            let anchor_time = views[ku].anchor_time;
+            let slot = vehicle_slot[ku] as usize;
+            for &iu in &live {
+                let i = iu as usize;
+                if vehicle_shard[ku] == order_shard[i] {
+                    evaluated += 1;
+                } else if esc[i * m..(i + 1) * m].contains(&k)
+                    || !probes[i].prunes(anchor_time, leg[i * ns + slot])
+                {
+                    evaluated += 1;
+                    escalated += 1;
+                } else {
+                    continue;
+                }
+                work.push((iu, k));
+            }
+        }
+        (work, evaluated, escalated)
+    });
+    let mut work = Vec::with_capacity(tasks.iter().map(|t| t.0.len()).sum());
+    for (cell_work, evaluated, escalated) in tasks {
+        work.extend(cell_work);
+        stats.evaluated += evaluated;
+        stats.escalated += escalated;
+    }
+    // Every cell is either evaluated or pruned; escalated is a subset of
+    // evaluated.
+    stats.pruned = stats.cells - stats.evaluated;
     SweepPlan { work, stats }
 }
 
@@ -289,7 +443,7 @@ mod tests {
             map: Arc::clone(&map),
             escalation: 0,
         };
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None);
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None, &ThreadPool::new(1));
         assert_eq!(sweep.stats.cells, 4);
         assert_eq!(sweep.stats.pruned, 2);
         assert_eq!(sweep.stats.evaluated, 2);
@@ -301,7 +455,7 @@ mod tests {
 
         // Escalation m = 1 forces the nearest foreign vehicle back in.
         let ctx = ShardContext { map, escalation: 1 };
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None);
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None, &ThreadPool::new(1));
         assert_eq!(sweep.stats.pruned, 0);
         assert_eq!(sweep.stats.escalated, 2);
         assert_eq!(sweep.work.len(), 4);
@@ -318,11 +472,83 @@ mod tests {
         let map = Arc::new(ShardMap::build(&net, 2, ShardPolicy::default(), 7));
         let ctx = ShardContext { map, escalation: 0 };
         let epoch: Vec<&Order> = orders.iter().collect();
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None);
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None, &ThreadPool::new(1));
         assert_eq!(sweep.stats.pruned, 0);
         assert_eq!(sweep.stats.evaluated, 4);
         assert_eq!(sweep.stats.escalated, 2);
         assert_eq!(sweep.stats.pruned_fraction(), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_escalation_stays_inside_the_parent_region() {
+        // Four clusters in two metro regions: A = {x≈0, x≈40}, B =
+        // {x≈1000, x≈1040}. At 60 km/h with half an hour of slack only the
+        // in-cell vehicle can serve an order, so every cross-cell cell is
+        // prunable — whatever survives beyond the diagonal is escalation.
+        let nodes = vec![
+            Node::depot(NodeId(0), Point::new(0.0, 0.0)),
+            Node::factory(NodeId(1), Point::new(1.0, 0.0)),
+            Node::depot(NodeId(2), Point::new(40.0, 0.0)),
+            Node::factory(NodeId(3), Point::new(41.0, 0.0)),
+            Node::depot(NodeId(4), Point::new(1000.0, 0.0)),
+            Node::factory(NodeId(5), Point::new(1001.0, 0.0)),
+            Node::depot(NodeId(6), Point::new(1040.0, 0.0)),
+            Node::factory(NodeId(7), Point::new(1041.0, 0.0)),
+        ];
+        let net = RoadNetwork::euclidean(nodes, 1.0).unwrap();
+        let fleet = FleetConfig::homogeneous(
+            4,
+            &[NodeId(0), NodeId(2), NodeId(4), NodeId(6)],
+            10.0,
+            500.0,
+            2.0,
+            60.0,
+            TimeDelta::ZERO,
+        )
+        .unwrap();
+        // One order picked up in cell A1 (classification keys on the
+        // pickup node; the delivery in A2 leaves the cell assignment
+        // untouched).
+        let orders = vec![Order::new(
+            OrderId(0),
+            NodeId(1),
+            NodeId(3),
+            1.0,
+            TimePoint::from_hours(8.0),
+            TimePoint::from_hours(8.5),
+        )
+        .unwrap()];
+        let planner = RoutePlanner::new(&net, &fleet, &orders);
+        let views = views_at(&fleet, TimePoint::from_hours(8.0));
+        let map = Arc::new(ShardMap::build(
+            &net,
+            4,
+            ShardPolicy::Hierarchical {
+                regions: 2,
+                cells_per_region: 2,
+                iterations: 8,
+            },
+            7,
+        ));
+        assert_eq!(map.num_regions(), 2);
+        let epoch: Vec<&Order> = orders.iter().collect();
+
+        // m = 3 would reach every foreign vehicle under a flat map; under
+        // the hierarchical map only the same-region foreign vehicle (A2)
+        // may consume an escalation slot — region B's two vehicles must
+        // stay pruned however wide the escalation gets.
+        let ctx = ShardContext {
+            map: Arc::clone(&map),
+            escalation: 3,
+        };
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None, &ThreadPool::new(1));
+        assert_eq!(sweep.stats.cells, 4);
+        assert_eq!(sweep.stats.evaluated, 2, "in-cell + same-region escalation");
+        assert_eq!(sweep.stats.escalated, 1);
+        assert_eq!(
+            sweep.stats.pruned, 2,
+            "cross-region vehicles must not consume escalation slots"
+        );
     }
 
     #[test]
@@ -337,7 +563,7 @@ mod tests {
             escalation: 2,
         };
         let epoch: Vec<&Order> = orders.iter().collect();
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None);
+        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None, &ThreadPool::new(1));
         let shards: Vec<usize> = sweep.work.iter().map(|&(_, k)| shard_of(k)).collect();
         let mut sorted = shards.clone();
         sorted.sort_unstable();

@@ -7,8 +7,9 @@ use crate::event::DisruptionConfig;
 use crate::metrics::{AssignmentRecord, EpisodeResult, MetricsAccumulator, MetricsOptions};
 use crate::observer::{DecisionRecord, EpochInfo, SimObserver};
 use crate::shard::ShardContext;
+use crate::sharding::{ShardConfig, ShardRuntime};
 use crate::state::VehicleState;
-use dpdp_net::{Instance, ShardMap, ShardPolicy, TimeDelta, TimePoint};
+use dpdp_net::{Instance, ShardMap, TimeDelta, TimePoint};
 use dpdp_pool::ThreadPool;
 use dpdp_routing::{PlannerMode, PlannerOutput, RoutePlanner, VehicleView};
 use std::sync::Arc;
@@ -41,8 +42,15 @@ pub enum SimBuildError {
     },
     /// [`SimulatorBuilder::num_threads`] needs at least one thread.
     ZeroThreads,
-    /// [`SimulatorBuilder::num_shards`] needs at least one shard.
+    /// [`ShardConfig::flat`] needs at least one shard.
     ZeroShards,
+    /// A [`ShardConfig`] constructor or knob got inconsistent values
+    /// (zero region/cell counts, a hierarchical policy handed to
+    /// [`ShardConfig::flat_with`], or a zero re-partition cadence).
+    InvalidSharding {
+        /// What was wrong.
+        reason: String,
+    },
     /// [`SimulatorBuilder::disruptions`] got invalid knobs (probability
     /// outside `[0, 1]`, negative delay, or an unordered window/range).
     InvalidDisruption {
@@ -62,7 +70,10 @@ impl std::fmt::Display for SimBuildError {
                 write!(f, "num_threads must be at least 1 (1 = serial)")
             }
             SimBuildError::ZeroShards => {
-                write!(f, "num_shards must be at least 1 (1 = unsharded)")
+                write!(f, "shard count must be at least 1 (1 = unsharded)")
+            }
+            SimBuildError::InvalidSharding { reason } => {
+                write!(f, "invalid shard config: {reason}")
             }
             SimBuildError::InvalidDisruption { reason } => {
                 write!(f, "invalid disruption config: {reason}")
@@ -101,9 +112,7 @@ pub struct SimulatorBuilder<'a> {
     num_threads: usize,
     pool: Option<Arc<ThreadPool>>,
     planner_mode: PlannerMode,
-    num_shards: usize,
-    shard_policy: ShardPolicy,
-    shard_escalation: usize,
+    sharding: ShardConfig,
     disruptions: Option<DisruptionConfig>,
 }
 
@@ -121,9 +130,7 @@ impl<'a> SimulatorBuilder<'a> {
             num_threads: 1,
             pool: None,
             planner_mode: PlannerMode::default(),
-            num_shards: 1,
-            shard_policy: ShardPolicy::default(),
-            shard_escalation: DEFAULT_SHARD_ESCALATION,
+            sharding: ShardConfig::default(),
             disruptions: None,
         }
     }
@@ -192,40 +199,25 @@ impl<'a> SimulatorBuilder<'a> {
         self
     }
 
-    /// Number of geographic regions decision epochs are partitioned into
-    /// (the region-sharded dispatch pipeline; see [`crate::shard`]).
+    /// Sets the sharding configuration: how decision epochs are
+    /// partitioned geographically (the region-sharded dispatch pipeline;
+    /// see [`crate::shard`] and [`crate::sharding`]).
     ///
-    /// The default of 1 is the flat fleet scan. Any `s > 1` builds a
-    /// [`ShardMap`] over the instance's node coordinates at
-    /// [`SimulatorBuilder::build`] time and scores every epoch as a merge
-    /// of shard-local batches: in-shard `(order, vehicle)` pairs run the
-    /// full insertion sweep shard-concurrently, cross-shard pairs are
-    /// either escalated (see [`SimulatorBuilder::shard_escalation`]) or
-    /// skipped through an exact geometric infeasibility bound. **Episode
-    /// results are bit-identical for every shard count** — the partition
-    /// changes wall time, never decisions (`tests/batch_parity.rs` asserts
-    /// it for every built-in policy).
-    pub fn num_shards(mut self, num_shards: usize) -> Self {
-        self.num_shards = num_shards;
-        self
-    }
-
-    /// How nodes are partitioned into regions when
-    /// [`SimulatorBuilder::num_shards`] is above 1 (default: seeded
-    /// k-means centroids; [`ShardPolicy::Grid`] for a fixed grid).
-    pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
-        self.shard_policy = policy;
-        self
-    }
-
-    /// Escalation width `m` of the cross-shard merge rule: the `m` nearest
-    /// foreign vehicles (by anchor→pickup distance) are always evaluated
-    /// in full for every order, on top of any foreign vehicle the
-    /// infeasibility bound cannot rule out. Purely a work knob — results
-    /// are bit-identical for every `m` (default
-    /// [`DEFAULT_SHARD_ESCALATION`]).
-    pub fn shard_escalation(mut self, m: usize) -> Self {
-        self.shard_escalation = m;
+    /// The default [`ShardConfig::default`] (one flat cell) is the plain
+    /// fleet scan. Any multi-cell config builds a [`ShardMap`] over the
+    /// instance's node coordinates at [`SimulatorBuilder::build`] time and
+    /// scores every epoch as a merge of cell-local batches: in-cell
+    /// `(order, vehicle)` pairs run the full insertion sweep
+    /// shard-concurrently, cross-cell pairs are either escalated within
+    /// the parent region (see [`ShardConfig::escalation`]) or skipped
+    /// through an exact geometric infeasibility bound. A
+    /// [`RepartitionPolicy`](crate::sharding::RepartitionPolicy) can
+    /// additionally re-seed the partition from live demand at flush
+    /// boundaries. **Episode results are bit-identical for every shard
+    /// layout** — the partition changes wall time, never decisions
+    /// (`tests/batch_parity.rs` and `tests/repartition.rs` assert it).
+    pub fn sharding(mut self, config: ShardConfig) -> Self {
+        self.sharding = config;
         self
     }
 
@@ -261,8 +253,8 @@ impl<'a> SimulatorBuilder<'a> {
     /// # Errors
     /// [`SimBuildError::NonPositivePeriod`] when fixed-interval buffering
     /// was requested with a period `<= 0`;
-    /// [`SimBuildError::ZeroThreads`] when `num_threads(0)` was requested;
-    /// [`SimBuildError::ZeroShards`] when `num_shards(0)` was requested.
+    /// [`SimBuildError::ZeroThreads`] when `num_threads(0)` was requested.
+    /// (Shard configs are validated at [`ShardConfig`] construction time.)
     pub fn build(self) -> Result<Simulator<'a>, SimBuildError> {
         if let BufferingMode::FixedInterval(period) = self.buffering {
             let seconds = period.seconds();
@@ -273,9 +265,6 @@ impl<'a> SimulatorBuilder<'a> {
         if self.num_threads == 0 {
             return Err(SimBuildError::ZeroThreads);
         }
-        if self.num_shards == 0 {
-            return Err(SimBuildError::ZeroShards);
-        }
         if let Some(config) = &self.disruptions {
             config
                 .validate()
@@ -284,17 +273,12 @@ impl<'a> SimulatorBuilder<'a> {
         let pool = self
             .pool
             .unwrap_or_else(|| Arc::new(ThreadPool::new(self.num_threads)));
-        // The node set is static, so the region partition is built once
-        // here and shared by every epoch of every episode.
-        let shards = (self.num_shards > 1).then(|| ShardContext {
-            map: Arc::new(ShardMap::build(
-                &self.instance.network,
-                self.num_shards,
-                self.shard_policy,
-                self.seed,
-            )),
-            escalation: self.shard_escalation,
-        });
+        // The initial partition is built once here from node geometry and
+        // shared by every episode; a re-partition policy lets each episode
+        // evolve its own copy from the live demand stream.
+        let shards = self
+            .sharding
+            .initial_context(&self.instance.network, self.seed);
         Ok(Simulator {
             instance: self.instance,
             buffering: self.buffering,
@@ -303,15 +287,16 @@ impl<'a> SimulatorBuilder<'a> {
             seed: self.seed,
             pool,
             planner_mode: self.planner_mode,
+            sharding: self.sharding,
             shards,
             disruptions: self.disruptions,
         })
     }
 }
 
-/// Default escalation width `m` of [`SimulatorBuilder::shard_escalation`]:
-/// every order always sees its two nearest foreign vehicles evaluated in
-/// full, wherever the infeasibility bound stands.
+/// Default escalation width `m` of [`ShardConfig::escalation`]: every
+/// order always sees its two nearest same-region foreign vehicles
+/// evaluated in full, wherever the infeasibility bound stands.
 pub const DEFAULT_SHARD_ESCALATION: usize = 2;
 
 /// Fans every episode event out to the observers and feeds decisions into
@@ -390,6 +375,7 @@ pub struct Simulator<'a> {
     pub(crate) seed: u64,
     pub(crate) pool: Arc<ThreadPool>,
     pub(crate) planner_mode: PlannerMode,
+    pub(crate) sharding: ShardConfig,
     pub(crate) shards: Option<ShardContext>,
     pub(crate) disruptions: Option<DisruptionConfig>,
 }
@@ -427,15 +413,35 @@ impl<'a> Simulator<'a> {
         self.planner_mode
     }
 
-    /// Number of geographic shards epochs are scored with (see
-    /// [`SimulatorBuilder::num_shards`]; 1 = flat scan).
+    /// Number of geographic shards (cells) epochs are scored with (see
+    /// [`SimulatorBuilder::sharding`]; 1 = flat scan).
     pub fn num_shards(&self) -> usize {
         self.shards.as_ref().map_or(1, |c| c.map.num_shards())
     }
 
-    /// The region partition in effect, when sharding is on.
+    /// The sharding configuration in effect (see
+    /// [`SimulatorBuilder::sharding`]).
+    pub fn sharding(&self) -> &ShardConfig {
+        &self.sharding
+    }
+
+    /// The *initial* region partition, when sharding is on. Episodes under
+    /// a re-partition policy evolve their own episode-local copy; this is
+    /// the geometry-seeded map every episode starts from.
     pub fn shard_map(&self) -> Option<&ShardMap> {
         self.shards.as_ref().map(|c| &*c.map)
+    }
+
+    /// Builds the episode-local sharding runtime both episode loops start
+    /// from — one per episode so mid-episode re-partitioning never leaks
+    /// across runs.
+    pub(crate) fn shard_runtime(&self) -> ShardRuntime {
+        ShardRuntime::new(
+            &self.sharding,
+            self.shards.as_ref(),
+            self.seed,
+            self.instance.network.nodes().len(),
+        )
     }
 
     /// The armed disruption config, if any (see
@@ -550,6 +556,7 @@ impl<'a> Simulator<'a> {
 
         let mut states: Vec<VehicleState> = fleet.vehicles.iter().map(VehicleState::new).collect();
 
+        let mut shard_rt = self.shard_runtime();
         let mut epoch_index = 0;
         let mut start = 0;
         while start < orders.len() {
@@ -583,6 +590,13 @@ impl<'a> Simulator<'a> {
             for s in &mut states {
                 s.advance_to(now, net, fleet, orders);
             }
+            // Demand accumulation and re-partitioning happen serially at
+            // the flush boundary, before the batch forms — the event
+            // engine does the same, so both loops stay bit-identical.
+            for order in epoch_orders {
+                shard_rt.observe(order);
+            }
+            let repartitioned = shard_rt.maybe_repartition(net);
             let batch = DecisionBatch::new(
                 now,
                 interval,
@@ -593,7 +607,7 @@ impl<'a> Simulator<'a> {
                 states.clone(),
                 Arc::clone(&self.pool),
                 self.planner_mode,
-                self.shards.clone(),
+                shard_rt.context(),
                 None,
             );
             sink.epoch(&EpochInfo {
@@ -603,6 +617,7 @@ impl<'a> Simulator<'a> {
                 num_orders: epoch_orders.len(),
                 num_shards: self.num_shards(),
                 shards: batch.shard_stats(),
+                repartitioned,
             });
             let decisions = dispatcher.dispatch_batch(&batch);
             assert_eq!(
@@ -1050,9 +1065,8 @@ mod tests {
     }
 
     #[test]
-    fn zero_shards_is_a_build_error() {
-        let inst = instance(1, vec![]);
-        let err = Simulator::builder(&inst).num_shards(0).build().unwrap_err();
+    fn zero_shards_is_a_config_error() {
+        let err = ShardConfig::flat(0).unwrap_err();
         assert_eq!(err, SimBuildError::ZeroShards);
         assert!(err.to_string().contains("at least 1"));
     }
@@ -1074,24 +1088,32 @@ mod tests {
             .build()
             .unwrap()
             .run(&mut FirstFeasible);
-        for shards in [2, 3, 8] {
-            for policy in [
-                dpdp_net::ShardPolicy::default(),
-                dpdp_net::ShardPolicy::Grid,
-            ] {
-                let s = Simulator::builder(&inst)
-                    .num_shards(shards)
-                    .shard_policy(policy)
-                    .build()
-                    .unwrap();
-                assert_eq!(s.num_shards(), shards);
-                assert!(s.shard_map().is_some());
-                let sharded = s.run(&mut FirstFeasible);
-                assert_eq!(
-                    flat, sharded,
-                    "{shards} shards under {policy:?} diverged from the flat scan"
-                );
-            }
+        let configs = [
+            ShardConfig::flat(2).unwrap(),
+            ShardConfig::flat(3).unwrap(),
+            ShardConfig::flat(8).unwrap(),
+            ShardConfig::flat_with(2, dpdp_net::ShardPolicy::Grid).unwrap(),
+            ShardConfig::flat_with(8, dpdp_net::ShardPolicy::Grid).unwrap(),
+            ShardConfig::hierarchical(2, 2).unwrap(),
+            ShardConfig::hierarchical(2, 4).unwrap().escalation(0),
+            ShardConfig::flat(4)
+                .unwrap()
+                .repartition(crate::sharding::RepartitionPolicy::Periodic {
+                    every_epochs: 1,
+                    min_orders: 1,
+                })
+                .unwrap(),
+        ];
+        for config in configs {
+            let expect_shards = config.num_shards();
+            let s = Simulator::builder(&inst)
+                .sharding(config.clone())
+                .build()
+                .unwrap();
+            assert_eq!(s.num_shards(), expect_shards);
+            assert!(s.shard_map().is_some());
+            let sharded = s.run(&mut FirstFeasible);
+            assert_eq!(flat, sharded, "{config:?} diverged from the flat scan");
         }
     }
 

@@ -11,19 +11,20 @@
 //! can be overridden through the `DPDP_TEST_THREADS` env var (the CI test
 //! matrix runs 1 and 4).
 //!
-//! And it proves the **shard-count invariance** of the region-sharded
-//! dispatch pipeline: `SimulatorBuilder::num_shards(s)` partitions every
-//! epoch geographically, prunes cross-shard `(order, vehicle)` pairs
-//! through an exact infeasibility bound and escalates the rest — and the
-//! resulting episodes are bit-identical to the flat `shards = 1` scan for
-//! every policy, at 1 thread and at the parallel width, on the metro
-//! preset (where the prune genuinely fires; a guard test asserts
-//! non-vacuity).
+//! And it proves the **shard-layout invariance** of the region-sharded
+//! dispatch pipeline: `SimulatorBuilder::sharding(ShardConfig::flat(s))`
+//! partitions every epoch geographically, prunes cross-shard
+//! `(order, vehicle)` pairs through an exact infeasibility bound and
+//! escalates the rest — and the resulting episodes are bit-identical to
+//! the flat `shards = 1` scan for every policy, at 1 thread and at the
+//! parallel width, on the metro preset (where the prune genuinely fires; a
+//! guard test asserts non-vacuity). Hierarchical layouts and mid-episode
+//! re-partitioning get the same treatment in `tests/repartition.rs`.
 
 use dpdp_core::prelude::*;
 use dpdp_net::TimeDelta;
 use dpdp_rl::ActorCriticConfig;
-use dpdp_sim::{BufferingMode, EpisodeResult, PerOrder, PlannerMode};
+use dpdp_sim::{BufferingMode, EpisodeResult, PerOrder, PlannerMode, ShardConfig};
 
 fn presets() -> Presets {
     let mut cfg = DatasetConfig::default();
@@ -208,7 +209,7 @@ fn every_policy_is_bit_identical_across_shard_counts() {
                        num_threads: usize| {
         Simulator::builder(instance)
             .buffering(buffering)
-            .num_shards(shards)
+            .sharding(ShardConfig::flat(shards).expect("positive shard count"))
             .num_threads(num_threads)
             .build()
             .expect("valid configuration")
@@ -279,7 +280,7 @@ fn sharded_metro_epochs_actually_prune() {
     let instance = metro.metro_instance(60, 32, 5);
     let mut tally = Tally::default();
     Simulator::builder(&instance)
-        .num_shards(4)
+        .sharding(ShardConfig::flat(4).unwrap())
         .build()
         .unwrap()
         .run_observed(&mut Baseline1, &mut [&mut tally]);

@@ -20,7 +20,7 @@ use dpdp_net::{
     TimePoint,
 };
 use dpdp_rl::ActorCriticConfig;
-use dpdp_sim::{BufferingMode, DisruptionRecord, EpisodeResult, EpochInfo};
+use dpdp_sim::{BufferingMode, DisruptionRecord, EpisodeResult, EpochInfo, ShardConfig};
 
 /// Parallel width for the thread-parity legs: `DPDP_TEST_THREADS`, or 4.
 fn parallel_threads() -> usize {
@@ -39,7 +39,7 @@ fn build_sim<'a>(
 ) -> Simulator<'a> {
     Simulator::builder(instance)
         .buffering(buffering)
-        .num_shards(shards)
+        .sharding(ShardConfig::flat(shards).expect("positive shard count"))
         .num_threads(threads)
         .build()
         .expect("valid configuration")
