@@ -2,16 +2,24 @@
 //!
 //! ```text
 //! cargo run --release -p dpdp-server --bin serve -- [--addr HOST:PORT] [--threads N] [--queue N]
+//!     [--journal-dir DIR] [--idle-timeout SECS] [--max-sessions N] [--drain-timeout SECS]
+//!     [--debug-frames]
 //! ```
 
 use dpdp_server::{DecisionServer, ServerConfig};
+use std::time::Duration;
 
 const USAGE: &str = "\
 options:
-  --addr HOST:PORT  listen address (default 127.0.0.1:7878; port 0 = OS-picked)
-  --threads N       shared scoring pool width (default 1)
-  --queue N         per-session command queue bound (default 64)
-  -h, --help        print this help";
+  --addr HOST:PORT      listen address (default 127.0.0.1:7878; port 0 = OS-picked)
+  --threads N           shared scoring pool width (default 1)
+  --queue N             per-session command queue bound (default 64)
+  --journal-dir DIR     mirror session journals to DIR (RESUME survives restarts)
+  --idle-timeout SECS   reap sockets with no frame for SECS seconds (default: never)
+  --max-sessions N      shed connects beyond N live sessions with ERR overloaded
+  --drain-timeout SECS  graceful-shutdown episode budget (default 5)
+  --debug-frames        honour the PANIC debug frame (crash injection for chaos tests)
+  -h, --help            print this help";
 
 fn fail(msg: &str) -> ! {
     eprintln!("serve: {msg}\n{USAGE}");
@@ -37,6 +45,23 @@ fn main() {
                 Some(v) if v >= 1 => config.queue_depth = v,
                 _ => fail("flag `--queue` needs a positive integer"),
             },
+            "--journal-dir" => match it.next() {
+                Some(v) => config.journal_dir = Some(v.into()),
+                None => fail("flag `--journal-dir` needs a directory path"),
+            },
+            "--idle-timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => config.idle_timeout = Some(Duration::from_secs_f64(v)),
+                _ => fail("flag `--idle-timeout` needs a positive number of seconds"),
+            },
+            "--max-sessions" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.max_sessions = Some(v),
+                _ => fail("flag `--max-sessions` needs a positive integer"),
+            },
+            "--drain-timeout" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => config.drain_timeout = Duration::from_secs_f64(v),
+                _ => fail("flag `--drain-timeout` needs a positive number of seconds"),
+            },
+            "--debug-frames" => config.debug_frames = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return;

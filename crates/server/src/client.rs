@@ -5,6 +5,15 @@ use crate::proto::{parse_server_msg, ProtoError, ServerMsg, WireDecision};
 use dpdp_sim::EpisodeMetrics;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Extracts the `token=<tok>` field from an `OK HELLO` / `OK RESUME`
+/// detail line. The token is the session's `RESUME` credential.
+pub fn token_from_ok_detail(detail: &str) -> Option<&str> {
+    detail
+        .split_ascii_whitespace()
+        .find_map(|field| field.strip_prefix("token="))
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -65,8 +74,37 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Connects to a [`DecisionServer`](crate::DecisionServer).
+    /// Connects to a [`DecisionServer`](crate::DecisionServer), retrying
+    /// with capped exponential backoff (10 ms doubling to 500 ms, ~5 s
+    /// total) while the connection is refused or interrupted. This
+    /// closes the classic startup race: a client launched alongside the
+    /// server no longer needs to sleep-and-hope before connecting. Any
+    /// other error — unroutable address, permission — fails immediately.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut pause = Duration::from_millis(10);
+        loop {
+            match Self::connect_once(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionRefused | io::ErrorKind::Interrupted
+                    ) && Instant::now() + pause < deadline =>
+                {
+                    std::thread::sleep(pause);
+                    pause = (pause * 2).min(Duration::from_millis(500));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Connects without retrying — one `connect(2)`, one verdict. The
+    /// building block [`connect`](Self::connect) wraps in backoff; use it
+    /// directly when a refused connection is the *expected* answer (e.g.
+    /// probing that a draining server no longer accepts).
+    pub fn connect_once(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
         let writer = TcpStream::connect(addr)?;
         // Command frames are small and latency-bound: never Nagle them.
         writer.set_nodelay(true)?;
@@ -81,6 +119,13 @@ impl ServeClient {
         frame.push_str(line);
         frame.push('\n');
         self.writer.write_all(frame.as_bytes())
+    }
+
+    /// Writes raw bytes with no framing at all. The chaos harness uses
+    /// this to drip a frame out byte-by-byte (slow-loris) and to inject
+    /// partial garbage; real clients should prefer the typed senders.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)
     }
 
     /// Reads the next server frame; `Ok(None)` on EOF. Blank lines are
@@ -114,6 +159,32 @@ impl ServeClient {
         ))?;
         match self.next_msg()? {
             Some(ServerMsg::Ok(detail)) => Ok(detail),
+            Some(ServerMsg::Err { code, detail }) => Err(ClientError::Rejected { code, detail }),
+            Some(_) | None => Err(ClientError::Closed),
+        }
+    }
+
+    /// Resumes an interrupted episode from its journal: sends
+    /// `RESUME <tenant> <token> <ack>` and waits for the verdict. `ack`
+    /// is the number of episode frames (`EPOCH` + `DECISION` + `DISRUPT`)
+    /// this client already received and processed; the server suppresses
+    /// re-emission of exactly that prefix, so the stream picks up where
+    /// it left off. Returns the `OK RESUME` detail line on success.
+    pub fn resume(&mut self, tenant: &str, token: &str, ack: usize) -> Result<String, ClientError> {
+        self.send_line(&format!("RESUME {tenant} {token} {ack}"))?;
+        match self.next_msg()? {
+            Some(ServerMsg::Ok(detail)) => Ok(detail),
+            Some(ServerMsg::Err { code, detail }) => Err(ClientError::Rejected { code, detail }),
+            Some(_) | None => Err(ClientError::Closed),
+        }
+    }
+
+    /// Asks the server for its lifetime counters (`STATS` frame). Works
+    /// before the handshake and mid-episode alike.
+    pub fn stats(&mut self) -> Result<crate::proto::StatsSnapshot, ClientError> {
+        self.send_line("STATS")?;
+        match self.next_msg()? {
+            Some(ServerMsg::Stats(snapshot)) => Ok(snapshot),
             Some(ServerMsg::Err { code, detail }) => Err(ClientError::Rejected { code, detail }),
             Some(_) | None => Err(ClientError::Closed),
         }
@@ -182,7 +253,7 @@ impl ServeClient {
                 ServerMsg::Disrupt(tail) => episode.disruptions.push(tail),
                 ServerMsg::Err { code, detail } => episode.errors.push((code, detail)),
                 ServerMsg::Metrics(m) => episode.metrics = Some(m),
-                ServerMsg::Ok(_) => {}
+                ServerMsg::Ok(_) | ServerMsg::Stats(_) => {}
                 ServerMsg::Bye => return Ok(episode),
             }
         }

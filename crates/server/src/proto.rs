@@ -113,6 +113,26 @@ pub enum Command {
     },
     /// `DRAIN` — finish the episode gracefully.
     Drain,
+    /// `RESUME <tenant> <token> [ack]` — rebuild an interrupted episode
+    /// from its command journal. `ack` is the number of episode frames
+    /// (`EPOCH` + `DECISION` + `DISRUPT`, in emission order) the client
+    /// already received before the interruption; the replay suppresses
+    /// exactly that many before streaming live again.
+    Resume {
+        /// The tenant whose journal to replay.
+        tenant: String,
+        /// The session token `OK HELLO` issued for that journal.
+        token: String,
+        /// Count of episode frames already delivered (default 0).
+        ack: usize,
+    },
+    /// `STATS` — ask for a server-health snapshot; answered with one
+    /// `STATS` frame, valid before or during an episode.
+    Stats,
+    /// `PANIC` — debug-only: panic the session thread to exercise the
+    /// supervision path. Refused with `ERR debug-disabled` unless the
+    /// server was built with debug frames enabled.
+    Panic,
 }
 
 fn parse_u64(tok: &str, what: &str) -> Result<u64, ProtoError> {
@@ -244,6 +264,31 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ProtoError> {
             }
             Command::Drain
         }
+        "RESUME" => {
+            if !(2..=3).contains(&args.len()) {
+                return Err(arity("RESUME", args.len(), "<tenant> <token> [ack]"));
+            }
+            Command::Resume {
+                tenant: args[0].to_string(),
+                token: args[1].to_string(),
+                ack: match args.get(2) {
+                    Some(tok) => parse_u64(tok, "ack")? as usize,
+                    None => 0,
+                },
+            }
+        }
+        "STATS" => {
+            if !args.is_empty() {
+                return Err(arity("STATS", args.len(), "no arguments"));
+            }
+            Command::Stats
+        }
+        "PANIC" => {
+            if !args.is_empty() {
+                return Err(arity("PANIC", args.len(), "no arguments"));
+            }
+            Command::Panic
+        }
         other => {
             return Err(ProtoError::new(
                 "unknown-command",
@@ -354,6 +399,51 @@ pub fn format_disruption(d: &DisruptionRecord) -> String {
     }
 }
 
+/// A point-in-time health snapshot of the server, as carried by a `STATS`
+/// frame and returned by
+/// [`ServerHandle::stats`](crate::ServerHandle::stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Sessions currently running (accepted, not yet finished).
+    pub active: usize,
+    /// Sessions accepted over the server's lifetime.
+    pub total: usize,
+    /// Session threads that died by panic (supervised: each wrote
+    /// `ERR internal` + `BYE` and took nothing else down).
+    pub panics: usize,
+    /// Connections shed with `ERR overloaded` at the session cap.
+    pub shed: usize,
+    /// Sessions reaped by the idle deadline (`ERR idle-timeout`).
+    pub reaped: usize,
+    /// Episodes rebuilt from a journal via `RESUME`.
+    pub resumed: usize,
+}
+
+/// Formats a `STATS` frame.
+pub fn format_stats(s: &StatsSnapshot) -> String {
+    format!(
+        "STATS active={} total={} panics={} shed={} reaped={} resumed={}",
+        s.active, s.total, s.panics, s.shed, s.reaped, s.resumed,
+    )
+}
+
+fn parse_stats(args: &[&str]) -> Result<StatsSnapshot, ProtoError> {
+    let fields: Vec<(&str, &str)> = args.iter().filter_map(|tok| tok.split_once('=')).collect();
+    let count = |key: &str| -> Result<usize, ProtoError> {
+        let tok = metrics_field(&fields, key)?;
+        tok.parse::<usize>()
+            .map_err(|_| ProtoError::new("bad-stats", format!("field `{key}` = `{tok}`")))
+    };
+    Ok(StatsSnapshot {
+        active: count("active")?,
+        total: count("total")?,
+        panics: count("panics")?,
+        shed: count("shed")?,
+        reaped: count("reaped")?,
+        resumed: count("resumed")?,
+    })
+}
+
 /// Formats the final `METRICS` line from an episode's aggregates.
 pub fn format_metrics(m: &EpisodeMetrics) -> String {
     format!(
@@ -402,6 +492,8 @@ pub enum ServerMsg {
     Disrupt(String),
     /// `METRICS ...` — the episode's final aggregates.
     Metrics(EpisodeMetrics),
+    /// `STATS ...` — a server-health snapshot (reply to a `STATS` ask).
+    Stats(StatsSnapshot),
     /// `BYE` — the episode is drained; the server closes after this.
     Bye,
 }
@@ -488,6 +580,7 @@ pub fn parse_server_msg(line: &str) -> Result<Option<ServerMsg>, ProtoError> {
         }
         "DISRUPT" => ServerMsg::Disrupt(args.join(" ")),
         "METRICS" => ServerMsg::Metrics(parse_metrics(args)?),
+        "STATS" => ServerMsg::Stats(parse_stats(args)?),
         "BYE" => ServerMsg::Bye,
         other => {
             return Err(ProtoError::new(
@@ -641,6 +734,51 @@ mod tests {
         };
         match parse_server_msg(&format_metrics(&m)).unwrap().unwrap() {
             ServerMsg::Metrics(back) => assert_eq!(back, m),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_stats_and_panic_frames_parse() {
+        assert_eq!(
+            parse_command("RESUME acme tok123").unwrap().unwrap(),
+            Command::Resume {
+                tenant: "acme".into(),
+                token: "tok123".into(),
+                ack: 0,
+            }
+        );
+        assert_eq!(
+            parse_command("RESUME acme tok123 17").unwrap().unwrap(),
+            Command::Resume {
+                tenant: "acme".into(),
+                token: "tok123".into(),
+                ack: 17,
+            }
+        );
+        assert_eq!(
+            parse_command("RESUME acme tok123 lots").unwrap_err().code,
+            "bad-number"
+        );
+        assert_eq!(parse_command("RESUME acme").unwrap_err().code, "bad-arity");
+        assert_eq!(parse_command("STATS").unwrap().unwrap(), Command::Stats);
+        assert_eq!(parse_command("STATS now").unwrap_err().code, "bad-arity");
+        assert_eq!(parse_command("PANIC").unwrap().unwrap(), Command::Panic);
+        assert_eq!(parse_command("PANIC hard").unwrap_err().code, "bad-arity");
+    }
+
+    #[test]
+    fn stats_line_round_trips() {
+        let s = StatsSnapshot {
+            active: 2,
+            total: 9,
+            panics: 1,
+            shed: 3,
+            reaped: 4,
+            resumed: 5,
+        };
+        match parse_server_msg(&format_stats(&s)).unwrap().unwrap() {
+            ServerMsg::Stats(back) => assert_eq!(back, s),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -285,6 +285,17 @@ impl<'a> Simulator<'a> {
     /// this to drain tenant sessions on `DRAIN` frames and on abrupt
     /// disconnects alike.
     ///
+    /// # Determinism and journaled recovery
+    ///
+    /// An episode is a pure function of the builder configuration and the
+    /// ordered command sequence: re-running `serve` with the same
+    /// instance, seed, buffering mode, and commands lands bit-identical
+    /// decisions and [`EpisodeMetrics`](crate::EpisodeMetrics). This is
+    /// the property `dpdp-server`'s write-ahead session journal builds
+    /// on — after a crash it replays the journaled commands through a
+    /// fresh `serve` call and the episode resumes exactly where the wire
+    /// left off.
+    ///
     /// [`SimulatorBuilder::disruptions`]:
     ///     crate::simulator::SimulatorBuilder::disruptions
     pub fn serve(
