@@ -9,9 +9,12 @@
 //! Besides the printed table and `table1.csv`, the run is archived as
 //! machine-readable `target/experiments/BENCH_table1.json` (wall time per
 //! policy, thread count, epoch counts, plus `sweep_n8`/`sweep_n16` rows
-//! timing the naive vs incremental Algorithm 2 insertion sweep, plus
-//! `metro_k*` rows timing region-sharded dispatch at every `--shards`
-//! count) so the perf trajectory across PRs is recorded; the header also
+//! timing the naive vs incremental Algorithm 2 insertion sweep,
+//! `metro_sweep_k*` rows timing the metro-scale `B x K` decision-epoch
+//! sweep for the shipped SoA cached evaluator against the AoS reference
+//! layout and the naive baseline, plus `metro_k*` rows timing
+//! region-sharded dispatch at every `--shards` count) so the perf
+//! trajectory across PRs is recorded; the header also
 //! carries the `--scenario` name and, for `metro_disrupted`, the
 //! disruption seed, so rows stay comparable across scenarios. Under
 //! `--scenario metro_disrupted` a disrupted smoke episode rides along
@@ -25,19 +28,23 @@
 //! thread counts — and exiting 1 unless the hierarchical run is ≥ 5×
 //! faster. The CI bench-smoke job uploads the JSON and fails on any
 //! panic, any non-finite metric, an incremental sweep slower than the
-//! naive reference at n >= 8 stops, a `shards=4` metro episode slower
-//! than `shards=1`, or a megacity ratio under 5×.
+//! naive reference at n >= 8 stops, a metro `B x K` cached sweep under 3×
+//! the naive baseline or more than 10% behind the AoS reference layout,
+//! a `shards=4` metro episode slower than `shards=1`, or a megacity ratio
+//! under 5×.
 
 use dpdp_bench::{
-    bench_json, build_and_train, check_finite, insertion_fixture, write_artifact, BenchRecord, Cli,
-    Scenario,
+    bench_json, build_and_train, check_finite, insertion_fixture, insertion_fixture_with_probes,
+    write_artifact, BenchRecord, Cli, Scenario,
 };
 use dpdp_core::experiment::evaluate_pooled;
 use dpdp_core::models::ModelSpec;
 use dpdp_core::prelude::*;
 use dpdp_net::TimeDelta;
 use dpdp_rl::ModelKind;
-use dpdp_routing::{PlannerMode, RoutePlanner};
+use dpdp_routing::{
+    sweep_best, sweep_best_aos, AosScheduleCache, PlannerMode, RoutePlanner, ScheduleCache,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -108,6 +115,116 @@ fn sweep_walltime(records: &mut Vec<BenchRecord>) {
             );
             std::process::exit(1);
         }
+    }
+}
+
+/// The metro-scale `B × K` sweep ratchet: the decision-epoch hot path —
+/// `K` per-vehicle schedule caches rebuilt arena-style, each swept by `B`
+/// distinct probe orders — timed for the shipped SoA cached evaluator
+/// ([`ScheduleCache::rebuild`] + [`sweep_best`]), the retained AoS
+/// reference layout (build + sweep, the same shape), and the naive
+/// Algorithm 2 baseline that re-simulates every candidate (whose one
+/// winner materialization per probe is noise next to its enumeration).
+///
+/// Two gates, either failure exits 1, so CI ratchets the hot path:
+/// * the shipped cached sweep must be at least
+///   [`METRO_SWEEP_MIN_SPEEDUP`]× faster than the naive baseline on the
+///   full `B × K` workload (the pre-cache per-epoch cost this repo started
+///   from — regressions that eat the incremental win trip this first);
+/// * it must also stay within [`METRO_SWEEP_AOS_BAND`]× of the AoS
+///   reference sweep, so the SoA layout can never quietly regress behind
+///   the very reference it is parity-tested against (the band absorbs
+///   shared-runner timing noise; the measured margin is the SoA path
+///   *ahead* by ~10–15%).
+///
+/// All three walls are archived in `BENCH_table1.json` as
+/// `metro_sweep_k{K}_b{B}` rows for cross-PR trajectory tracking.
+fn metro_sweep_walltime(records: &mut Vec<BenchRecord>, cli: &Cli) {
+    const B: usize = 10;
+    const ORDERS_ON_ROUTE: usize = 8; // 16-stop base routes
+    const REPS: usize = 5;
+    const METRO_SWEEP_MIN_SPEEDUP: f64 = 3.0;
+    const METRO_SWEEP_AOS_BAND: f64 = 1.10;
+    let k = if cli.quick { 32 } else { 256 };
+    println!("\n== metro B x K sweep: {k} caches x {B} probes, 16-stop routes ==");
+    let (instance, view) = insertion_fixture_with_probes(ORDERS_ON_ROUTE, B);
+    let net = &instance.network;
+    let fleet = &instance.fleet;
+    let orders = instance.orders();
+    let probes: Vec<_> = orders.iter().rev().take(B).collect();
+    let naive = RoutePlanner::with_mode(net, fleet, orders, PlannerMode::Naive);
+    let mut soa = ScheduleCache::default();
+    let (mut wall_naive, mut wall_aos, mut wall_soa) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        // Interleaved reps so machine-load drift cannot bias one evaluator.
+        wall_naive = wall_naive.min(best_wall_secs(1, 1, || {
+            for _ in 0..k {
+                for probe in &probes {
+                    std::hint::black_box(naive.plan(&view, probe));
+                }
+            }
+        }));
+        wall_aos = wall_aos.min(best_wall_secs(1, 1, || {
+            for _ in 0..k {
+                let cache = AosScheduleCache::build(&view, net, fleet, orders);
+                for probe in &probes {
+                    std::hint::black_box(sweep_best_aos(&cache, &view, probe, net, fleet, orders));
+                }
+            }
+        }));
+        wall_soa = wall_soa.min(best_wall_secs(1, 1, || {
+            for _ in 0..k {
+                soa.rebuild(&view, net, fleet, orders);
+                for probe in &probes {
+                    std::hint::black_box(sweep_best(&soa, &view, probe, net, fleet, orders));
+                }
+            }
+        }));
+    }
+    println!("{:<24} {:>14}", "algo", "wall(ms)");
+    for (algo, wall) in [
+        ("insertion_naive", wall_naive),
+        ("aos_cached_sweep", wall_aos),
+        ("soa_cached_sweep", wall_soa),
+    ] {
+        let record = BenchRecord {
+            instance: format!("metro_sweep_k{k}_b{B}"),
+            algo: algo.to_string(),
+            nuv: 0,
+            total_cost: 0.0,
+            wall_secs: wall,
+            epochs: 0,
+        };
+        check_finite(&record);
+        println!("{:<24} {:>14.3}", algo, wall * 1e3);
+        records.push(record);
+    }
+    let speedup = wall_naive / wall_soa;
+    println!(
+        "speedup vs naive: {speedup:.2}x (gate: >= {METRO_SWEEP_MIN_SPEEDUP:.0}x)   \
+         vs AoS reference: {:.2}x (gate: <= {METRO_SWEEP_AOS_BAND:.2}x of AoS)",
+        wall_aos / wall_soa
+    );
+    if !speedup.is_finite() || speedup < METRO_SWEEP_MIN_SPEEDUP {
+        eprintln!(
+            "error: metro B x K cached sweep below the \
+             {METRO_SWEEP_MIN_SPEEDUP:.0}x ratchet vs the naive Algorithm 2 \
+             baseline ({:.3} ms naive vs {:.3} ms cached, {speedup:.2}x)",
+            wall_naive * 1e3,
+            wall_soa * 1e3
+        );
+        std::process::exit(1);
+    }
+    if wall_soa > wall_aos * METRO_SWEEP_AOS_BAND {
+        eprintln!(
+            "error: SoA cached sweep regressed behind the AoS reference layout \
+             on the metro B x K workload ({:.3} ms SoA vs {:.3} ms AoS, \
+             band {METRO_SWEEP_AOS_BAND:.2}x)",
+            wall_soa * 1e3,
+            wall_aos * 1e3
+        );
+        std::process::exit(1);
     }
 }
 
@@ -492,6 +609,9 @@ fn main() {
     // Insertion-sweep wall times ride along in the same artifact (and gate
     // the incremental evaluator against the naive reference).
     sweep_walltime(&mut records);
+    // The metro-scale B x K sweep ratchet: shipped SoA cached evaluator vs
+    // the AoS reference layout and the naive Algorithm 2 baseline.
+    metro_sweep_walltime(&mut records, &cli);
     // Region-sharded dispatch wall times per `--shards` count (and the
     // shards=4 vs shards=1 gate on the metro preset).
     metro_shard_walltime(&mut records, &cli, &pool);

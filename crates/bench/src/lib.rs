@@ -493,6 +493,18 @@ pub fn bench_json(bench: &str, cli: &Cli, records: &[BenchRecord]) -> String {
 /// route length is exactly `2 * orders_on_route` and the naive vs
 /// incremental comparison measures the evaluators, not the instance.
 pub fn insertion_fixture(orders_on_route: usize) -> (Instance, dpdp_routing::VehicleView) {
+    insertion_fixture_with_probes(orders_on_route, 1)
+}
+
+/// [`insertion_fixture`] generalized to leave `probes` orders off the
+/// route: the instance's last `probes` orders are un-routed, so a `B × K`
+/// epoch-shaped benchmark can sweep `B` *distinct* probe orders per cache
+/// without tripping the duplicate-order fallback in
+/// [`dpdp_routing::best_insertion_cached`].
+pub fn insertion_fixture_with_probes(
+    orders_on_route: usize,
+    probes: usize,
+) -> (Instance, dpdp_routing::VehicleView) {
     use dpdp_net::{
         FleetConfig, IntervalGrid, Node, NodeId, Order, OrderId, Point, RoadNetwork, TimeDelta,
         TimePoint,
@@ -517,7 +529,7 @@ pub fn insertion_fixture(orders_on_route: usize) -> (Instance, dpdp_routing::Veh
         TimeDelta::from_minutes(2.0),
     )
     .expect("valid fleet");
-    let orders: Vec<Order> = (0..orders_on_route + 1)
+    let orders: Vec<Order> = (0..orders_on_route + probes)
         .map(|i| {
             Order::new(
                 OrderId(i as u32),

@@ -185,6 +185,62 @@ impl RoadNetwork {
         self.dist[from.index() * self.nodes.len() + to.index()]
     }
 
+    /// Batched distance row: `out[i] = distance(from, targets[i])`.
+    ///
+    /// One bounds-checked row-base computation covers the whole call, and
+    /// the row of the distance matrix is scanned contiguously — this is the
+    /// kernel the insertion-sweep leg tables and the epoch classification
+    /// memo are built from, amortizing matrix indexing across a candidate
+    /// row instead of paying it per [`RoadNetwork::distance`] call. Each
+    /// entry is the identical matrix element `distance` returns, so batched
+    /// and per-call lookups are interchangeable bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != targets.len()` or any id is out of range.
+    pub fn distances_from(&self, from: NodeId, targets: &[NodeId], out: &mut [f64]) {
+        assert_eq!(out.len(), targets.len(), "distances_from length mismatch");
+        let row = &self.dist[from.index() * self.nodes.len()..(from.index() + 1) * self.nodes.len()];
+        for (o, t) in out.iter_mut().zip(targets) {
+            *o = row[t.index()];
+        }
+    }
+
+    /// Batched distance column gather: `out[i] = distance(sources[i], to)`.
+    ///
+    /// The column-major companion of [`RoadNetwork::distances_from`] (same
+    /// bit-for-bit contract); the gather is strided rather than contiguous,
+    /// but still amortizes the per-call index arithmetic and bounds checks.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != sources.len()` or any id is out of range.
+    pub fn distances_to(&self, to: NodeId, sources: &[NodeId], out: &mut [f64]) {
+        assert_eq!(out.len(), sources.len(), "distances_to length mismatch");
+        let n = self.nodes.len();
+        let col = to.index();
+        assert!(col < n, "distances_to target out of range");
+        for (o, s) in out.iter_mut().zip(sources) {
+            *o = self.dist[s.index() * n + col];
+        }
+    }
+
+    /// Batched pairwise legs: `out[i] = distance(from[i], to[i])`.
+    ///
+    /// Used to evaluate all consecutive legs of a route in one call (pass
+    /// the path's node list offset by one); same bit-for-bit contract as
+    /// [`RoadNetwork::distance`].
+    ///
+    /// # Panics
+    /// Panics if the three slices have different lengths or any id is out
+    /// of range.
+    pub fn leg_distances(&self, from: &[NodeId], to: &[NodeId], out: &mut [f64]) {
+        assert_eq!(from.len(), to.len(), "leg_distances length mismatch");
+        assert_eq!(out.len(), from.len(), "leg_distances length mismatch");
+        let n = self.nodes.len();
+        for ((o, f), t) in out.iter_mut().zip(from).zip(to) {
+            *o = self.dist[f.index() * n + t.index()];
+        }
+    }
+
     /// Ids of all depot nodes.
     pub fn depots(&self) -> Vec<NodeId> {
         self.nodes

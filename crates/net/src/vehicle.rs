@@ -107,6 +107,46 @@ impl FleetConfig {
         TimeDelta::from_hours(distance_km / self.speed_kmh)
     }
 
+    /// Batched travel times: `out[i] = travel_time(distances_km[i])`.
+    ///
+    /// Each element is computed by the exact same expression as
+    /// [`FleetConfig::travel_time`] — the per-element division is *not*
+    /// rewritten as a multiplication by a hoisted reciprocal — so fused
+    /// batch conversion of a distance row (e.g. one produced by
+    /// `RoadNetwork::distances_from`) is bit-identical to per-call
+    /// conversion. The batching amortizes call overhead and keeps the
+    /// divisions in one contiguous loop the compiler can pipeline.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != distances_km.len()`.
+    pub fn travel_times(&self, distances_km: &[f64], out: &mut [TimeDelta]) {
+        assert_eq!(out.len(), distances_km.len(), "travel_times length mismatch");
+        for (o, &d) in out.iter_mut().zip(distances_km) {
+            *o = self.travel_time(d);
+        }
+    }
+
+    /// Batched travel times in raw f64 seconds: `out[i]` equals
+    /// `travel_time(distances_km[i]).seconds()`.
+    ///
+    /// Same bit-identity contract as [`FleetConfig::travel_times`]; the raw
+    /// representation feeds hot loops (insertion-sweep leg tables) that do
+    /// their time arithmetic in plain `f64` seconds, which round-trips
+    /// exactly through `TimeDelta`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != distances_km.len()`.
+    pub fn travel_times_secs(&self, distances_km: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            distances_km.len(),
+            "travel_times_secs length mismatch"
+        );
+        for (o, &d) in out.iter_mut().zip(distances_km) {
+            *o = self.travel_time(d).seconds();
+        }
+    }
+
     /// Validates depot references against a network: every vehicle must start
     /// at an existing depot node.
     pub fn validate_against(&self, net: &RoadNetwork) -> Result<(), NetError> {

@@ -14,6 +14,37 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(usize);
 
+/// Floating-point width of a graph's forward matmul kernels.
+///
+/// Everything else on the tape (element-wise ops, softmax, reductions, the
+/// whole backward pass) always runs in `f64`; this knob only selects which
+/// matmul kernel [`Graph::matmul`] calls.
+///
+/// * [`Precision::F64`] (default) is the exact path every parity-gated
+///   pipeline uses: training, serial/batch equivalence tests, episode
+///   determinism.
+/// * [`Precision::F32`] demotes matmul inputs to `f32`, accumulates in
+///   single precision and widens the product back to `f64`
+///   ([`Tensor::matmul_f32`]) — an opt-in inference speedup for chunked
+///   batch forwards. Results differ from the f64 path by O(2⁻²⁴) relative
+///   error per accumulation step, so callers **must** gate it behind an
+///   explicit tolerance (see the f32/f64 parity test in `dpdp-rl`) and
+///   never feed it into a path that promises bit-identical outputs.
+///   Within the f32 path itself results remain bit-identical at any
+///   thread count ([`Tensor::matmul_f32_pooled`]).
+///
+/// Gradients are not defined through the f32 forward: call
+/// [`Graph::backward`] only on `F64` graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Exact double-precision matmuls (the default).
+    #[default]
+    F64,
+    /// Single-precision matmul inputs and accumulation, widened back to
+    /// `f64`. Inference only; tolerance-gated.
+    F32,
+}
+
 #[derive(Debug, Clone)]
 enum Op {
     Leaf,
@@ -49,6 +80,7 @@ pub struct Graph {
     nodes: Vec<Node>,
     bindings: Vec<(ParamId, usize)>,
     pool: Option<Arc<ThreadPool>>,
+    precision: Precision,
 }
 
 impl Graph {
@@ -66,6 +98,14 @@ impl Graph {
             pool: Some(pool),
             ..Graph::default()
         }
+    }
+
+    /// Selects the forward matmul precision (builder-style). See
+    /// [`Precision`] for the tolerance contract; the default is
+    /// [`Precision::F64`].
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
@@ -116,11 +156,14 @@ impl Graph {
 
     // ---- ops --------------------------------------------------------------
 
-    /// Matrix product `a @ b`.
+    /// Matrix product `a @ b`, through the kernel the graph's
+    /// [`Precision`] selects.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = match &self.pool {
-            Some(pool) => self.value(a).matmul_pooled(self.value(b), pool),
-            None => self.value(a).matmul(self.value(b)),
+        let value = match (self.precision, &self.pool) {
+            (Precision::F64, Some(pool)) => self.value(a).matmul_pooled(self.value(b), pool),
+            (Precision::F64, None) => self.value(a).matmul(self.value(b)),
+            (Precision::F32, Some(pool)) => self.value(a).matmul_f32_pooled(self.value(b), pool),
+            (Precision::F32, None) => self.value(a).matmul_f32(self.value(b)),
         };
         self.push(value, Op::MatMul(a, b))
     }

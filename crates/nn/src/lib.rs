@@ -39,7 +39,7 @@ pub mod params;
 pub mod serialize;
 pub mod tensor;
 
-pub use graph::{Graph, Var};
+pub use graph::{Graph, Precision, Var};
 pub use layers::{Linear, Mlp, MultiHeadAttention};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};

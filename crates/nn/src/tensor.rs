@@ -206,6 +206,77 @@ impl Tensor {
         out
     }
 
+    /// Row-major copy of the data demoted to `f32`.
+    fn to_f32(&self) -> Vec<f32> {
+        self.data.iter().map(|&x| x as f32).collect()
+    }
+
+    /// Matrix product `self @ other` computed **entirely in `f32`**:
+    /// inputs are demoted once, accumulation runs in single precision, and
+    /// the result is widened back to `f64`. Roughly halves the memory
+    /// traffic of the f64 kernel on large inference batches.
+    ///
+    /// This is an *approximate* product — each element differs from
+    /// [`Tensor::matmul`] by O(2⁻²⁴) relative error per accumulation step.
+    /// It is deterministic (fixed loop order, no FMA contraction), but it
+    /// is **not** interchangeable with the f64 kernel on any parity-gated
+    /// path; see [`crate::Precision`] for the opt-in contract.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_f32(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch: {:?} @ {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let a = self.to_f32();
+        let b = other.to_f32();
+        let n = other.cols;
+        let mut out = vec![0f32; self.rows * n];
+        matmul_rows_f32(&a, self.cols, &b, n, 0, self.rows, &mut out);
+        Tensor::from_vec(self.rows, n, out.iter().map(|&x| x as f64).collect())
+    }
+
+    /// [`Tensor::matmul_f32`] evaluated across `pool`'s threads in row
+    /// chunks. Every chunk runs the same f32 row kernel, so the result is
+    /// **bit-identical to the serial f32 product for any thread count** —
+    /// the determinism guarantee of [`Tensor::matmul_pooled`] carries over
+    /// to the reduced-precision path unchanged. Falls back to the serial
+    /// f32 kernel on a width-1 pool or a small left-hand side.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_f32_pooled(&self, other: &Tensor, pool: &ThreadPool) -> Tensor {
+        const MIN_PARALLEL_ROWS: usize = 16;
+        if !pool.is_parallel() || self.rows < MIN_PARALLEL_ROWS {
+            return self.matmul_f32(other);
+        }
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul shape mismatch: {:?} @ {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let a = self.to_f32();
+        let b = other.to_f32();
+        let n = other.cols;
+        let chunk = self.rows.div_ceil((pool.threads() * 4).min(self.rows));
+        let mut out = vec![0f32; self.rows * n];
+        let (a_ref, b_ref) = (&a, &b);
+        pool.scope(|s| {
+            for (ci, block) in out.chunks_mut(chunk * n).enumerate() {
+                let r0 = ci * chunk;
+                let r1 = (r0 + chunk).min(self.rows);
+                s.spawn(move || matmul_rows_f32(a_ref, self.cols, b_ref, n, r0, r1, block));
+            }
+        });
+        Tensor::from_vec(self.rows, n, out.iter().map(|&x| x as f64).collect())
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
@@ -260,6 +331,27 @@ impl Tensor {
             .zip(&other.data)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max)
+    }
+}
+
+/// The f32 matmul kernel for output rows `[r0, r1)` of `a @ b`, written
+/// into `block`. The **single** source of the f32 accumulation order:
+/// [`Tensor::matmul_f32`] and [`Tensor::matmul_f32_pooled`] both delegate
+/// here, mirroring how the f64 pair shares `matmul_rows` — so the serial
+/// and chunk-parallel f32 products cannot drift apart bitwise.
+fn matmul_rows_f32(a: &[f32], a_cols: usize, b: &[f32], n: usize, r0: usize, r1: usize, block: &mut [f32]) {
+    for i in r0..r1 {
+        for k in 0..a_cols {
+            let av = a[i * a_cols + k];
+            if av == 0.0 {
+                continue;
+            }
+            let row_b = &b[k * n..(k + 1) * n];
+            let row_o = &mut block[(i - r0) * n..(i - r0 + 1) * n];
+            for (o, bv) in row_o.iter_mut().zip(row_b) {
+                *o += av * bv;
+            }
+        }
     }
 }
 
@@ -341,6 +433,58 @@ mod tests {
             assert!(
                 serial.data() == pooled.data(),
                 "pooled matmul diverged at width {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_f32_tracks_f64_within_tolerance() {
+        let a = Tensor::from_vec(
+            23,
+            17,
+            (0..23 * 17)
+                .map(|i| ((i as f64) * 0.41).sin() * 2.0)
+                .collect(),
+        );
+        let b = Tensor::from_vec(
+            17,
+            29,
+            (0..17 * 29)
+                .map(|i| ((i as f64) * 0.59).cos() * 1.5)
+                .collect(),
+        );
+        let exact = a.matmul(&b);
+        let approx = a.matmul_f32(&b);
+        assert_eq!(exact.shape(), approx.shape());
+        // 17 accumulation steps of O(1) magnitudes: well inside a 1e-4
+        // absolute band, but never exactly equal on non-trivial inputs.
+        assert!(exact.max_abs_diff(&approx) < 1e-4);
+        assert!(exact.max_abs_diff(&approx) > 0.0);
+    }
+
+    #[test]
+    fn matmul_f32_pooled_is_bit_identical_to_serial_f32() {
+        let a = Tensor::from_vec(
+            37,
+            19,
+            (0..37 * 19)
+                .map(|i| ((i as f64) * 0.37).sin() / 3.0)
+                .collect(),
+        );
+        let b = Tensor::from_vec(
+            19,
+            23,
+            (0..19 * 23)
+                .map(|i| ((i as f64) * 0.73).cos() / 7.0)
+                .collect(),
+        );
+        let serial = a.matmul_f32(&b);
+        for threads in [1, 2, 4] {
+            let pool = dpdp_pool::ThreadPool::new(threads);
+            let pooled = a.matmul_f32_pooled(&b, &pool);
+            assert!(
+                serial.data() == pooled.data(),
+                "pooled f32 matmul diverged at width {threads}"
             );
         }
     }

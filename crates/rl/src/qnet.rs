@@ -8,7 +8,7 @@
 //! weights ("each vehicle owns its network but shares the same weights").
 
 use crate::state::{StateSnapshot, STATE_DIM};
-use dpdp_nn::{Graph, Mlp, MultiHeadAttention, ParamStore, Var};
+use dpdp_nn::{Graph, Mlp, MultiHeadAttention, ParamStore, Precision, Var};
 use dpdp_pool::ThreadPool;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -121,7 +121,16 @@ impl QNetwork {
     /// as a plain vector (infeasible entries set to `f64::NEG_INFINITY`, the
     /// paper's "extremely small negative").
     pub fn q_values(&self, store: &ParamStore, snap: &StateSnapshot) -> Vec<f64> {
-        let mut g = Graph::new();
+        self.q_values_prec(store, snap, Precision::F64)
+    }
+
+    fn q_values_prec(
+        &self,
+        store: &ParamStore,
+        snap: &StateSnapshot,
+        precision: Precision,
+    ) -> Vec<f64> {
+        let mut g = Graph::new().with_precision(precision);
         let q = self.forward(&mut g, store, snap);
         let values = g.value(q);
         (0..snap.num_vehicles())
@@ -159,9 +168,43 @@ impl QNetwork {
         snaps: &[StateSnapshot],
         pool: &Arc<ThreadPool>,
     ) -> Vec<Vec<f64>> {
+        self.q_values_batch_prec(store, snaps, pool, Precision::F64)
+    }
+
+    /// [`QNetwork::q_values_batch`] with every matmul demoted to `f32`
+    /// ([`Precision::F32`]): inputs are converted once, accumulation runs
+    /// in single precision and the products are widened back to `f64` —
+    /// roughly half the matmul memory traffic on wide inference batches.
+    ///
+    /// The contract is **tolerance, not bit-identity**, against the f64
+    /// path: per-element divergence is O(2⁻²⁴) relative per accumulation
+    /// step (see the `f32_batch_tracks_f64_within_tolerance` test for the
+    /// gate this repo holds it to). Within the f32 path itself, results
+    /// are bit-identical at any thread count — chunking, stacking and the
+    /// f32 row kernel are all scheduling-independent. Because greedy
+    /// action selection compares Q-values, callers accepting this path
+    /// accept that near-ties (within the tolerance band) may resolve
+    /// differently than under f64 — which is why every parity-gated
+    /// pipeline keeps the default f64 entry point.
+    pub fn q_values_batch_f32(
+        &self,
+        store: &ParamStore,
+        snaps: &[StateSnapshot],
+        pool: &Arc<ThreadPool>,
+    ) -> Vec<Vec<f64>> {
+        self.q_values_batch_prec(store, snaps, pool, Precision::F32)
+    }
+
+    fn q_values_batch_prec(
+        &self,
+        store: &ParamStore,
+        snaps: &[StateSnapshot],
+        pool: &Arc<ThreadPool>,
+        precision: Precision,
+    ) -> Vec<Vec<f64>> {
         if !self.config.graph {
             // Row-wise MLPs only: stacking cost is linear, no need to chunk.
-            return self.q_values_stacked(store, snaps, pool);
+            return self.q_values_stacked(store, snaps, pool, precision);
         }
         let mut ranges: Vec<(usize, usize)> = Vec::new();
         let mut start = 0;
@@ -177,7 +220,7 @@ impl QNetwork {
             start = end;
         }
         if ranges.len() <= 1 {
-            return self.q_values_stacked(store, snaps, pool);
+            return self.q_values_stacked(store, snaps, pool, precision);
         }
         let chunks = pool.par_map(ranges.len(), |c| {
             let (lo, hi) = ranges[c];
@@ -185,7 +228,7 @@ impl QNetwork {
             // joiner drains the shared queue) and stays bit-identical, so
             // when there are fewer chunks than threads the spare width
             // still helps with each chunk's matmuls.
-            self.q_values_stacked(store, &snaps[lo..hi], pool)
+            self.q_values_stacked(store, &snaps[lo..hi], pool, precision)
         });
         chunks.into_iter().flatten().collect()
     }
@@ -199,15 +242,16 @@ impl QNetwork {
         store: &ParamStore,
         snaps: &[StateSnapshot],
         pool: &Arc<ThreadPool>,
+        precision: Precision,
     ) -> Vec<Vec<f64>> {
         match snaps.len() {
             0 => return Vec::new(),
-            1 => return vec![self.q_values(store, &snaps[0])],
+            1 => return vec![self.q_values_prec(store, &snaps[0], precision)],
             _ => {}
         }
         let total: usize = snaps.iter().map(StateSnapshot::num_vehicles).sum();
         let (features, offsets) = crate::batch_dispatch::stack_features(snaps);
-        let mut g = Graph::with_pool(Arc::clone(pool));
+        let mut g = Graph::with_pool(Arc::clone(pool)).with_precision(precision);
         let x = g.constant(features);
         let h0 = self.initial.forward(&mut g, store, x);
         let top = if self.config.graph {
@@ -325,6 +369,52 @@ mod tests {
         assert!(q[0].is_finite() && q[2].is_finite());
         let a = net.greedy_action(&store, &snap).unwrap();
         assert_ne!(a, 1);
+    }
+
+    /// The tolerance contract of [`QNetwork::q_values_batch_f32`]: the f32
+    /// forward tracks the f64 reference within a small absolute band on
+    /// O(1)-magnitude Q-values, masks the same infeasible entries exactly,
+    /// and is bit-identical to itself at any thread count.
+    #[test]
+    fn f32_batch_tracks_f64_within_tolerance() {
+        let mut store = ParamStore::new(9);
+        let net = QNetwork::new(&mut store, QNetworkConfig::default());
+        let snaps: Vec<StateSnapshot> = (0..6)
+            .map(|s| {
+                let k = 3 + s % 4;
+                let feasible = (0..k).map(|i| i != s % k).collect();
+                snapshot(k, feasible)
+            })
+            .collect();
+        let pool = Arc::new(ThreadPool::new(2));
+        let exact = net.q_values_batch(&store, &snaps, &pool);
+        let approx = net.q_values_batch_f32(&store, &snaps, &pool);
+        assert_eq!(exact.len(), approx.len());
+        for (qe, qa) in exact.iter().zip(&approx) {
+            assert_eq!(qe.len(), qa.len());
+            for (&e, &a) in qe.iter().zip(qa) {
+                if e == f64::NEG_INFINITY {
+                    assert_eq!(a, f64::NEG_INFINITY, "masking must be exact");
+                } else {
+                    assert!((e - a).abs() < 1e-4, "f32 drifted too far: {e} vs {a}");
+                    assert!(a.is_finite());
+                }
+            }
+        }
+        // The reduced-precision path keeps the thread-count determinism
+        // guarantee: widths 1/2/4 agree bit for bit.
+        let serial = net.q_values_batch_f32(&store, &snaps, &Arc::new(ThreadPool::new(1)));
+        for threads in [2usize, 4] {
+            let wide = net.q_values_batch_f32(&store, &snaps, &Arc::new(ThreadPool::new(threads)));
+            for (qs, qw) in serial.iter().zip(&wide) {
+                for (&s, &w) in qs.iter().zip(qw) {
+                    assert!(
+                        s.to_bits() == w.to_bits(),
+                        "f32 path diverged at width {threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

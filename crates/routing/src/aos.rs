@@ -1,0 +1,406 @@
+//! Array-of-structs **reference** implementation of the incremental sweep.
+//!
+//! This module preserves the original `ScheduleCache` layout — one
+//! `CachedStop` record per stop, fields interleaved — together with the
+//! original per-candidate sweep that resolves every distance and travel
+//! time through scalar [`RoadNetwork::distance`] /
+//! [`FleetConfig::travel_time`] calls. The optimized path in
+//! [`crate::incremental`] restructures the same computation as
+//! struct-of-arrays with batched leg tables; **both paths are kept in
+//! bit-exact lockstep** (same arithmetic operations in the same order on
+//! the same matrix elements), which this module exists to witness:
+//!
+//! * the randomized parity suites assert [`sweep_best_aos`] and
+//!   [`crate::sweep_best`] pick bit-identical winners;
+//! * the criterion benches and the `table1` wall-time ratchet time the two
+//!   layouts against each other, so the SoA path's speedup is measured
+//!   against this exact pre-optimization implementation on the same
+//!   machine (a machine-independent ratio, unlike an absolute wall-time
+//!   baseline).
+//!
+//! Algorithmic documentation (forward/backward passes, slack recurrence,
+//! LIFO pruning, near-tie re-ranking) lives in [`crate::incremental`]; the
+//! two modules differ only in memory layout and kernel batching.
+
+use crate::incremental::{InsertionSweep, ScoredInsertion};
+use crate::stop::StopAction;
+use crate::view::VehicleView;
+use dpdp_net::{FleetConfig, NodeId, Order, OrderId, RoadNetwork, TimePoint};
+
+/// Per-stop record of the forward and backward passes (interleaved layout).
+#[derive(Debug, Clone, Copy)]
+struct CachedStop {
+    /// The stop's node.
+    node: NodeId,
+    /// Whether the stop is a pickup (false: delivery).
+    is_pickup: bool,
+    /// Quantity moved at the stop (the order's quantity).
+    quantity: f64,
+    /// The order's creation time (pickups wait for it).
+    created: TimePoint,
+    /// The order's delivery deadline (checked at deliveries).
+    deadline: TimePoint,
+    /// Arrival time at the stop in the base schedule.
+    arrival: TimePoint,
+    /// Departure time from the stop in the base schedule.
+    departure: TimePoint,
+    /// Load on board after the stop's action.
+    load_after: f64,
+    /// Backward-pass deadline slack (seconds).
+    slack: f64,
+}
+
+/// Array-of-structs schedule cache: the original layout, retained as the
+/// parity and performance reference for [`crate::ScheduleCache`].
+#[derive(Debug, Clone)]
+pub struct AosScheduleCache {
+    stops: Vec<CachedStop>,
+    feasible: bool,
+    base_length: f64,
+    initial_load: f64,
+}
+
+impl AosScheduleCache {
+    /// Runs the forward and backward passes over `view`'s base route,
+    /// mirroring [`crate::simulate_schedule`] operation for operation
+    /// (see [`crate::ScheduleCache::build`] for the shared contract).
+    pub fn build(
+        view: &VehicleView,
+        net: &RoadNetwork,
+        fleet: &FleetConfig,
+        orders: &[Order],
+    ) -> AosScheduleCache {
+        let initial_load: f64 = view.onboard.iter().map(|(_, q)| q).sum();
+        let n = view.route.len();
+        let mut cache = AosScheduleCache {
+            stops: Vec::with_capacity(n),
+            feasible: false,
+            base_length: 0.0,
+            initial_load,
+        };
+
+        // Forward pass: the exact walk of `simulate_schedule`.
+        let mut node = view.anchor_node;
+        let mut time = view.anchor_time;
+        let mut stack: Vec<(OrderId, f64)> = view.onboard.clone();
+        let mut load = initial_load;
+        let mut total_length = 0.0;
+        for &stop in view.route.stops() {
+            let leg = net.distance(node, stop.node);
+            total_length += leg;
+            time += fleet.travel_time(leg);
+            node = stop.node;
+            let arrival = time;
+            let Some(order) = lookup(orders, stop.action.order()) else {
+                return cache; // UnknownOrder: base infeasible.
+            };
+            let (service_start, is_pickup) = match stop.action {
+                StopAction::Pickup(id) => {
+                    let start = arrival.max(order.created);
+                    let new_load = load + order.quantity;
+                    if new_load > fleet.capacity + 1e-9 {
+                        return cache; // Capacity: base infeasible.
+                    }
+                    stack.push((id, order.quantity));
+                    load = new_load;
+                    (start, true)
+                }
+                StopAction::Delivery(id) => {
+                    if arrival > order.deadline {
+                        return cache; // TimeWindow: base infeasible.
+                    }
+                    match stack.last() {
+                        Some(&(top, qty)) if top == id => {
+                            stack.pop();
+                            load -= qty;
+                        }
+                        _ => return cache, // LIFO: base infeasible.
+                    }
+                    (arrival, false)
+                }
+            };
+            time = service_start + fleet.service_time;
+            cache.stops.push(CachedStop {
+                node,
+                is_pickup,
+                quantity: order.quantity,
+                created: order.created,
+                deadline: order.deadline,
+                arrival,
+                departure: time,
+                load_after: load,
+                slack: f64::INFINITY,
+            });
+        }
+        if !stack.is_empty() {
+            return cache; // IncompleteRoute: base infeasible.
+        }
+        total_length += net.distance(node, view.depot);
+        cache.base_length = total_length;
+
+        // Backward pass: deadline slack per position.
+        let mut slack = f64::INFINITY;
+        for s in cache.stops.iter_mut().rev() {
+            if s.is_pickup {
+                let wait = (s.departure - fleet.service_time - s.arrival).seconds();
+                slack += wait; // ∞ + wait = ∞
+            } else {
+                slack = slack.min((s.deadline - s.arrival).seconds());
+            }
+            s.slack = slack;
+        }
+
+        cache.feasible = true;
+        cache
+    }
+
+    /// Whether the base route simulates feasibly.
+    #[inline]
+    pub fn is_feasible(&self) -> bool {
+        self.feasible
+    }
+
+    /// Total base route length, bit-identical to [`crate::Route::length`].
+    #[inline]
+    pub fn base_length(&self) -> f64 {
+        self.base_length
+    }
+
+    /// Number of stops of the cached base route.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// Whether the cached base route has no stops.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stops.is_empty()
+    }
+}
+
+/// Dense-by-id order lookup (the exact check `simulate_schedule` performs).
+fn lookup(orders: &[Order], id: OrderId) -> Option<&Order> {
+    orders.get(id.index()).filter(|o| o.id == id)
+}
+
+/// Reference sweep over the interleaved cache: evaluates every
+/// pickup/delivery position pair with per-candidate scalar
+/// distance/travel-time calls, calling `on_feasible` for each feasible pair
+/// in enumeration order. Semantics identical to [`crate::sweep_insertions`].
+pub fn sweep_insertions_aos(
+    cache: &AosScheduleCache,
+    view: &VehicleView,
+    order: &Order,
+    net: &RoadNetwork,
+    fleet: &FleetConfig,
+    orders: &[Order],
+    mut on_feasible: impl FnMut(ScoredInsertion),
+) -> usize {
+    debug_assert!(cache.feasible, "sweep over an infeasible base route");
+    debug_assert_eq!(cache.len(), view.route.len(), "cache/view mismatch");
+    let Some(probe) = lookup(orders, order.id) else {
+        return 0;
+    };
+    let pickup_node = order.pickup;
+    let delivery_node = order.delivery;
+    let n = cache.stops.len();
+    let cap = fleet.capacity + 1e-9;
+    let mut num_feasible = 0;
+
+    for i in 0..=n {
+        let (prev_node, prev_dep, load_before) = if i > 0 {
+            let s = &cache.stops[i - 1];
+            (s.node, s.departure, s.load_after)
+        } else {
+            (view.anchor_node, view.anchor_time, cache.initial_load)
+        };
+        let new_load = load_before + probe.quantity;
+        if new_load > cap {
+            continue;
+        }
+        let arr_p = prev_dep + fleet.travel_time(net.distance(prev_node, pickup_node));
+        let dep_p = arr_p.max(probe.created) + fleet.service_time;
+        let next_i = if i < n {
+            cache.stops[i].node
+        } else {
+            view.depot
+        };
+
+        // Candidate (i, i).
+        let arr_d = dep_p + fleet.travel_time(net.distance(pickup_node, delivery_node));
+        if arr_d <= probe.deadline {
+            let suffix_ok = i == n || {
+                let dep_d = arr_d + fleet.service_time;
+                let arr_next = dep_d + fleet.travel_time(net.distance(delivery_node, next_i));
+                (arr_next - cache.stops[i].arrival).seconds() <= cache.stops[i].slack
+            };
+            if suffix_ok {
+                let delta = net.distance(prev_node, pickup_node)
+                    + net.distance(pickup_node, delivery_node)
+                    + net.distance(delivery_node, next_i)
+                    - net.distance(prev_node, next_i);
+                num_feasible += 1;
+                on_feasible(ScoredInsertion {
+                    pickup_pos: i,
+                    delivery_pos: i,
+                    length: cache.base_length + delta,
+                });
+            }
+        }
+        if i == n {
+            continue;
+        }
+
+        // Candidates (i, j > i).
+        let delta_pickup = net.distance(prev_node, pickup_node) + net.distance(pickup_node, next_i)
+            - net.distance(prev_node, next_i);
+        let mut cur_node = pickup_node;
+        let mut cur_dep = dep_p;
+        let mut load = new_load;
+        let mut depth: usize = 0;
+        for j in (i + 1)..=n {
+            let s = &cache.stops[j - 1];
+            let arr = cur_dep + fleet.travel_time(net.distance(cur_node, s.node));
+            let service_start = if s.is_pickup {
+                let segment_load = load + s.quantity;
+                if segment_load > cap {
+                    break;
+                }
+                load = segment_load;
+                depth += 1;
+                arr.max(s.created)
+            } else {
+                if arr > s.deadline {
+                    break;
+                }
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+                load -= s.quantity;
+                arr
+            };
+            cur_dep = service_start + fleet.service_time;
+            cur_node = s.node;
+
+            if depth != 0 {
+                continue;
+            }
+            let arr_d = cur_dep + fleet.travel_time(net.distance(cur_node, delivery_node));
+            if arr_d > probe.deadline {
+                continue;
+            }
+            let next_j = if j < n {
+                cache.stops[j].node
+            } else {
+                view.depot
+            };
+            let suffix_ok = j == n || {
+                let dep_d = arr_d + fleet.service_time;
+                let arr_next = dep_d + fleet.travel_time(net.distance(delivery_node, next_j));
+                (arr_next - cache.stops[j].arrival).seconds() <= cache.stops[j].slack
+            };
+            if suffix_ok {
+                let delta_delivery = net.distance(cur_node, delivery_node)
+                    + net.distance(delivery_node, next_j)
+                    - net.distance(cur_node, next_j);
+                num_feasible += 1;
+                on_feasible(ScoredInsertion {
+                    pickup_pos: i,
+                    delivery_pos: j,
+                    length: cache.base_length + (delta_pickup + delta_delivery),
+                });
+            }
+        }
+    }
+    num_feasible
+}
+
+/// View-based exact candidate length fold (naive leg order), used to
+/// resolve ranking near-ties exactly as [`crate::sweep_best`] does.
+fn exact_candidate_length(
+    view: &VehicleView,
+    pickup: NodeId,
+    delivery: NodeId,
+    net: &RoadNetwork,
+    i: usize,
+    j: usize,
+) -> f64 {
+    let stops = view.route.stops();
+    let mut prev = view.anchor_node;
+    let mut total = 0.0;
+    let leg = |next: NodeId, total: &mut f64, prev: &mut NodeId| {
+        *total += net.distance(*prev, next);
+        *prev = next;
+    };
+    for s in &stops[..i] {
+        leg(s.node, &mut total, &mut prev);
+    }
+    leg(pickup, &mut total, &mut prev);
+    for s in &stops[i..j] {
+        leg(s.node, &mut total, &mut prev);
+    }
+    leg(delivery, &mut total, &mut prev);
+    for s in &stops[j..] {
+        leg(s.node, &mut total, &mut prev);
+    }
+    leg(view.depot, &mut total, &mut prev);
+    total
+}
+
+/// Reference argmin over [`sweep_insertions_aos`]: identical two-tier
+/// ranking (1e-9 relative near-tie band, lazy exact-length re-rank,
+/// first-wins `total_cmp`) to [`crate::sweep_best`], so the two paths pick
+/// bit-identical winners.
+pub fn sweep_best_aos(
+    cache: &AosScheduleCache,
+    view: &VehicleView,
+    order: &Order,
+    net: &RoadNetwork,
+    fleet: &FleetConfig,
+    orders: &[Order],
+) -> InsertionSweep {
+    let n = view.route.len();
+    let mut best: Option<(ScoredInsertion, Option<f64>)> = None;
+    let num_feasible = sweep_insertions_aos(cache, view, order, net, fleet, orders, |cand| {
+        let Some((winner, winner_exact)) = &mut best else {
+            best = Some((cand, None));
+            return;
+        };
+        let eps = 1e-9 * winner.length.abs().max(1.0);
+        let (replace, cand_exact) = if cand.length < winner.length - eps {
+            (true, None)
+        } else if cand.length > winner.length + eps {
+            (false, None)
+        } else {
+            let we = *winner_exact.get_or_insert_with(|| {
+                exact_candidate_length(
+                    view,
+                    order.pickup,
+                    order.delivery,
+                    net,
+                    winner.pickup_pos,
+                    winner.delivery_pos,
+                )
+            });
+            let ce = exact_candidate_length(
+                view,
+                order.pickup,
+                order.delivery,
+                net,
+                cand.pickup_pos,
+                cand.delivery_pos,
+            );
+            (ce.total_cmp(&we) == std::cmp::Ordering::Less, Some(ce))
+        };
+        if replace {
+            best = Some((cand, cand_exact));
+        }
+    });
+    InsertionSweep {
+        best: best.map(|(cand, _)| cand),
+        num_feasible,
+        num_enumerated: (n + 1) * (n + 2) / 2,
+    }
+}

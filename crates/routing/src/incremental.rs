@@ -31,6 +31,48 @@
 //! from O(n³) with O(n²) allocations — and the cache is reusable across
 //! every order of a decision epoch (see `dpdp_sim::DecisionBatch`).
 //!
+//! # Memory layout: struct of arrays + batched leg tables
+//!
+//! The cache stores its per-stop quantities as parallel flat arrays (one
+//! `Vec<f64>` per field — arrivals, departures, loads, slacks, creation
+//! times, deadlines, quantities, cumulative lengths — plus a node vector
+//! and a pickup/delivery mask) rather than a vector of per-stop records.
+//! The sweep's hot loops each touch only two or three of those fields, so
+//! the SoA layout turns every scan into contiguous, cache-line-dense,
+//! vectorizable traversals instead of strided walks over interleaved
+//! records.
+//!
+//! Leg quantities are batched exactly where batching amortizes real reuse,
+//! and stay lazy where it would not:
+//!
+//! * **Base legs** (`d(prev_i, next_i)` and their travel times) are
+//!   persisted *in the cache* at build time ([`dpdp_net::RoadNetwork::
+//!   leg_distances`] + [`dpdp_net::FleetConfig::travel_times_secs`], plus
+//!   the final home-to-depot leg), so every sweep of the epoch reads them
+//!   for free — the cost is amortized across all probe orders of the
+//!   vehicle, not just across positions of one sweep.
+//! * **Probe legs** (pickup and delivery detour legs) stay lazy scalar
+//!   calls like the reference path, evaluated only past the capacity /
+//!   deadline / LIFO prunes. Batching them eagerly was measured to be a
+//!   net loss: the sweep is pruning-dominated, so an eager five-table
+//!   per-sweep fill made it ~1.7× *slower* than the AoS reference on the
+//!   metro-style fixtures, and even a delivery-only two-table fill still
+//!   trailed by ~5–10%. Only quantities reused across the whole sweep
+//!   (`d(pickup, delivery)`, `d(delivery, depot)`) are hoisted.
+//!
+//! Each cached leg entry is the identical f64 the scalar calls produce and
+//! all sums/comparisons keep their original order, so the optimized sweep
+//! is **bit-identical** to the retained array-of-structs reference in
+//! [`crate::aos`] (asserted candidate by candidate in the parity suites)
+//! while doing strictly less work per visited pair: the base-leg travel
+//! times the reference re-derives with a matrix read and a division on
+//! every segment advance are single array loads here, and the sweep itself
+//! allocates nothing.
+//!
+//! All sweep time arithmetic happens on raw f64 seconds: `TimePoint` /
+//! `TimeDelta` are exact newtypes over finite f64 seconds whose operators
+//! are plain f64 ops, so unwrapping them changes no bit of any result.
+//!
 //! # Determinism and parity with the naive enumerator
 //!
 //! The sweep is *bit-deterministic* (pure f64 arithmetic in a fixed order,
@@ -72,50 +114,49 @@
 //! The randomized parity suite (`tests/incremental_parity.rs`) asserts
 //! agreement on feasibility sets, winning positions and lengths across
 //! hundreds of random routes, including in-service vehicles with non-empty
-//! onboard stacks.
+//! onboard stacks — and bit-identical winners against the [`crate::aos`]
+//! reference layout.
 
 use crate::insertion::{best_insertion_naive, BestInsertion, InsertionCandidate};
 use crate::schedule::simulate_schedule;
 use crate::stop::{Stop, StopAction};
 use crate::view::VehicleView;
-use dpdp_net::{FleetConfig, NodeId, Order, OrderId, RoadNetwork, TimePoint};
+use dpdp_net::{FleetConfig, NodeId, Order, OrderId, RoadNetwork};
 
-/// Per-stop data recorded by the forward and backward passes.
-#[derive(Debug, Clone, Copy)]
-struct CachedStop {
-    /// The stop's node.
-    node: NodeId,
-    /// Whether the stop is a pickup (false: delivery).
-    is_pickup: bool,
-    /// Quantity moved at the stop (the order's quantity).
-    quantity: f64,
-    /// The order's creation time (pickups wait for it).
-    created: TimePoint,
-    /// The order's delivery deadline (checked at deliveries).
-    deadline: TimePoint,
-    /// Arrival time at the stop in the base schedule.
-    arrival: TimePoint,
-    /// Departure time from the stop in the base schedule.
-    departure: TimePoint,
-    /// Load on board after the stop's action.
-    load_after: f64,
-    /// Backward-pass deadline slack: the maximum delay (seconds) injectable
-    /// into the arrival at this stop without violating any delivery
-    /// deadline from this stop onward.
-    slack: f64,
-}
-
-/// Cached forward/backward passes over a vehicle's base route.
+/// Cached forward/backward passes over a vehicle's base route, stored as
+/// struct-of-arrays (see the module docs for the layout rationale).
 ///
 /// Built once per [`VehicleView`] (O(n)); every insertion sweep for that
 /// view — one per order in a decision epoch — then runs in O(n²) without
 /// touching [`crate::simulate_schedule`] except to materialize the winner.
+/// [`ScheduleCache::rebuild`] re-runs the passes in place, reusing every
+/// allocation, so per-epoch cache arrays can live in arena scratch.
 ///
 /// The cache is plain data (`Send + Sync`), so one instance can be shared
 /// across the scoring threads of a parallel epoch sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ScheduleCache {
-    stops: Vec<CachedStop>,
+    /// Node of each stop.
+    node: Vec<NodeId>,
+    /// Pickup (true) / delivery (false) mask.
+    is_pickup: Vec<bool>,
+    /// Quantity moved at each stop (the order's quantity).
+    quantity: Vec<f64>,
+    /// Order creation time per stop, raw seconds (pickups wait for it).
+    created: Vec<f64>,
+    /// Order delivery deadline per stop, raw seconds.
+    deadline: Vec<f64>,
+    /// Arrival time per stop in the base schedule, raw seconds.
+    arrival: Vec<f64>,
+    /// Departure time per stop in the base schedule, raw seconds.
+    departure: Vec<f64>,
+    /// Load on board after each stop's action.
+    load_after: Vec<f64>,
+    /// Backward-pass deadline slack (seconds) per position.
+    slack: Vec<f64>,
+    /// Cumulative route length through each stop (anchor leg included),
+    /// bit-identical to the prefix sums of the naive left-to-right fold.
+    cum_len: Vec<f64>,
     /// Whether the base route itself simulates feasibly. When false the
     /// cached passes are meaningless and callers must fall back to the
     /// naive reference path.
@@ -125,6 +166,20 @@ pub struct ScheduleCache {
     base_length: f64,
     /// Load on board at the anchor (sum of the onboard stack).
     initial_load: f64,
+    /// Persisted base-leg distances, batch-filled at build time: entry
+    /// `i < n` is `d(prev_i, stops[i])` (with `prev_0` the anchor), entry
+    /// `n` the final home-to-depot leg. On a feasible cache this is exactly
+    /// the `d_base` table of every sweep (`n + 1` entries), so sweeps read
+    /// it instead of re-gathering it — the fill cost is amortized across
+    /// all probe orders of the epoch.
+    leg_dist: Vec<f64>,
+    /// `travel_time(leg_dist)` in raw seconds, same layout and
+    /// amortization as [`ScheduleCache::leg_dist`]. Entry `n` is computed
+    /// for layout symmetry; no sweep reads it (no candidate traverses the
+    /// displaced depot leg).
+    leg_tt: Vec<f64>,
+    /// Build scratch: the LIFO stack replay.
+    stack: Vec<(OrderId, f64)>,
 }
 
 impl ScheduleCache {
@@ -140,89 +195,138 @@ impl ScheduleCache {
         fleet: &FleetConfig,
         orders: &[Order],
     ) -> ScheduleCache {
-        let initial_load: f64 = view.onboard.iter().map(|(_, q)| q).sum();
-        let n = view.route.len();
-        let mut cache = ScheduleCache {
-            stops: Vec::with_capacity(n),
-            feasible: false,
-            base_length: 0.0,
-            initial_load,
-        };
+        let mut cache = ScheduleCache::default();
+        cache.rebuild(view, net, fleet, orders);
+        cache
+    }
 
-        // Forward pass: the exact walk of `simulate_schedule`.
+    /// Re-runs both passes in place, reusing every allocation. Equivalent to
+    /// `*self = ScheduleCache::build(...)` but allocation-free once the
+    /// arrays have grown to the route size — the workhorse behind per-epoch
+    /// cache arenas.
+    pub fn rebuild(
+        &mut self,
+        view: &VehicleView,
+        net: &RoadNetwork,
+        fleet: &FleetConfig,
+        orders: &[Order],
+    ) {
+        self.clear();
+        self.initial_load = view.onboard.iter().map(|(_, q)| q).sum();
+        let stops = view.route.stops();
+        let n = stops.len();
+
+        // Batched base-leg tables: node[i] = stops[i].node and
+        // leg_dist[i] = d(prev_i, node[i]) with prev_0 the anchor, filled
+        // through the contiguous row kernels. Each entry is the identical
+        // matrix element the scalar walk reads, in the same order.
+        self.node.extend(stops.iter().map(|s| s.node));
+        self.leg_dist.resize(n, 0.0);
+        if n > 0 {
+            self.leg_dist[0] = net.distance(view.anchor_node, self.node[0]);
+            net.leg_distances(&self.node[..n - 1], &self.node[1..], &mut self.leg_dist[1..]);
+        }
+        self.leg_tt.resize(n, 0.0);
+        fleet.travel_times_secs(&self.leg_dist, &mut self.leg_tt);
+
+        // Forward pass: the exact walk of `simulate_schedule`, on raw f64
+        // seconds (TimePoint/TimeDelta ops are plain f64 ops, so the
+        // unwrapped arithmetic is bit-identical).
+        let service = fleet.service_time.seconds();
         let mut node = view.anchor_node;
-        let mut time = view.anchor_time;
-        let mut stack: Vec<(OrderId, f64)> = view.onboard.clone();
-        let mut load = initial_load;
+        let mut time = view.anchor_time.seconds();
+        self.stack.extend_from_slice(&view.onboard);
+        let mut load = self.initial_load;
         let mut total_length = 0.0;
-        for &stop in view.route.stops() {
-            let leg = net.distance(node, stop.node);
-            total_length += leg;
-            time += fleet.travel_time(leg);
+        for (p, &stop) in stops.iter().enumerate() {
+            total_length += self.leg_dist[p];
+            time += self.leg_tt[p];
             node = stop.node;
             let arrival = time;
             let Some(order) = lookup(orders, stop.action.order()) else {
-                return cache; // UnknownOrder: base infeasible.
+                return; // UnknownOrder: base infeasible.
             };
             let (service_start, is_pickup) = match stop.action {
                 StopAction::Pickup(id) => {
-                    let start = arrival.max(order.created);
+                    // `arrival.max(order.created)`, unwrapped.
+                    let created = order.created.seconds();
+                    let start = if arrival >= created { arrival } else { created };
                     let new_load = load + order.quantity;
                     if new_load > fleet.capacity + 1e-9 {
-                        return cache; // Capacity: base infeasible.
+                        return; // Capacity: base infeasible.
                     }
-                    stack.push((id, order.quantity));
+                    self.stack.push((id, order.quantity));
                     load = new_load;
                     (start, true)
                 }
                 StopAction::Delivery(id) => {
-                    if arrival > order.deadline {
-                        return cache; // TimeWindow: base infeasible.
+                    if arrival > order.deadline.seconds() {
+                        return; // TimeWindow: base infeasible.
                     }
-                    match stack.last() {
+                    match self.stack.last() {
                         Some(&(top, qty)) if top == id => {
-                            stack.pop();
+                            self.stack.pop();
                             load -= qty;
                         }
-                        _ => return cache, // LIFO: base infeasible.
+                        _ => return, // LIFO: base infeasible.
                     }
                     (arrival, false)
                 }
             };
-            time = service_start + fleet.service_time;
-            cache.stops.push(CachedStop {
-                node,
-                is_pickup,
-                quantity: order.quantity,
-                created: order.created,
-                deadline: order.deadline,
-                arrival,
-                departure: time,
-                load_after: load,
-                slack: f64::INFINITY,
-            });
+            time = service_start + service;
+            self.is_pickup.push(is_pickup);
+            self.quantity.push(order.quantity);
+            self.created.push(order.created.seconds());
+            self.deadline.push(order.deadline.seconds());
+            self.arrival.push(arrival);
+            self.departure.push(time);
+            self.load_after.push(load);
+            self.slack.push(f64::INFINITY);
+            self.cum_len.push(total_length);
         }
-        if !stack.is_empty() {
-            return cache; // IncompleteRoute: base infeasible.
+        if !self.stack.is_empty() {
+            return; // IncompleteRoute: base infeasible.
         }
-        total_length += net.distance(node, view.depot);
-        cache.base_length = total_length;
+        let depot_leg = net.distance(node, view.depot);
+        total_length += depot_leg;
+        self.leg_dist.push(depot_leg);
+        self.leg_tt.push(fleet.travel_time(depot_leg).seconds());
+        self.base_length = total_length;
 
         // Backward pass: deadline slack per position. Waits at pickups
         // absorb injected delay, deliveries cap it by their own deadline.
         let mut slack = f64::INFINITY;
-        for s in cache.stops.iter_mut().rev() {
-            if s.is_pickup {
-                let wait = (s.departure - fleet.service_time - s.arrival).seconds();
+        for p in (0..n).rev() {
+            if self.is_pickup[p] {
+                let wait = (self.departure[p] - service) - self.arrival[p];
                 slack += wait; // ∞ + wait = ∞
             } else {
-                slack = slack.min((s.deadline - s.arrival).seconds());
+                slack = slack.min(self.deadline[p] - self.arrival[p]);
             }
-            s.slack = slack;
+            self.slack[p] = slack;
         }
 
-        cache.feasible = true;
-        cache
+        self.feasible = true;
+    }
+
+    /// Resets every array (capacity retained) and scalar field.
+    fn clear(&mut self) {
+        self.node.clear();
+        self.is_pickup.clear();
+        self.quantity.clear();
+        self.created.clear();
+        self.deadline.clear();
+        self.arrival.clear();
+        self.departure.clear();
+        self.load_after.clear();
+        self.slack.clear();
+        self.cum_len.clear();
+        self.leg_dist.clear();
+        self.leg_tt.clear();
+        self.stack.clear();
+        self.feasible = false;
+        self.base_length = 0.0;
+        self.initial_load = 0.0;
     }
 
     /// Whether the base route simulates feasibly. When false every cached
@@ -244,13 +348,24 @@ impl ScheduleCache {
     /// Number of stops of the cached base route.
     #[inline]
     pub fn len(&self) -> usize {
-        self.stops.len()
+        self.arrival.len()
     }
 
     /// Whether the cached base route has no stops.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.stops.is_empty()
+        self.arrival.is_empty()
+    }
+
+    /// Backward-pass deadline slack (seconds) at position `p`: the maximum
+    /// delay injectable into the arrival at `p` without violating any
+    /// delivery deadline from `p` onward.
+    ///
+    /// # Panics
+    /// Panics if `p >= len()`.
+    #[inline]
+    pub fn slack(&self, p: usize) -> f64 {
+        self.slack[p]
     }
 }
 
@@ -285,6 +400,10 @@ pub struct InsertionSweep {
 
 /// Looks up an order in a dense-by-id order slice (the exact check
 /// `simulate_schedule` performs; a miss makes every candidate infeasible).
+///
+/// This *is* the per-epoch order index: `orders` is indexed directly by
+/// `OrderId`, so the resolution is O(1) — one bounds check, one load, one
+/// id compare — with no hashing or scanning anywhere on the hot path.
 fn lookup(orders: &[Order], id: OrderId) -> Option<&Order> {
     orders.get(id.index()).filter(|o| o.id == id)
 }
@@ -296,7 +415,8 @@ fn lookup(orders: &[Order], id: OrderId) -> Option<&Order> {
 ///
 /// This is the allocation-free O(n²) core of the incremental evaluator;
 /// [`sweep_best`] layers argmin selection on top and
-/// [`best_insertion_cached`] materializes the winner.
+/// [`best_insertion_cached`] materializes the winner. Bit-identical to the
+/// reference [`crate::aos::sweep_insertions_aos`] (see the module docs).
 ///
 /// `cache` must have been built from the same `view` (and the same
 /// network/fleet/orders) and be feasible; see
@@ -323,49 +443,63 @@ pub fn sweep_insertions(
     let Some(probe) = lookup(orders, order.id) else {
         return 0;
     };
-    let pickup_node = order.pickup;
-    let delivery_node = order.delivery;
-    let n = cache.stops.len();
+    let n = cache.len();
+
+    // Probe scalars, unwrapped to raw seconds once. Per-position probe
+    // legs stay lazy (scalar matrix reads, identical to the reference
+    // calls): the walk is pruning-dominated, so most positions never touch
+    // them — see the module docs for the measured rationale.
+    let d_pd = net.distance(order.pickup, order.delivery);
+    let tt_pd = fleet.travel_time(d_pd).seconds();
+    let d_d_depot = net.distance(order.delivery, view.depot);
+    let created = probe.created.seconds();
+    let deadline = probe.deadline.seconds();
+    let service = fleet.service_time.seconds();
+    let anchor_dep = view.anchor_time.seconds();
     let cap = fleet.capacity + 1e-9;
     let mut num_feasible = 0;
 
     for i in 0..=n {
-        // State at the insertion point, straight from the prefix cache.
-        let (prev_node, prev_dep, load_before) = if i > 0 {
-            let s = &cache.stops[i - 1];
-            (s.node, s.departure, s.load_after)
+        // State at the insertion point, straight from the prefix arrays.
+        let (prev_dep, load_before, prev_node) = if i > 0 {
+            (
+                cache.departure[i - 1],
+                cache.load_after[i - 1],
+                cache.node[i - 1],
+            )
         } else {
-            (view.anchor_node, view.anchor_time, cache.initial_load)
+            (anchor_dep, cache.initial_load, view.anchor_node)
         };
         let new_load = load_before + probe.quantity;
         if new_load > cap {
             // The pickup itself violates capacity: every `j` for this `i`
-            // is infeasible.
+            // is infeasible — pruned before touching the distance matrix.
             continue;
         }
-        let arr_p = prev_dep + fleet.travel_time(net.distance(prev_node, pickup_node));
-        let dep_p = arr_p.max(probe.created) + fleet.service_time;
-        let next_i = if i < n {
-            cache.stops[i].node
-        } else {
-            view.depot
-        };
+        // Pickup legs stay lazy: each is read exactly once per position
+        // (see the module docs), identical to the scalar reference calls.
+        let d_to_p = net.distance(prev_node, order.pickup);
+        let arr_p = prev_dep + fleet.travel_time(d_to_p).seconds();
+        // `arr_p.max(probe.created) + service_time`, unwrapped.
+        let dep_p = (if arr_p >= created { arr_p } else { created }) + service;
 
         // Candidate (i, i): the delivery immediately follows the pickup.
         // Feasible iff NOT(arrival > deadline), the naive reject condition;
         // times are finite (TimePoint asserts it), so `<=` is equivalent.
-        let arr_d = dep_p + fleet.travel_time(net.distance(pickup_node, delivery_node));
-        if arr_d <= probe.deadline {
+        let arr_d = dep_p + tt_pd;
+        if arr_d <= deadline {
+            let d_from_d = if i == n {
+                d_d_depot
+            } else {
+                net.distance(order.delivery, cache.node[i])
+            };
             let suffix_ok = i == n || {
-                let dep_d = arr_d + fleet.service_time;
-                let arr_next = dep_d + fleet.travel_time(net.distance(delivery_node, next_i));
-                (arr_next - cache.stops[i].arrival).seconds() <= cache.stops[i].slack
+                let dep_d = arr_d + service;
+                let arr_next = dep_d + fleet.travel_time(d_from_d).seconds();
+                (arr_next - cache.arrival[i]) <= cache.slack[i]
             };
             if suffix_ok {
-                let delta = net.distance(prev_node, pickup_node)
-                    + net.distance(pickup_node, delivery_node)
-                    + net.distance(delivery_node, next_i)
-                    - net.distance(prev_node, next_i);
+                let delta = d_to_p + d_pd + d_from_d - cache.leg_dist[i];
                 num_feasible += 1;
                 on_feasible(ScoredInsertion {
                     pickup_pos: i,
@@ -380,29 +514,38 @@ pub fn sweep_insertions(
 
         // Candidates (i, j > i): walk the segment once, advancing the
         // exact running state (time, load, LIFO depth) one stop per `j`.
-        let delta_pickup = net.distance(prev_node, pickup_node) + net.distance(pickup_node, next_i)
-            - net.distance(prev_node, next_i);
-        let mut cur_node = pickup_node;
+        let d_from_p = net.distance(order.pickup, cache.node[i]);
+        let tt_from_p = fleet.travel_time(d_from_p).seconds();
+        let delta_pickup = d_to_p + d_from_p - cache.leg_dist[i];
         let mut cur_dep = dep_p;
         let mut load = new_load;
         // Number of base cargo items stacked on top of the new order's
         // cargo: the delivery can only be placed while this is zero.
         let mut depth: usize = 0;
         for j in (i + 1)..=n {
-            // Advance through base stop j-1 under the injected detour.
-            let s = &cache.stops[j - 1];
-            let arr = cur_dep + fleet.travel_time(net.distance(cur_node, s.node));
-            let service_start = if s.is_pickup {
-                let segment_load = load + s.quantity;
+            // Advance through base stop j-1 under the injected detour. The
+            // leg into it leaves the pickup on the first step and then
+            // follows the cached base legs (`leg_tt[j-1]` is exactly
+            // `travel_time(d(stops[j-2], stops[j-1]))`).
+            let p = j - 1;
+            let leg_tt = if j == i + 1 { tt_from_p } else { cache.leg_tt[p] };
+            let arr = cur_dep + leg_tt;
+            let service_start = if cache.is_pickup[p] {
+                let segment_load = load + cache.quantity[p];
                 if segment_load > cap {
                     // This stop's pickup overloads for every j beyond it.
                     break;
                 }
                 load = segment_load;
                 depth += 1;
-                arr.max(s.created)
+                // `arr.max(created[p])`, unwrapped.
+                if arr >= cache.created[p] {
+                    arr
+                } else {
+                    cache.created[p]
+                }
             } else {
-                if arr > s.deadline {
+                if arr > cache.deadline[p] {
                     // The detour makes this delivery late for every j
                     // beyond it.
                     break;
@@ -414,11 +557,10 @@ pub fn sweep_insertions(
                     break;
                 }
                 depth -= 1;
-                load -= s.quantity;
+                load -= cache.quantity[p];
                 arr
             };
-            cur_dep = service_start + fleet.service_time;
-            cur_node = s.node;
+            cur_dep = service_start + service;
 
             if depth != 0 {
                 // A base item sits on top of the new cargo: delivering
@@ -426,24 +568,23 @@ pub fn sweep_insertions(
                 continue;
             }
             // Candidate (i, j): insert the delivery after base stop j-1.
-            let arr_d = cur_dep + fleet.travel_time(net.distance(cur_node, delivery_node));
-            if arr_d > probe.deadline {
+            let d_to_d = net.distance(cache.node[p], order.delivery);
+            let arr_d = cur_dep + fleet.travel_time(d_to_d).seconds();
+            if arr_d > deadline {
                 continue;
             }
-            let next_j = if j < n {
-                cache.stops[j].node
+            let d_from_d = if j == n {
+                d_d_depot
             } else {
-                view.depot
+                net.distance(order.delivery, cache.node[j])
             };
             let suffix_ok = j == n || {
-                let dep_d = arr_d + fleet.service_time;
-                let arr_next = dep_d + fleet.travel_time(net.distance(delivery_node, next_j));
-                (arr_next - cache.stops[j].arrival).seconds() <= cache.stops[j].slack
+                let dep_d = arr_d + service;
+                let arr_next = dep_d + fleet.travel_time(d_from_d).seconds();
+                (arr_next - cache.arrival[j]) <= cache.slack[j]
             };
             if suffix_ok {
-                let delta_delivery = net.distance(cur_node, delivery_node)
-                    + net.distance(delivery_node, next_j)
-                    - net.distance(cur_node, next_j);
+                let delta_delivery = d_to_d + d_from_d - cache.leg_dist[j];
                 num_feasible += 1;
                 on_feasible(ScoredInsertion {
                     pickup_pos: i,
@@ -460,9 +601,12 @@ pub fn sweep_insertions(
 /// distances of `anchor -> stops[..i] -> pickup -> stops[i..j] -> delivery
 /// -> stops[j..] -> depot` accumulated left to right, which is
 /// operation-for-operation the sum [`crate::simulate_schedule`] builds —
-/// bit-identical to the naive candidate's `total_length`. O(n); used only
-/// to resolve ranking near-ties.
+/// bit-identical to the naive candidate's `total_length`. The prefix
+/// through `stops[..i]` is read from the cache's cumulative-length array
+/// (itself accumulated in the identical order), so the fold is O(n − i);
+/// used only to resolve ranking near-ties.
 fn exact_candidate_length(
+    cache: &ScheduleCache,
     view: &VehicleView,
     pickup: NodeId,
     delivery: NodeId,
@@ -471,15 +615,15 @@ fn exact_candidate_length(
     j: usize,
 ) -> f64 {
     let stops = view.route.stops();
-    let mut prev = view.anchor_node;
-    let mut total = 0.0;
+    let (mut prev, mut total) = if i > 0 {
+        (cache.node[i - 1], cache.cum_len[i - 1])
+    } else {
+        (view.anchor_node, 0.0)
+    };
     let leg = |next: NodeId, total: &mut f64, prev: &mut NodeId| {
         *total += net.distance(*prev, next);
         *prev = next;
     };
-    for s in &stops[..i] {
-        leg(s.node, &mut total, &mut prev);
-    }
     leg(pickup, &mut total, &mut prev);
     for s in &stops[i..j] {
         leg(s.node, &mut total, &mut prev);
@@ -532,6 +676,7 @@ pub fn sweep_best(
             // with first-wins (strict less replaces).
             let we = *winner_exact.get_or_insert_with(|| {
                 exact_candidate_length(
+                    cache,
                     view,
                     order.pickup,
                     order.delivery,
@@ -541,6 +686,7 @@ pub fn sweep_best(
                 )
             });
             let ce = exact_candidate_length(
+                cache,
                 view,
                 order.pickup,
                 order.delivery,
@@ -618,7 +764,7 @@ mod tests {
     use super::*;
     use crate::insertion::enumerate_insertions;
     use crate::route::Route;
-    use dpdp_net::{Node, Point, TimeDelta, VehicleId};
+    use dpdp_net::{Node, Point, TimeDelta, TimePoint, VehicleId};
 
     fn setup() -> (RoadNetwork, FleetConfig) {
         let nodes = vec![
@@ -785,11 +931,11 @@ mod tests {
         assert!(cache.is_feasible());
         // Delivery slack: deadline 3 h, arrival 2 h + 5 min service +
         // 10 min drive = 2:15 -> 45 min of raw slack.
-        let delivery_slack = cache.stops[1].slack;
+        let delivery_slack = cache.slack(1);
         assert!((delivery_slack - 2700.0).abs() < 1e-6);
         // Pickup slack: the same 45 min plus the wait from 20 min (drive)
         // to 2 h = 100 min of absorption.
-        let pickup_slack = cache.stops[0].slack;
+        let pickup_slack = cache.slack(0);
         assert!((pickup_slack - (2700.0 + 6000.0)).abs() < 1e-6);
         // And the evaluator exploits it: inserting order 1 entirely before
         // the waiting pickup is free time-wise.
@@ -799,5 +945,48 @@ mod tests {
             (best.candidate.pickup_pos, best.candidate.delivery_pos),
             (0, 0)
         );
+    }
+
+    /// `rebuild` into a dirty cache (previously holding a different, longer
+    /// route) is bit-identical to a fresh `build`.
+    #[test]
+    fn rebuild_reuses_allocations_bit_identically() {
+        let (net, fleet) = setup();
+        let orders = vec![
+            order(0, 1, 3, 3.0, 0.0, 10.0),
+            order(1, 2, 3, 3.0, 0.5, 10.0),
+            order(2, 3, 1, 2.0, 1.0, 12.0),
+            order(3, 1, 2, 4.0, 1.5, 12.0),
+        ];
+        let long_view = loaded_view(&orders, &net, &fleet);
+        assert!(long_view.route.len() >= 4);
+        let mut short_view = VehicleView::idle_at_depot(VehicleId(0), NodeId(0));
+        short_view.route = Route::from_stops(vec![
+            Stop::pickup(NodeId(2), OrderId(1)),
+            Stop::delivery(NodeId(3), OrderId(1)),
+        ]);
+
+        // Dirty the cache with the long route, then rebuild on the short.
+        let mut dirty = ScheduleCache::build(&long_view, &net, &fleet, &orders);
+        assert!(dirty.is_feasible());
+        dirty.rebuild(&short_view, &net, &fleet, &orders);
+        let fresh = ScheduleCache::build(&short_view, &net, &fleet, &orders);
+        assert_eq!(dirty.is_feasible(), fresh.is_feasible());
+        assert_eq!(dirty.len(), fresh.len());
+        assert_eq!(
+            dirty.base_length().to_bits(),
+            fresh.base_length().to_bits()
+        );
+        for p in 0..fresh.len() {
+            assert_eq!(dirty.slack(p).to_bits(), fresh.slack(p).to_bits());
+            assert_eq!(dirty.arrival[p].to_bits(), fresh.arrival[p].to_bits());
+            assert_eq!(dirty.departure[p].to_bits(), fresh.departure[p].to_bits());
+            assert_eq!(dirty.cum_len[p].to_bits(), fresh.cum_len[p].to_bits());
+        }
+        // And the sweep over the rebuilt cache matches the fresh one.
+        let probe = orders.last().unwrap();
+        let a = sweep_best(&dirty, &short_view, probe, &net, &fleet, &orders);
+        let b = sweep_best(&fresh, &short_view, probe, &net, &fleet, &orders);
+        assert_eq!(a, b);
     }
 }

@@ -39,10 +39,17 @@
 //! sweep (bit-identical results at any thread count) carry over unchanged.
 //! See [`incremental`] for the invariants and `tests/incremental_parity.rs`
 //! for the randomized proof.
+//!
+//! The incremental evaluator stores its cache as struct-of-arrays and
+//! batch-builds per-sweep leg tables through the `dpdp_net` row kernels
+//! (see [`incremental`] for the layout); the original interleaved
+//! implementation is retained verbatim in [`aos`] as the bit-exact parity
+//! and performance reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aos;
 pub mod constraints;
 pub mod incremental;
 pub mod insertion;
@@ -52,6 +59,7 @@ pub mod schedule;
 pub mod stop;
 pub mod view;
 
+pub use aos::{sweep_best_aos, sweep_insertions_aos, AosScheduleCache};
 pub use constraints::Violation;
 pub use incremental::{
     best_insertion_cached, sweep_best, sweep_insertions, InsertionSweep, ScheduleCache,

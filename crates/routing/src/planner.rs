@@ -173,6 +173,14 @@ impl<'a> RoutePlanner<'a> {
         ScheduleCache::build(view, self.net, self.fleet, self.orders)
     }
 
+    /// In-place variant of [`RoutePlanner::cache`]: re-runs both passes
+    /// into an existing cache, reusing its allocations
+    /// ([`ScheduleCache::rebuild`]). Bit-identical to a fresh build; the
+    /// epoch arena rebuilds its per-vehicle caches through this.
+    pub fn cache_into(&self, cache: &mut ScheduleCache, view: &VehicleView) {
+        cache.rebuild(view, self.net, self.fleet, self.orders);
+    }
+
     /// Runs Algorithm 2: checks whether `view`'s vehicle can take `order`,
     /// and if so finds the shortest feasible temporary route.
     pub fn plan(&self, view: &VehicleView, order: &Order) -> PlannerOutput {

@@ -19,7 +19,7 @@
 //! [`Dispatcher`]: crate::dispatcher::Dispatcher
 
 use crate::dispatcher::DispatchContext;
-use crate::shard::{plan_sweep, ShardContext, ShardStats};
+use crate::shard::{plan_sweep, ShardContext, ShardStats, SweepBuffers};
 use crate::state::VehicleState;
 use dpdp_net::{FleetConfig, Order, OrderId, RoadNetwork, TimePoint, VehicleId};
 use dpdp_pool::ThreadPool;
@@ -132,6 +132,88 @@ fn par_map_matrix<T: Send>(
         .par_map(rows * k, |idx| f(idx / k, idx % k))
         .into_iter();
     (0..rows).map(|_| flat.by_ref().take(k).collect()).collect()
+}
+
+/// Reusable per-epoch scratch arena for [`DecisionBatch::new`].
+///
+/// The driver loops (simulator episodes, server engine sessions) build one
+/// `DecisionBatch` per decision epoch; without an arena every epoch pays
+/// a fresh round of allocations for the sweep classification buffers and
+/// one `ScheduleCache` per vehicle. An `EpochScratch` owned by the loop
+/// and threaded into `new` keeps all of that storage alive across epochs:
+/// buffers are cleared, never freed, so steady-state epochs allocate only
+/// when the fleet or epoch outgrows every previous one.
+///
+/// Reuse is invisible in the output: cache rebuilds run the identical
+/// passes over cleared vectors (see `ScheduleCache::rebuild`), the sweep
+/// buffers are overwritten before use, and the per-vehicle rebuild fan-out
+/// writes disjoint slots whose values do not depend on scheduling — so a
+/// dirty scratch produces bit-identical plans to a fresh one at any
+/// thread count (`dirty_epoch_scratch_is_bit_identical_to_fresh` below).
+#[derive(Debug, Default)]
+pub(crate) struct EpochScratch {
+    /// Sharded-sweep classification buffers (see [`SweepBuffers`]).
+    pub(crate) sweep: SweepBuffers,
+    /// One schedule cache slot per vehicle, rebuilt in place each epoch.
+    caches: Vec<ScheduleCache>,
+    /// `cache_live[k]`: whether `caches[k]` was rebuilt for this epoch.
+    /// Dead slots keep stale storage for later epochs but are never read.
+    cache_live: Vec<bool>,
+    /// Sharded path only: vehicles with at least one surviving sweep cell.
+    needed: Vec<bool>,
+}
+
+impl EpochScratch {
+    /// Rebuilds the per-vehicle schedule caches in place for every vehicle
+    /// `want` selects, fanning the builds out across `pool` in fixed
+    /// chunks. Each task owns a disjoint `chunks_mut` slice and every
+    /// cache's content depends only on its own vehicle view, so the result
+    /// is independent of task scheduling — bit-identical at any thread
+    /// count, dirty or fresh.
+    fn rebuild_caches(
+        &mut self,
+        planner: &RoutePlanner<'_>,
+        views: &[VehicleView],
+        pool: &ThreadPool,
+        want: impl Fn(usize) -> bool + Sync,
+    ) {
+        let k_n = views.len();
+        self.caches.resize_with(k_n, ScheduleCache::default);
+        self.cache_live.clear();
+        self.cache_live.resize(k_n, false);
+        for (k, live) in self.cache_live.iter_mut().enumerate() {
+            *live = want(k);
+        }
+        let live = &self.cache_live;
+        if !pool.is_parallel() || k_n == 0 {
+            for (k, cache) in self.caches.iter_mut().enumerate() {
+                if live[k] {
+                    planner.cache_into(cache, &views[k]);
+                }
+            }
+            return;
+        }
+        let chunk = k_n.div_ceil((pool.threads() * 4).min(k_n));
+        pool.scope(|scope| {
+            for (c, caches) in self.caches.chunks_mut(chunk).enumerate() {
+                let start = c * chunk;
+                scope.spawn(move || {
+                    for (off, cache) in caches.iter_mut().enumerate() {
+                        let k = start + off;
+                        if live[k] {
+                            planner.cache_into(cache, &views[k]);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// The cache rebuilt for vehicle `k` this epoch, if any.
+    #[inline]
+    fn cache(&self, k: usize) -> Option<&ScheduleCache> {
+        self.cache_live[k].then(|| &self.caches[k])
+    }
 }
 
 /// How the epoch's `B x K` plan matrix is stored.
@@ -296,6 +378,7 @@ impl<'a> DecisionBatch<'a> {
         mode: PlannerMode,
         shards: Option<ShardContext>,
         active: Option<Vec<bool>>,
+        scratch: &mut EpochScratch,
     ) -> Self {
         let views: Vec<VehicleView> = states.iter().map(|s| s.view.clone()).collect();
         let planner = RoutePlanner::with_mode(net, fleet, orders, mode);
@@ -326,16 +409,16 @@ impl<'a> DecisionBatch<'a> {
                     // Schedule caches only for available vehicles; a masked
                     // vehicle's plans are `best: None` with its exact route
                     // length, so the mask is value-identical everywhere it
-                    // is applied (flat or sharded, any thread count).
-                    let caches: Vec<Option<ScheduleCache>> = pool.par_map(views.len(), |k| {
-                        is_active(k).then(|| planner.cache(&views_ref[k]))
-                    });
-                    let caches_ref = &caches;
+                    // is applied (flat or sharded, any thread count). The
+                    // caches are rebuilt in place inside the epoch scratch
+                    // arena, not freshly allocated.
+                    scratch.rebuild_caches(&planner, &views, &pool, is_active);
+                    let scr = &*scratch;
                     PlanStore::Dense(par_map_matrix(
                         &pool,
                         epoch_orders.len(),
                         views.len(),
-                        |i, k| match &caches_ref[k] {
+                        |i, k| match scr.cache(k) {
                             Some(cache) => {
                                 planner.plan_cached(cache, &views_ref[k], &orders[epoch[i].index()])
                             }
@@ -352,7 +435,15 @@ impl<'a> DecisionBatch<'a> {
                 // what its full evaluation would have produced (see
                 // crate::shard), so queries cannot tell the difference.
                 let epoch_refs: Vec<&Order> = epoch.iter().map(|id| &orders[id.index()]).collect();
-                let sweep = plan_sweep(ctx, &planner, &views, &epoch_refs, active_ref, &pool);
+                let sweep = plan_sweep(
+                    ctx,
+                    &planner,
+                    &views,
+                    &epoch_refs,
+                    active_ref,
+                    &pool,
+                    &mut scratch.sweep,
+                );
                 stats = sweep.stats;
                 let work = &sweep.work;
                 // Schedule caches are only needed by vehicles with at
@@ -360,22 +451,27 @@ impl<'a> DecisionBatch<'a> {
                 // pruned skips the build entirely (its `d_{t,k}` comes
                 // from `Route::length`, which accumulates the same legs in
                 // the same order as the cache's forward pass, so the
-                // emitted value is bit-identical either way).
-                let caches: Option<Vec<Option<ScheduleCache>>> =
-                    (mode != PlannerMode::Naive).then(|| {
-                        let mut needed = vec![false; views.len()];
-                        for &(_, k) in work.iter() {
-                            needed[k as usize] = true;
-                        }
-                        let needed_ref = &needed;
-                        pool.par_map(views.len(), |k| {
-                            needed_ref[k].then(|| planner.cache(&views_ref[k]))
-                        })
-                    });
-                let caches_ref = caches.as_ref();
+                // emitted value is bit-identical either way). The `needed`
+                // mask is lifted out of the scratch while `rebuild_caches`
+                // borrows it mutably, then restored.
+                if mode != PlannerMode::Naive {
+                    let mut needed = std::mem::take(&mut scratch.needed);
+                    needed.clear();
+                    needed.resize(views.len(), false);
+                    for &(_, k) in work.iter() {
+                        needed[k as usize] = true;
+                    }
+                    scratch.rebuild_caches(&planner, &views, &pool, |k| needed[k]);
+                    scratch.needed = needed;
+                } else {
+                    // The reference path never reads a cache; mark every
+                    // slot dead so queries below fall through to `plan`.
+                    scratch.rebuild_caches(&planner, &views, &pool, |_| false);
+                }
+                let scr = &*scratch;
                 let outs = pool.par_map(work.len(), |w| {
                     let (i, k) = (work[w].0 as usize, work[w].1 as usize);
-                    match caches_ref.and_then(|c| c[k].as_ref()) {
+                    match scr.cache(k) {
                         Some(cache) => planner.plan_cached(cache, &views_ref[k], epoch_refs[i]),
                         None => planner.plan(&views_ref[k], epoch_refs[i]),
                     }
@@ -385,9 +481,7 @@ impl<'a> DecisionBatch<'a> {
                 // per vehicle as the sparse fallback instead of
                 // materialising a `B x K` canvas.
                 let fallback: Vec<PlannerOutput> = (0..views.len())
-                    .map(|k| {
-                        planner.pruned_output(caches_ref.and_then(|c| c[k].as_ref()), &views_ref[k])
-                    })
+                    .map(|k| planner.pruned_output(scr.cache(k), &views_ref[k]))
                     .collect();
                 let mut rows: Vec<Vec<(u32, PlannerOutput)>> =
                     (0..epoch_refs.len()).map(|_| Vec::new()).collect();
@@ -864,6 +958,10 @@ mod tests {
     }
 
     fn batch(inst: &Instance) -> DecisionBatch<'_> {
+        batch_with(inst, &mut EpochScratch::default())
+    }
+
+    fn batch_with<'a>(inst: &'a Instance, scratch: &mut EpochScratch) -> DecisionBatch<'a> {
         let states: Vec<VehicleState> = inst.fleet.vehicles.iter().map(VehicleState::new).collect();
         let mut states = states;
         for s in &mut states {
@@ -886,7 +984,36 @@ mod tests {
             PlannerMode::default(),
             None,
             None,
+            scratch,
         )
+    }
+
+    /// Reusing one `EpochScratch` across batch builds must be invisible:
+    /// a scratch dirtied by a previous epoch yields the same plan matrix,
+    /// bit for bit, as a freshly allocated one.
+    #[test]
+    fn dirty_epoch_scratch_is_bit_identical_to_fresh() {
+        let inst = instance();
+        let snapshot = |b: &DecisionBatch<'_>| {
+            b.map_plans(|_, _, p| {
+                (
+                    p.current_length.to_bits(),
+                    p.best.as_ref().map(|best| {
+                        (
+                            best.candidate.pickup_pos,
+                            best.candidate.delivery_pos,
+                            best.length().to_bits(),
+                        )
+                    }),
+                )
+            })
+        };
+        let fresh = snapshot(&batch(&inst));
+        let mut scratch = EpochScratch::default();
+        let first = snapshot(&batch_with(&inst, &mut scratch));
+        let second = snapshot(&batch_with(&inst, &mut scratch));
+        assert_eq!(fresh, first);
+        assert_eq!(fresh, second);
     }
 
     #[test]

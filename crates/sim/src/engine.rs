@@ -32,7 +32,7 @@
 //! re-dispatchable arrivals) and write off onboard cargo, and broken
 //! vehicles are masked out of every [`DecisionBatch`] until they recover.
 
-use crate::batch::{Decision, DecisionBatch, DecisionReason};
+use crate::batch::{Decision, DecisionBatch, DecisionReason, EpochScratch};
 use crate::dispatcher::Dispatcher;
 use crate::event::{EventMux, EventSource, SimEvent, StreamCommand, StreamSource};
 use crate::metrics::{AssignmentRecord, EpisodeResult, MetricsAccumulator};
@@ -103,6 +103,9 @@ impl<'a> Simulator<'a> {
         let mut shard_rt = self.shard_runtime();
         let mut epoch_index = 0usize;
         let mut clock = TimePoint::ZERO;
+        // Per-epoch planning arena, reused across the whole session:
+        // cleared at each batch build, never freed (see `EpochScratch`).
+        let mut scratch = EpochScratch::default();
 
         loop {
             let next_due =
@@ -139,6 +142,7 @@ impl<'a> Simulator<'a> {
                     &mut epoch_index,
                     &mut assigned_to,
                     &mut shard_rt,
+                    &mut scratch,
                     dispatcher,
                 );
                 continue;
@@ -381,6 +385,7 @@ impl<'a> Simulator<'a> {
         epoch_index: &mut usize,
         assigned_to: &mut [Option<(VehicleId, f64)>],
         shard_rt: &mut ShardRuntime,
+        scratch: &mut EpochScratch,
         dispatcher: &mut dyn Dispatcher,
     ) {
         let instance = self.instance;
@@ -428,6 +433,7 @@ impl<'a> Simulator<'a> {
             self.planner_mode,
             shard_rt.context(),
             active,
+            scratch,
         );
         sink.epoch(&EpochInfo {
             index: *epoch_index,

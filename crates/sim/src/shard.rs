@@ -47,7 +47,7 @@
 //! [`ShardConfig::hierarchical`]: crate::sharding::ShardConfig::hierarchical
 //! [`RoutePlanner::provably_infeasible`]: dpdp_routing::RoutePlanner::provably_infeasible
 
-use dpdp_net::{Order, ShardMap, TimeDelta, TimePoint};
+use dpdp_net::{NodeId, Order, ShardMap, TimeDelta, TimePoint};
 use dpdp_pool::ThreadPool;
 use dpdp_routing::{PruneProbe, RoutePlanner, VehicleView};
 use serde::{Deserialize, Serialize};
@@ -107,6 +107,57 @@ pub(crate) struct SweepPlan {
     pub(crate) stats: ShardStats,
 }
 
+/// Reusable classification buffers for [`plan_sweep`] — part of the
+/// per-episode [`EpochScratch`](crate::batch::EpochScratch) arena. Every
+/// vector is cleared (capacity retained, never freed) at the start of each
+/// call, so steady-state epochs classify without touching the allocator.
+///
+/// The one cross-call invariant is `node_slot`: a dense node → anchor-slot
+/// table sized to the network, all entries `u32::MAX` between calls.
+/// [`plan_sweep`] resets only the entries it touched (via the `anchors`
+/// list) on exit, so the reset is O(distinct anchors), not O(nodes).
+#[derive(Debug, Default)]
+pub(crate) struct SweepBuffers {
+    /// Shard of each vehicle's anchor node.
+    vehicle_shard: Vec<u32>,
+    /// Shard of each epoch order's pickup node.
+    order_shard: Vec<u32>,
+    /// Vehicle indices grouped shard-major (counting sort output).
+    vehicles_by_shard: Vec<u32>,
+    /// Counting-sort bucket offsets (`num_shards + 1` entries).
+    buckets: Vec<u32>,
+    /// Counting-sort write cursors.
+    cursor: Vec<u32>,
+    /// End offset of each region's run in `vehicles_by_shard`.
+    region_end: Vec<usize>,
+    /// Dense node → anchor-slot table; all `u32::MAX` between calls.
+    node_slot: Vec<u32>,
+    /// Distinct anchor nodes of this epoch, in first-seen vehicle order.
+    anchors: Vec<NodeId>,
+    /// Anchor slot of each vehicle.
+    vehicle_slot: Vec<u32>,
+    /// Pickup node of each epoch order (the batched-kernel target list).
+    pickups: Vec<NodeId>,
+    /// Anchor-major distance memo: `dist[slot * b + i]` = anchor→pickup km.
+    dist: Vec<f64>,
+    /// Travel times of `dist`, same layout.
+    leg: Vec<TimeDelta>,
+    /// Parent region of each epoch order's shard.
+    order_region: Vec<usize>,
+    /// Per-order prune probes (factored deadline bound).
+    probes: Vec<PruneProbe>,
+    /// Escalation marks: `esc[i * m ..]` = order `i`'s escalated vehicles.
+    esc: Vec<u32>,
+    /// Running top-m selection buffer for the escalation ranking.
+    topm: Vec<(f64, u32)>,
+    /// Earliest active anchor time per cell.
+    cell_min_time: Vec<Option<TimePoint>>,
+    /// Distinct anchor slots per cell.
+    slots_by_cell: Vec<Vec<u32>>,
+    /// Slot-dedup mask for `slots_by_cell`.
+    slot_listed: Vec<bool>,
+}
+
 /// Classifies every `(order, vehicle)` cell of an epoch.
 ///
 /// Runs serially before the parallel sweep (distance lookups only, no
@@ -125,50 +176,53 @@ pub(crate) fn plan_sweep(
     epoch_orders: &[&Order],
     active: Option<&[bool]>,
     pool: &ThreadPool,
+    scr: &mut SweepBuffers,
 ) -> SweepPlan {
     let map = &*ctx.map;
     let net = planner.network();
+    let fleet = planner.fleet();
     let k_n = views.len();
     let b = epoch_orders.len();
     let is_active = |k: usize| active.is_none_or(|a| a[k]);
-    let vehicle_shard: Vec<u32> = views
-        .iter()
-        .map(|v| map.shard_of(v.anchor_node) as u32)
-        .collect();
-    let order_shard: Vec<u32> = epoch_orders
-        .iter()
-        .map(|o| map.shard_of(o.pickup) as u32)
-        .collect();
+    scr.vehicle_shard.clear();
+    scr.vehicle_shard
+        .extend(views.iter().map(|v| map.shard_of(v.anchor_node) as u32));
+    scr.order_shard.clear();
+    scr.order_shard
+        .extend(epoch_orders.iter().map(|o| map.shard_of(o.pickup) as u32));
 
     // Vehicle-shard-major work list: regions become contiguous runs of the
     // flat list, so the pool's chunked tasks are (mostly) shard-local.
     // Bucketed counting sort — shard counts are tiny and vehicle order
     // within a shard stays ascending (deterministic).
     let num_shards = map.num_shards();
-    let mut vehicles_by_shard: Vec<u32> = Vec::with_capacity(k_n);
-    let mut buckets = vec![0u32; num_shards + 1];
-    for &s in &vehicle_shard {
-        buckets[s as usize + 1] += 1;
+    scr.buckets.clear();
+    scr.buckets.resize(num_shards + 1, 0);
+    for &s in &scr.vehicle_shard {
+        scr.buckets[s as usize + 1] += 1;
     }
     for s in 0..num_shards {
-        buckets[s + 1] += buckets[s];
+        scr.buckets[s + 1] += scr.buckets[s];
     }
-    vehicles_by_shard.resize(k_n, 0);
-    let mut cursor = buckets.clone();
-    for (k, &s) in vehicle_shard.iter().enumerate() {
-        vehicles_by_shard[cursor[s as usize] as usize] = k as u32;
-        cursor[s as usize] += 1;
+    scr.vehicles_by_shard.clear();
+    scr.vehicles_by_shard.resize(k_n, 0);
+    scr.cursor.clear();
+    scr.cursor.extend_from_slice(&scr.buckets);
+    for (k, &s) in scr.vehicle_shard.iter().enumerate() {
+        scr.vehicles_by_shard[scr.cursor[s as usize] as usize] = k as u32;
+        scr.cursor[s as usize] += 1;
     }
     // Cell ids are region-major, so each region is one contiguous run of
     // `vehicles_by_shard` — the escalation ranking scans only the order's
     // run instead of the whole fleet.
     let num_regions = map.num_regions();
-    let mut region_end = vec![0usize; num_regions + 1];
+    scr.region_end.clear();
+    scr.region_end.resize(num_regions + 1, 0);
     for s in 0..num_shards {
-        region_end[map.region_of(s) + 1] = buckets[s + 1] as usize;
+        scr.region_end[map.region_of(s) + 1] = scr.buckets[s + 1] as usize;
     }
     for g in 0..num_regions {
-        region_end[g + 1] = region_end[g + 1].max(region_end[g]);
+        scr.region_end[g + 1] = scr.region_end[g + 1].max(scr.region_end[g]);
     }
 
     // Distance memo: vehicles cluster on far fewer anchor nodes than there
@@ -176,38 +230,42 @@ pub(crate) fn plan_sweep(
     // looked up once per (order, anchor node) instead of once per cell —
     // on a 10k-vehicle fleet that is the difference between a sweep-bound
     // and a memo-bound classification pass. `dist` feeds the escalation
-    // ranking (raw km), `leg` the prune probes (travel time).
-    let mut node_slot = vec![u32::MAX; net.nodes().len()];
-    let mut anchors = Vec::new();
-    let vehicle_slot: Vec<u32> = views
-        .iter()
-        .map(|v| {
-            let slot = &mut node_slot[v.anchor_node.index()];
-            if *slot == u32::MAX {
-                *slot = anchors.len() as u32;
-                anchors.push(v.anchor_node);
-            }
-            *slot
-        })
-        .collect();
-    let ns = anchors.len();
-    let mut dist = vec![0.0f64; b * ns];
-    let mut leg = vec![TimeDelta::ZERO; b * ns];
-    for (i, order) in epoch_orders.iter().enumerate() {
-        for (slot, &anchor) in anchors.iter().enumerate() {
-            let d = net.distance(anchor, order.pickup);
-            dist[i * ns + slot] = d;
-            leg[i * ns + slot] = planner.travel_time(d);
-        }
+    // ranking (raw km), `leg` the prune probes (travel time). The memo is
+    // anchor-major (`dist[slot * b + i]`): each anchor's row over the
+    // epoch's pickups is one contiguous `distances_from` matrix scan plus
+    // one fused `travel_times` conversion, entry-for-entry bit-identical
+    // to the per-cell scalar lookups it replaces.
+    if scr.node_slot.len() < net.nodes().len() {
+        scr.node_slot.resize(net.nodes().len(), u32::MAX);
     }
-    let order_region: Vec<usize> = order_shard
-        .iter()
-        .map(|&s| map.region_of(s as usize))
-        .collect();
-    let probes: Vec<PruneProbe> = epoch_orders
-        .iter()
-        .map(|o| planner.prune_probe(o))
-        .collect();
+    scr.anchors.clear();
+    scr.vehicle_slot.clear();
+    for v in views {
+        let slot = &mut scr.node_slot[v.anchor_node.index()];
+        if *slot == u32::MAX {
+            *slot = scr.anchors.len() as u32;
+            scr.anchors.push(v.anchor_node);
+        }
+        scr.vehicle_slot.push(*slot);
+    }
+    let ns = scr.anchors.len();
+    scr.pickups.clear();
+    scr.pickups.extend(epoch_orders.iter().map(|o| o.pickup));
+    scr.dist.clear();
+    scr.dist.resize(ns * b, 0.0);
+    scr.leg.clear();
+    scr.leg.resize(ns * b, TimeDelta::ZERO);
+    for slot in 0..ns {
+        let row = slot * b..(slot + 1) * b;
+        net.distances_from(scr.anchors[slot], &scr.pickups, &mut scr.dist[row.clone()]);
+        fleet.travel_times(&scr.dist[row.clone()], &mut scr.leg[row]);
+    }
+    scr.order_region.clear();
+    scr.order_region
+        .extend(scr.order_shard.iter().map(|&s| map.region_of(s as usize)));
+    scr.probes.clear();
+    scr.probes
+        .extend(epoch_orders.iter().map(|o| planner.prune_probe(o)));
 
     // Escalation marks: per order, the m nearest foreign vehicles *within
     // the order's parent region* by anchor→pickup distance (total_cmp,
@@ -218,34 +276,35 @@ pub(crate) fn plan_sweep(
     // running top-m scan beats sorting — `esc[i * m ..]` holds order `i`'s
     // escalated vehicle ids.
     let m = ctx.escalation.min(k_n);
-    let mut esc: Vec<u32> = vec![u32::MAX; b * m];
+    scr.esc.clear();
+    scr.esc.resize(b * m, u32::MAX);
     if m > 0 {
-        let mut best: Vec<(f64, u32)> = Vec::with_capacity(m);
         for i in 0..b {
-            best.clear();
-            let run =
-                &vehicles_by_shard[region_end[order_region[i]]..region_end[order_region[i] + 1]];
+            scr.topm.clear();
+            let run = &scr.vehicles_by_shard
+                [scr.region_end[scr.order_region[i]]..scr.region_end[scr.order_region[i] + 1]];
             for &k in run {
                 let ku = k as usize;
-                if vehicle_shard[ku] == order_shard[i] || !is_active(ku) {
+                if scr.vehicle_shard[ku] == scr.order_shard[i] || !is_active(ku) {
                     continue;
                 }
-                let d = dist[i * ns + vehicle_slot[ku] as usize];
+                let d = scr.dist[scr.vehicle_slot[ku] as usize * b + i];
                 // Insert into the small sorted top-m buffer; strict
                 // ordering by (distance, id) keeps ties deterministic.
-                let pos = best
+                let pos = scr
+                    .topm
                     .iter()
                     .position(|&(bd, bk)| d.total_cmp(&bd).then(k.cmp(&bk)).is_lt())
-                    .unwrap_or(best.len());
+                    .unwrap_or(scr.topm.len());
                 if pos < m {
-                    if best.len() == m {
-                        best.pop();
+                    if scr.topm.len() == m {
+                        scr.topm.pop();
                     }
-                    best.insert(pos, (d, k));
+                    scr.topm.insert(pos, (d, k));
                 }
             }
-            for (slot, &(_, k)) in best.iter().enumerate() {
-                esc[i * m + slot] = k;
+            for (slot, &(_, k)) in scr.topm.iter().enumerate() {
+                scr.esc[i * m + slot] = k;
             }
         }
     }
@@ -266,30 +325,45 @@ pub(crate) fn plan_sweep(
     // classification drops from `O(B x K)` probe checks to
     // `O(B x (shards + anchors))` plus per-vehicle checks only inside
     // cells the bound could not dismiss wholesale.
-    let mut cell_min_time: Vec<Option<TimePoint>> = vec![None; num_shards];
-    let mut slots_by_cell: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
-    let mut slot_listed = vec![false; ns];
+    scr.cell_min_time.clear();
+    scr.cell_min_time.resize(num_shards, None);
+    for cell in scr.slots_by_cell.iter_mut() {
+        cell.clear();
+    }
+    if scr.slots_by_cell.len() < num_shards {
+        scr.slots_by_cell.resize_with(num_shards, Vec::new);
+    }
+    scr.slot_listed.clear();
+    scr.slot_listed.resize(ns, false);
     for (ku, view) in views.iter().enumerate() {
         if !is_active(ku) {
             continue;
         }
-        let s = vehicle_shard[ku] as usize;
+        let s = scr.vehicle_shard[ku] as usize;
         let t = view.anchor_time;
-        if cell_min_time[s].is_none_or(|cur| t < cur) {
-            cell_min_time[s] = Some(t);
+        if scr.cell_min_time[s].is_none_or(|cur| t < cur) {
+            scr.cell_min_time[s] = Some(t);
         }
-        let slot = vehicle_slot[ku];
-        if !slot_listed[slot as usize] {
-            slot_listed[slot as usize] = true;
-            slots_by_cell[s].push(slot);
+        let slot = scr.vehicle_slot[ku];
+        if !scr.slot_listed[slot as usize] {
+            scr.slot_listed[slot as usize] = true;
+            scr.slots_by_cell[s].push(slot);
         }
     }
     // Classification is pure per cell (it never reads sweep results), so
     // it fans out one pool task per vehicle cell; concatenating the task
     // outputs in cell order reproduces the serial shard-major work list
     // exactly, at any thread count.
-    let cell_min_time_ref = &cell_min_time;
-    let slots_by_cell_ref = &slots_by_cell;
+    let vehicle_shard = &scr.vehicle_shard;
+    let order_shard = &scr.order_shard;
+    let vehicles_by_shard = &scr.vehicles_by_shard;
+    let buckets = &scr.buckets;
+    let vehicle_slot = &scr.vehicle_slot;
+    let leg = &scr.leg;
+    let esc = &scr.esc;
+    let probes = &scr.probes;
+    let cell_min_time_ref = &scr.cell_min_time;
+    let slots_by_cell_ref = &scr.slots_by_cell;
     let tasks = pool.par_map(num_shards, |s| {
         let run = &vehicles_by_shard[buckets[s] as usize..buckets[s + 1] as usize];
         let mut work = Vec::new();
@@ -307,7 +381,7 @@ pub(crate) fn plan_sweep(
                     Some(t0) => {
                         let mut min_leg: Option<TimeDelta> = None;
                         for &slot in &slots_by_cell_ref[s] {
-                            let l = leg[i * ns + slot as usize];
+                            let l = leg[slot as usize * b + i];
                             if min_leg.is_none_or(|cur| l < cur) {
                                 min_leg = Some(l);
                             }
@@ -336,7 +410,7 @@ pub(crate) fn plan_sweep(
                 if vehicle_shard[ku] == order_shard[i] {
                     evaluated += 1;
                 } else if esc[i * m..(i + 1) * m].contains(&k)
-                    || !probes[i].prunes(anchor_time, leg[i * ns + slot])
+                    || !probes[i].prunes(anchor_time, leg[slot * b + i])
                 {
                     evaluated += 1;
                     escalated += 1;
@@ -357,6 +431,11 @@ pub(crate) fn plan_sweep(
     // Every cell is either evaluated or pruned; escalated is a subset of
     // evaluated.
     stats.pruned = stats.cells - stats.evaluated;
+    // Restore the node_slot invariant (all u32::MAX) by resetting only the
+    // entries this call touched.
+    for &a in &scr.anchors {
+        scr.node_slot[a.index()] = u32::MAX;
+    }
     SweepPlan { work, stats }
 }
 
@@ -443,7 +522,15 @@ mod tests {
             map: Arc::clone(&map),
             escalation: 0,
         };
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None, &ThreadPool::new(1));
+        let sweep = plan_sweep(
+            &ctx,
+            &planner,
+            &views,
+            &epoch,
+            None,
+            &ThreadPool::new(1),
+            &mut SweepBuffers::default(),
+        );
         assert_eq!(sweep.stats.cells, 4);
         assert_eq!(sweep.stats.pruned, 2);
         assert_eq!(sweep.stats.evaluated, 2);
@@ -455,7 +542,15 @@ mod tests {
 
         // Escalation m = 1 forces the nearest foreign vehicle back in.
         let ctx = ShardContext { map, escalation: 1 };
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None, &ThreadPool::new(1));
+        let sweep = plan_sweep(
+            &ctx,
+            &planner,
+            &views,
+            &epoch,
+            None,
+            &ThreadPool::new(1),
+            &mut SweepBuffers::default(),
+        );
         assert_eq!(sweep.stats.pruned, 0);
         assert_eq!(sweep.stats.escalated, 2);
         assert_eq!(sweep.work.len(), 4);
@@ -472,7 +567,15 @@ mod tests {
         let map = Arc::new(ShardMap::build(&net, 2, ShardPolicy::default(), 7));
         let ctx = ShardContext { map, escalation: 0 };
         let epoch: Vec<&Order> = orders.iter().collect();
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None, &ThreadPool::new(1));
+        let sweep = plan_sweep(
+            &ctx,
+            &planner,
+            &views,
+            &epoch,
+            None,
+            &ThreadPool::new(1),
+            &mut SweepBuffers::default(),
+        );
         assert_eq!(sweep.stats.pruned, 0);
         assert_eq!(sweep.stats.evaluated, 4);
         assert_eq!(sweep.stats.escalated, 2);
@@ -541,7 +644,15 @@ mod tests {
             map: Arc::clone(&map),
             escalation: 3,
         };
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None, &ThreadPool::new(1));
+        let sweep = plan_sweep(
+            &ctx,
+            &planner,
+            &views,
+            &epoch,
+            None,
+            &ThreadPool::new(1),
+            &mut SweepBuffers::default(),
+        );
         assert_eq!(sweep.stats.cells, 4);
         assert_eq!(sweep.stats.evaluated, 2, "in-cell + same-region escalation");
         assert_eq!(sweep.stats.escalated, 1);
@@ -563,7 +674,15 @@ mod tests {
             escalation: 2,
         };
         let epoch: Vec<&Order> = orders.iter().collect();
-        let sweep = plan_sweep(&ctx, &planner, &views, &epoch, None, &ThreadPool::new(1));
+        let sweep = plan_sweep(
+            &ctx,
+            &planner,
+            &views,
+            &epoch,
+            None,
+            &ThreadPool::new(1),
+            &mut SweepBuffers::default(),
+        );
         let shards: Vec<usize> = sweep.work.iter().map(|&(_, k)| shard_of(k)).collect();
         let mut sorted = shards.clone();
         sorted.sort_unstable();

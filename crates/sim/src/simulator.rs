@@ -1,7 +1,7 @@
 //! The episode simulator (paper Algorithm 1), organised around batched
 //! decision epochs.
 
-use crate::batch::{Decision, DecisionBatch, DecisionReason};
+use crate::batch::{Decision, DecisionBatch, DecisionReason, EpochScratch};
 use crate::dispatcher::Dispatcher;
 use crate::event::DisruptionConfig;
 use crate::metrics::{AssignmentRecord, EpisodeResult, MetricsAccumulator, MetricsOptions};
@@ -559,6 +559,9 @@ impl<'a> Simulator<'a> {
         let mut shard_rt = self.shard_runtime();
         let mut epoch_index = 0;
         let mut start = 0;
+        // Per-epoch planning arena, reused across the whole episode:
+        // cleared at each batch build, never freed (see `EpochScratch`).
+        let mut scratch = EpochScratch::default();
         while start < orders.len() {
             let now = self.decision_time(orders[start].created);
             let mut end = start + 1;
@@ -609,6 +612,7 @@ impl<'a> Simulator<'a> {
                 self.planner_mode,
                 shard_rt.context(),
                 None,
+                &mut scratch,
             );
             sink.epoch(&EpochInfo {
                 index: epoch_index,
